@@ -1,0 +1,35 @@
+# Libra reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build test race bench quick report examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/harvest ./internal/profiler ./internal/freyr
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+quick:
+	$(GO) run ./cmd/libra-bench -quick
+
+report:
+	$(GO) run ./cmd/libra-report -out results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/harvesting
+	$(GO) run ./examples/multinode
+	$(GO) run ./examples/scaling
+	$(GO) run ./examples/customworkload
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

@@ -1,0 +1,55 @@
+// Command libra-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	libra-bench              # run every experiment
+//	libra-bench -list        # list experiment ids
+//	libra-bench -exp fig6    # run one experiment
+//	libra-bench -quick       # trimmed sweeps for a fast pass
+//	libra-bench -seed 7 -reps 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"libra/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "run a single experiment by id (e.g. fig6)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		quick = flag.Bool("quick", false, "trimmed sweeps and single repetitions")
+		seed  = flag.Int64("seed", 42, "random seed")
+		reps  = flag.Int("reps", 0, "repetitions per configuration (0 = default 3)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Reps: *reps, Quick: *quick}
+	run := experiments.All()
+	if *exp != "" {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "libra-bench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		run = []experiments.Experiment{e}
+	}
+
+	for _, e := range run {
+		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
+		start := time.Now()
+		e.Run(opts).Render(os.Stdout)
+		fmt.Printf("--- %s finished in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,101 @@
+// Command libra-sim runs one serverless workload through a chosen
+// platform variant on a chosen testbed and prints the metric report.
+//
+// Usage:
+//
+//	libra-sim [-variant libra] [-testbed single] [-algorithm Libra]
+//	          [-nodes N] [-schedulers K] [-rpm R] [-invocations N]
+//	          [-threshold 0.8] [-alpha 0.9] [-seed 42]
+//	          [-compare] [-json] [-trace file.json]
+//
+// With -compare, all six §8.3 variants run on the same workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"libra/internal/core"
+	"libra/internal/function"
+	"libra/internal/trace"
+)
+
+func main() {
+	var (
+		variant     = flag.String("variant", "libra", "platform variant: default|freyr|libra|libra-ns|libra-np|libra-nsp")
+		testbed     = flag.String("testbed", "single", "testbed: single|multi|jetstream")
+		algorithm   = flag.String("algorithm", "", "scheduling algorithm override: Default|RR|JSQ|MWS|Libra")
+		nodes       = flag.Int("nodes", 0, "node count override")
+		schedulers  = flag.Int("schedulers", 0, "sharding scheduler count override")
+		rpm         = flag.Float64("rpm", 120, "workload request rate (requests/minute)")
+		invocations = flag.Int("invocations", 165, "workload size")
+		threshold   = flag.Float64("threshold", 0, "safeguard threshold override (0 = default 0.8)")
+		alpha       = flag.Float64("alpha", 0, "demand coverage weight override (0 = default 0.9)")
+		seed        = flag.Int64("seed", 42, "random seed")
+		compare     = flag.Bool("compare", false, "run all six platform variants")
+		jsonOut     = flag.Bool("json", false, "print reports as JSON")
+		traceFile   = flag.String("trace", "", "replay a trace file produced by libra-trace instead of generating one")
+		mixSkew     = flag.Float64("mix-skew", 0, "Zipf skew of the function mix (0 = uniform)")
+	)
+	flag.Parse()
+
+	var set trace.Set
+	if *traceFile != "" {
+		data, err := os.ReadFile(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		set, err = trace.Decode(data)
+		if err != nil {
+			fatal(err)
+		}
+	} else if *mixSkew > 0 {
+		set = trace.GenerateMix("cli", trace.ZipfMix(function.Apps(), *mixSkew), *invocations, *rpm, *seed)
+	} else {
+		set = trace.Generate("cli", function.Apps(), *invocations, *rpm, *seed)
+	}
+
+	cfg := core.Config{
+		Variant:            core.Variant(*variant),
+		Testbed:            core.Testbed(*testbed),
+		Algorithm:          *algorithm,
+		Nodes:              *nodes,
+		Schedulers:         *schedulers,
+		SafeguardThreshold: *threshold,
+		CoverageWeight:     *alpha,
+		Seed:               *seed,
+	}
+
+	var reports []*core.Report
+	if *compare {
+		reps, err := core.Compare(cfg, set)
+		if err != nil {
+			fatal(err)
+		}
+		reports = reps
+	} else {
+		rep, err := core.Run(cfg, set)
+		if err != nil {
+			fatal(err)
+		}
+		reports = []*core.Report{rep}
+	}
+
+	for _, rep := range reports {
+		if *jsonOut {
+			data, err := rep.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(data))
+		} else {
+			fmt.Println(rep)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "libra-sim:", err)
+	os.Exit(1)
+}

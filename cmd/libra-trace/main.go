@@ -1,0 +1,97 @@
+// Command libra-trace generates and inspects the Azure-like workload
+// trace sets of the evaluation (§8.2.2).
+//
+// Usage:
+//
+//	libra-trace -kind single -seed 1 -out single.json
+//	libra-trace -kind multi  -rpm 120 -out multi120.json
+//	libra-trace -kind burst  -n 1000 -out burst.json
+//	libra-trace -inspect single.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"libra/internal/function"
+	"libra/internal/trace"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "single", "trace kind: single|multi|burst|custom")
+		rpm     = flag.Float64("rpm", 120, "RPM for multi/custom traces")
+		n       = flag.Int("n", 165, "invocation count for burst/custom traces")
+		seed    = flag.Int64("seed", 42, "random seed")
+		out     = flag.String("out", "", "output file (default stdout)")
+		inspect = flag.String("inspect", "", "inspect an existing trace file and exit")
+		mixSkew = flag.Float64("mix-skew", 0, "Zipf skew of the function mix for custom traces (0 = uniform)")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		data, err := os.ReadFile(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		set, err := trace.Decode(data)
+		if err != nil {
+			fatal(err)
+		}
+		describe(set)
+		return
+	}
+
+	var set trace.Set
+	switch *kind {
+	case "single":
+		set = trace.SingleSet(*seed)
+	case "multi":
+		set = trace.MultiSet(*rpm, *seed)
+	case "burst":
+		set = trace.ConcurrentBurst(*n, *seed)
+	case "custom":
+		if *mixSkew > 0 {
+			set = trace.GenerateMix("custom", trace.ZipfMix(function.Apps(), *mixSkew), *n, *rpm, *seed)
+		} else {
+			set = trace.Generate("custom", function.Apps(), *n, *rpm, *seed)
+		}
+	default:
+		fatal(fmt.Errorf("unknown trace kind %q", *kind))
+	}
+
+	data, err := trace.Encode(set)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d invocations over %.1fs\n", *out, len(set.Invocations), set.Duration())
+}
+
+func describe(set trace.Set) {
+	fmt.Printf("trace %q: %d invocations, %.1f RPM nominal, span %.1fs\n",
+		set.Name, len(set.Invocations), set.RPM, set.Duration())
+	counts := set.CountByApp()
+	apps := make([]string, 0, len(counts))
+	for app := range counts {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		spec, _ := function.ByName(app)
+		fmt.Printf("  %-3s %-28s %4d invocations\n", app, spec.LongName, counts[app])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "libra-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+// Quickstart: run the same Azure-like workload through stock OpenWhisk
+// resource management and through Libra, and compare the outcome.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"libra/internal/core"
+	"libra/internal/trace"
+)
+
+func main() {
+	// The paper's single-node workload: 165 invocations over the ten
+	// SeBS-style applications (§8.2.2).
+	workload := trace.SingleSet(1)
+	fmt.Printf("workload: %d invocations across %d functions, %.0fs span\n\n",
+		len(workload.Invocations), len(workload.CountByApp()), workload.Duration())
+
+	reports, err := core.Compare(
+		core.Config{Testbed: core.TestbedSingleNode, Seed: 1},
+		workload,
+		core.VariantDefault, core.VariantLibra,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	def, lib := reports[0], reports[1]
+	for _, r := range reports {
+		fmt.Println(r)
+	}
+
+	fmt.Printf("\nLibra vs Default: P99 latency %-+.0f%%, completion %-+.0f%%, avg CPU utilization %.2fx\n",
+		(lib.LatencyP99/def.LatencyP99-1)*100,
+		(lib.Completion/def.Completion-1)*100,
+		lib.AvgCPUUtil/def.AvgCPUUtil)
+	fmt.Printf("Libra harvested %d invocations, accelerated %d, safeguarded %d — worst speedup %.2f (safety)\n",
+		lib.Harvested, lib.Accelerated, lib.Safeguarded, lib.SpeedupMin)
+}

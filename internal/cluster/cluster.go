@@ -1,0 +1,651 @@
+// Package cluster models the serverless worker substrate: nodes with
+// fixed CPU/memory capacity, per-node container pools with cold starts and
+// warm-container reuse, and an execution engine that supports changing an
+// in-flight invocation's allocation at any instant — the simulation
+// analogue of the docker-update API Libra uses for preemptive release
+// (§7).
+//
+// Resource accounting invariant: the sum of *user reservations* of the
+// invocations running on a node never exceeds the node's capacity.
+// Harvesting and acceleration move units strictly inside that envelope
+// (a borrowed unit is always some co-located invocation's reserved-but-
+// unused unit), so physical feasibility holds by construction.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"libra/internal/function"
+	"libra/internal/harvest"
+	"libra/internal/resources"
+	"libra/internal/safeguard"
+	"libra/internal/sim"
+)
+
+// Invocation carries one function invocation through the platform.
+type Invocation struct {
+	ID    harvest.ID
+	App   *function.Spec
+	Input function.Input
+
+	// Actual is the ground-truth demand (hidden from schedulers; the
+	// execution engine uses it to compute progress rates and usage).
+	Actual function.Demand
+	// Predicted demand from the profiler (what policies act on).
+	Predicted function.Demand
+	// UserAlloc is the developer-configured reservation.
+	UserAlloc resources.Vector
+	// Reserve is the admission amount. Zero means UserAlloc; the profiler's
+	// histogram warm-up window sets it to the platform maximum so the
+	// invocation is served with maximum allocation from node capacity
+	// (§4.3.2) rather than from harvested loans.
+	Reserve resources.Vector
+
+	// Timeline (virtual seconds).
+	Arrival    float64
+	SchedPick  float64 // scheduler picked it up
+	SchedDone  float64 // decision made, sent to node
+	ExecStart  float64 // container ready, code starts
+	End        float64
+	ColdStart  bool
+	NodeID     int
+	Harvested  bool // resources were harvested from it
+	Accelerate bool // it received borrowed resources
+	Safeguard  bool // the safeguard fired for it
+
+	// Reassignment integrals for Fig 8: ∫(alloc − user) dt per axis.
+	CPUReassignSec float64 // core-seconds (may be negative)
+	MemReassignSec float64 // MB-seconds (may be negative)
+}
+
+// ResponseLatency is the end-to-end response time (§8.1).
+func (inv *Invocation) ResponseLatency() float64 { return inv.End - inv.Arrival }
+
+// Reservation is the amount admission control charges for the
+// invocation: Reserve if set, the user reservation otherwise.
+func (inv *Invocation) Reservation() resources.Vector {
+	if inv.Reserve.IsZero() {
+		return inv.UserAlloc
+	}
+	return inv.Reserve
+}
+
+// StartOptions tells a node how to run an invocation.
+type StartOptions struct {
+	// OwnAlloc is the allocation carved from the invocation's own user
+	// reservation. It must fit within UserAlloc; the remainder
+	// (UserAlloc − OwnAlloc) is harvested into the node's pools with
+	// expiry HarvestExpiry.
+	OwnAlloc resources.Vector
+	// HarvestExpiry is the priority timestamp for harvested units (the
+	// predicted completion time). Required whenever OwnAlloc < UserAlloc.
+	HarvestExpiry float64
+	// ExtraWant asks the node to borrow up to this much beyond OwnAlloc
+	// from its harvest pools (best-effort acceleration).
+	ExtraWant resources.Vector
+	// BonusUpTo asks the node for revocable burst capacity from its
+	// *uncommitted* headroom, up to this much beyond OwnAlloc. Bonus
+	// grants are stripped whenever a new admission needs the capacity —
+	// the work-conserving path that serves histogram profiling-window
+	// invocations "with maximum allocation" (§4.3.2) without reserving it.
+	BonusUpTo resources.Vector
+	// Safeguard enables the per-container safeguard daemon with the given
+	// usage threshold (e.g. 0.8). Zero threshold disables it.
+	SafeguardThreshold float64
+	// MonitorWindow is the safeguard's monitor window in seconds
+	// (default 0.1, §5.2).
+	MonitorWindow float64
+}
+
+// exec is the runtime state of one invocation on a node.
+type exec struct {
+	inv  *Invocation
+	node *Node
+
+	own       resources.Vector // allocation from its own reservation
+	borrowed  resources.Vector // allocation borrowed via loans
+	bonus     resources.Vector // revocable burst grant from free capacity
+	wantExtra resources.Vector // target extra demand (acceleration goal)
+	cpuLoans  []*harvest.Loan
+	memLoans  []*harvest.Loan
+
+	remaining  float64 // work left, in rate-1 seconds
+	rate       float64
+	lastUpdate float64
+	doneEv     *sim.Event
+	sgEv       *sim.Event
+	started    bool // code execution began (past cold start)
+}
+
+func (e *exec) alloc() resources.Vector { return e.own.Add(e.borrowed).Add(e.bonus) }
+
+// Node is one worker.
+type Node struct {
+	eng *sim.Engine
+	id  int
+	cap resources.Vector
+
+	committed resources.Vector // Σ user reservations of running invocations
+	bonusOut  resources.Vector // Σ outstanding revocable bonus grants
+	running   map[harvest.ID]*exec
+	warm      map[string][]float64 // per-app warm-container expiry times
+	warmTTL   float64
+	evictions int
+
+	CPUPool *harvest.Pool // millicores
+	MemPool *harvest.Pool // MB
+
+	// usage/allocation integrals for utilization metrics
+	lastSample    float64
+	usageIntegral struct{ cpu, mem float64 }
+	allocIntegral struct{ cpu, mem float64 }
+	coldStarts    int
+	completions   int
+
+	// OnComplete, if set, is called when an invocation finishes.
+	OnComplete func(*Invocation)
+}
+
+// DefaultWarmTTL is how long an idle warm container is kept before
+// eviction — OpenWhisk's default idle-container grace is on the order of
+// ten minutes.
+const DefaultWarmTTL = 600.0
+
+// NewNode creates a worker node with the given capacity.
+func NewNode(eng *sim.Engine, id int, cap resources.Vector) *Node {
+	return &Node{
+		eng:     eng,
+		id:      id,
+		cap:     cap,
+		warmTTL: DefaultWarmTTL,
+		running: make(map[harvest.ID]*exec),
+		warm:    make(map[string][]float64),
+		CPUPool: harvest.New(),
+		MemPool: harvest.New(),
+	}
+}
+
+// SetWarmTTL changes the idle-container eviction delay; zero or negative
+// disables warm reuse entirely (every start is cold).
+func (n *Node) SetWarmTTL(ttl float64) { n.warmTTL = ttl }
+
+// ID returns the node id.
+func (n *Node) ID() int { return n.id }
+
+// Capacity returns the node capacity.
+func (n *Node) Capacity() resources.Vector { return n.cap }
+
+// Committed returns the summed user reservations currently admitted.
+func (n *Node) Committed() resources.Vector { return n.committed }
+
+// Free returns capacity minus committed reservations.
+func (n *Node) Free() resources.Vector { return n.cap.Sub(n.committed) }
+
+// Running returns the number of invocations currently on the node
+// (including those still in container init).
+func (n *Node) Running() int { return len(n.running) }
+
+// ColdStarts returns how many container cold starts the node performed.
+func (n *Node) ColdStarts() int { return n.coldStarts }
+
+// Evictions returns how many idle warm containers timed out.
+func (n *Node) Evictions() int { return n.evictions }
+
+// Completions returns how many invocations finished on this node.
+func (n *Node) Completions() int { return n.completions }
+
+// WarmContainers returns the number of live warm containers cached for
+// app (expired ones are pruned lazily).
+func (n *Node) WarmContainers(app string) int {
+	n.pruneWarm(app)
+	return len(n.warm[app])
+}
+
+// pruneWarm evicts warm containers whose idle TTL elapsed. Entries are
+// appended in completion order, so the expired prefix is contiguous.
+func (n *Node) pruneWarm(app string) {
+	now := n.eng.Now()
+	ws := n.warm[app]
+	i := 0
+	for i < len(ws) && ws[i] <= now {
+		i++
+	}
+	if i > 0 {
+		n.evictions += i
+		n.warm[app] = append(ws[:0], ws[i:]...)
+	}
+}
+
+// CanAdmit reports whether a user reservation fits in the free capacity.
+func (n *Node) CanAdmit(user resources.Vector) bool {
+	return n.committed.Add(user).Fits(n.cap)
+}
+
+// UsageNow returns the resources invocations are actually keeping busy.
+func (n *Node) UsageNow() resources.Vector {
+	var u resources.Vector
+	for _, e := range n.running {
+		if !e.started {
+			continue
+		}
+		u = u.Add(function.Usage(e.alloc(), e.inv.Actual))
+	}
+	return u
+}
+
+// AllocatedNow returns the summed current allocations (own + borrowed).
+func (n *Node) AllocatedNow() resources.Vector {
+	var a resources.Vector
+	for _, e := range n.running {
+		a = a.Add(e.alloc())
+	}
+	return a
+}
+
+// accumulate advances the usage/allocation integrals to now.
+func (n *Node) accumulate() {
+	now := n.eng.Now()
+	dt := now - n.lastSample
+	if dt <= 0 {
+		return
+	}
+	u := n.UsageNow()
+	a := n.AllocatedNow()
+	n.usageIntegral.cpu += u.CPU.Cores() * dt
+	n.usageIntegral.mem += float64(u.Mem) * dt
+	n.allocIntegral.cpu += a.CPU.Cores() * dt
+	n.allocIntegral.mem += float64(a.Mem) * dt
+	n.lastSample = now
+}
+
+// UsageIntegrals returns ∫usage dt and ∫allocation dt up to now, in
+// core-seconds and MB-seconds.
+func (n *Node) UsageIntegrals() (usageCPU, usageMem, allocCPU, allocMem float64) {
+	n.accumulate()
+	return n.usageIntegral.cpu, n.usageIntegral.mem, n.allocIntegral.cpu, n.allocIntegral.mem
+}
+
+// Start admits inv on the node and begins its lifecycle: container
+// acquisition (cold or warm), optional harvesting of the unused
+// reservation, optional acceleration from the pools, execution, and
+// completion. It panics if the reservation does not fit — the scheduler
+// must have checked CanAdmit.
+func (n *Node) Start(inv *Invocation, opts StartOptions) {
+	reserve := inv.Reservation()
+	if !n.CanAdmit(reserve) {
+		panic(fmt.Sprintf("cluster: node %d over-committed for invocation %d", n.id, inv.ID))
+	}
+	if !opts.OwnAlloc.Fits(reserve) {
+		panic(fmt.Sprintf("cluster: OwnAlloc %v exceeds reservation %v", opts.OwnAlloc, reserve))
+	}
+	if opts.OwnAlloc.CPU <= 0 || opts.OwnAlloc.Mem <= 0 {
+		panic("cluster: OwnAlloc must be positive on both axes")
+	}
+	n.accumulate()
+	n.committed = n.committed.Add(reserve)
+	n.reclaimBonuses()
+	inv.NodeID = n.id
+	if opts.OwnAlloc.CPU > inv.UserAlloc.CPU || opts.OwnAlloc.Mem > inv.UserAlloc.Mem {
+		inv.Accelerate = true // supplementary allocation beyond the user reservation
+	}
+
+	e := &exec{
+		inv:       inv,
+		node:      n,
+		own:       opts.OwnAlloc,
+		remaining: inv.Actual.Duration,
+	}
+	n.running[inv.ID] = e
+
+	// Container acquisition: reuse a warm container if one survives its
+	// idle TTL, else pay the cold start. The freshest container is
+	// claimed first (LIFO keeps the pool warm).
+	delay := 0.0
+	if n.warmTTL > 0 && n.WarmContainers(inv.App.Name) > 0 {
+		ws := n.warm[inv.App.Name]
+		n.warm[inv.App.Name] = ws[:len(ws)-1]
+	} else {
+		delay = inv.App.ColdStart
+		inv.ColdStart = true
+		n.coldStarts++
+	}
+
+	// Harvest the reserved-but-predicted-unused remainder immediately:
+	// the reservation is committed from admission, so its idle part is
+	// available to others even while the container initializes.
+	spare := inv.UserAlloc.Sub(opts.OwnAlloc)
+	if spare.CPU > 0 {
+		n.CPUPool.Put(n.eng.Now(), inv.ID, int64(spare.CPU), opts.HarvestExpiry)
+		inv.Harvested = true
+	}
+	if spare.Mem > 0 {
+		n.MemPool.Put(n.eng.Now(), inv.ID, int64(spare.Mem), opts.HarvestExpiry)
+		inv.Harvested = true
+	}
+
+	n.eng.Schedule(delay, func() { n.beginExecution(e, opts) })
+	n.replenish()
+}
+
+// replenish offers pooled idle units to running invocations whose
+// acceleration target is not met, earliest arrival first. It runs after
+// every event that can add supply (a new harvest, a re-harvest).
+func (n *Node) replenish() {
+	now := n.eng.Now()
+	if n.CPUPool.Available(now) == 0 && n.MemPool.Available(now) == 0 {
+		return
+	}
+	var hungry []*exec
+	for _, e := range n.running {
+		if !e.started {
+			continue
+		}
+		if e.borrowed.CPU < e.wantExtra.CPU || e.borrowed.Mem < e.wantExtra.Mem {
+			hungry = append(hungry, e)
+		}
+	}
+	sort.Slice(hungry, func(i, j int) bool { return hungry[i].inv.ID < hungry[j].inv.ID })
+	for _, e := range hungry {
+		needCPU := int64(e.wantExtra.CPU - e.borrowed.CPU)
+		needMem := int64(e.wantExtra.Mem - e.borrowed.Mem)
+		var cpuLoans, memLoans []*harvest.Loan
+		if needCPU > 0 {
+			cpuLoans = n.CPUPool.Get(now, e.inv.ID, needCPU)
+		}
+		if needMem > 0 {
+			memLoans = n.MemPool.Get(now, e.inv.ID, needMem)
+		}
+		if len(cpuLoans) == 0 && len(memLoans) == 0 {
+			continue
+		}
+		n.reallocate(e, func() {
+			for _, l := range cpuLoans {
+				e.borrowed.CPU += resources.Millicores(l.Vol)
+				e.cpuLoans = append(e.cpuLoans, l)
+			}
+			for _, l := range memLoans {
+				e.borrowed.Mem += resources.MegaBytes(l.Vol)
+				e.memLoans = append(e.memLoans, l)
+			}
+		})
+		e.inv.Accelerate = true
+	}
+}
+
+func (n *Node) beginExecution(e *exec, opts StartOptions) {
+	now := n.eng.Now()
+	n.accumulate() // close the cold-start interval before usage changes
+	e.inv.ExecStart = now
+	e.started = true
+
+	// Acceleration: borrow best-effort from the pools. The want persists:
+	// whenever new idle units enter the pool, replenish tops starving
+	// accelerable invocations back up (reassignment takes effect at any
+	// instant, §5.1).
+	e.wantExtra = opts.ExtraWant
+	if opts.ExtraWant.CPU > 0 {
+		e.cpuLoans = n.CPUPool.Get(now, e.inv.ID, int64(opts.ExtraWant.CPU))
+		for _, l := range e.cpuLoans {
+			e.borrowed.CPU += resources.Millicores(l.Vol)
+		}
+	}
+	if opts.ExtraWant.Mem > 0 {
+		e.memLoans = n.MemPool.Get(now, e.inv.ID, int64(opts.ExtraWant.Mem))
+		for _, l := range e.memLoans {
+			e.borrowed.Mem += resources.MegaBytes(l.Vol)
+		}
+	}
+	if opts.BonusUpTo.CPU > 0 || opts.BonusUpTo.Mem > 0 {
+		grant := opts.BonusUpTo.Min(n.cap.Sub(n.committed).Sub(n.bonusOut)).Max(resources.Vector{})
+		if !grant.IsZero() {
+			e.bonus = grant
+			n.bonusOut = n.bonusOut.Add(grant)
+		}
+	}
+	if e.borrowed.CPU > 0 || e.borrowed.Mem > 0 || !e.bonus.IsZero() {
+		e.inv.Accelerate = true
+	}
+
+	e.lastUpdate = now
+	e.rate = function.Rate(e.alloc(), e.inv.Actual)
+	n.scheduleCompletion(e)
+
+	// Safeguard daemon (§5.2): after the monitor window, if the
+	// container's usage approaches the threshold of its (reduced)
+	// allocation, preemptively take all harvested resources back.
+	if opts.SafeguardThreshold > 0 && e.inv.Harvested {
+		win := opts.MonitorWindow
+		if win <= 0 {
+			win = 0.1
+		}
+		e.sgEv = n.eng.Schedule(win, func() { n.safeguardCheck(e, opts.SafeguardThreshold) })
+	}
+}
+
+// scheduleCompletion (re)schedules e's completion event from its current
+// rate and remaining work.
+func (n *Node) scheduleCompletion(e *exec) {
+	if e.doneEv != nil {
+		n.eng.Cancel(e.doneEv)
+		e.doneEv = nil
+	}
+	if e.rate <= 0 {
+		// Starved (should not happen: own allocation is always positive).
+		panic(fmt.Sprintf("cluster: invocation %d starved at rate 0", e.inv.ID))
+	}
+	e.doneEv = n.eng.Schedule(e.remaining/e.rate, func() { n.complete(e) })
+}
+
+// progress advances e's remaining-work account to now and recomputes the
+// rate from the current allocation. Callers must reschedule completion.
+func (e *exec) progress(now float64) {
+	if e.started {
+		e.remaining -= e.rate * (now - e.lastUpdate)
+		if e.remaining < 0 {
+			e.remaining = 0
+		}
+		// Reassignment integrals relative to the user reservation.
+		d := e.alloc().Sub(e.inv.UserAlloc)
+		dt := now - e.lastUpdate
+		e.inv.CPUReassignSec += d.CPU.Cores() * dt
+		e.inv.MemReassignSec += float64(d.Mem) * dt
+	}
+	e.lastUpdate = now
+	e.rate = function.Rate(e.alloc(), e.inv.Actual)
+}
+
+// reallocate applies an allocation change to a running exec — the
+// docker-update analogue.
+func (n *Node) reallocate(e *exec, mutate func()) {
+	n.accumulate()
+	now := n.eng.Now()
+	e.progress(now)
+	mutate()
+	e.rate = function.Rate(e.alloc(), e.inv.Actual)
+	if e.started {
+		n.scheduleCompletion(e)
+	}
+}
+
+// safeguardCheck fires once after the monitor window: if the invocation's
+// true demand presses against the threshold of its reduced allocation,
+// all resources harvested from it are returned (§5.2).
+func (n *Node) safeguardCheck(e *exec, threshold float64) {
+	if _, ok := n.running[e.inv.ID]; !ok {
+		return // already completed
+	}
+	use := function.Usage(e.own, e.inv.Actual)
+	if !safeguard.ShouldTrigger(use, e.own, e.inv.UserAlloc, threshold) {
+		return
+	}
+	e.inv.Safeguard = true
+	n.restoreHarvested(e)
+}
+
+// restoreHarvested performs the preemptive release for a still-running
+// source invocation: pooled units are withdrawn, lent units are stripped
+// from their borrowers in realtime, and the invocation's own allocation
+// returns to the full user reservation.
+func (n *Node) restoreHarvested(e *exec) {
+	now := n.eng.Now()
+	pooledCPU, revokedCPU := n.CPUPool.ReleaseSource(now, e.inv.ID)
+	pooledMem, revokedMem := n.MemPool.ReleaseSource(now, e.inv.ID)
+	_ = pooledCPU
+	_ = pooledMem
+	for _, l := range revokedCPU {
+		n.stripLoan(l, true)
+	}
+	for _, l := range revokedMem {
+		n.stripLoan(l, false)
+	}
+	n.reallocate(e, func() { e.own = e.inv.UserAlloc })
+}
+
+// stripLoan removes a revoked loan's units from its borrower.
+func (n *Node) stripLoan(l *harvest.Loan, isCPU bool) {
+	b, ok := n.running[l.Borrower]
+	if !ok {
+		return
+	}
+	n.reallocate(b, func() {
+		if isCPU {
+			b.borrowed.CPU -= resources.Millicores(l.Vol)
+			b.cpuLoans = removeLoan(b.cpuLoans, l)
+			if b.borrowed.CPU < 0 {
+				b.borrowed.CPU = 0
+			}
+		} else {
+			b.borrowed.Mem -= resources.MegaBytes(l.Vol)
+			b.memLoans = removeLoan(b.memLoans, l)
+			if b.borrowed.Mem < 0 {
+				b.borrowed.Mem = 0
+			}
+		}
+	})
+}
+
+func removeLoan(ls []*harvest.Loan, l *harvest.Loan) []*harvest.Loan {
+	for i, x := range ls {
+		if x == l {
+			return append(ls[:i], ls[i+1:]...)
+		}
+	}
+	return ls
+}
+
+// reclaimBonuses strips revocable bonus grants until the outstanding
+// total fits inside the uncommitted capacity again. Newer admissions
+// always win over best-effort burst capacity.
+func (n *Node) reclaimBonuses() {
+	free := n.cap.Sub(n.committed)
+	if n.bonusOut.Fits(free) {
+		return
+	}
+	holders := make([]*exec, 0, len(n.running))
+	for _, e := range n.running {
+		if !e.bonus.IsZero() {
+			holders = append(holders, e)
+		}
+	}
+	sort.Slice(holders, func(i, j int) bool { return holders[i].inv.ID > holders[j].inv.ID })
+	for _, e := range holders {
+		overCPU := n.bonusOut.CPU - maxMC(0, free.CPU)
+		overMem := n.bonusOut.Mem - maxMB(0, free.Mem)
+		take := resources.Vector{
+			CPU: minMC(e.bonus.CPU, maxMC(0, overCPU)),
+			Mem: minMB(e.bonus.Mem, maxMB(0, overMem)),
+		}
+		if take.IsZero() {
+			if n.bonusOut.Fits(n.cap.Sub(n.committed)) {
+				break
+			}
+			continue
+		}
+		n.reallocate(e, func() { e.bonus = e.bonus.Sub(take) })
+		n.bonusOut = n.bonusOut.Sub(take)
+		if n.bonusOut.Fits(n.cap.Sub(n.committed)) {
+			break
+		}
+	}
+}
+
+func maxMC(a, b resources.Millicores) resources.Millicores {
+	if a > b {
+		return a
+	}
+	return b
+}
+func minMC(a, b resources.Millicores) resources.Millicores {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxMB(a, b resources.MegaBytes) resources.MegaBytes {
+	if a > b {
+		return a
+	}
+	return b
+}
+func minMB(a, b resources.MegaBytes) resources.MegaBytes {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// complete finishes an invocation: releases its reservation, preemptively
+// releases everything harvested from it (timeliness!), re-harvests what
+// it had borrowed, and returns the container to the warm pool.
+func (n *Node) complete(e *exec) {
+	now := n.eng.Now()
+	n.accumulate()
+	e.progress(now)
+	if e.sgEv != nil {
+		n.eng.Cancel(e.sgEv)
+	}
+	e.inv.End = now
+	delete(n.running, e.inv.ID)
+	n.committed = n.committed.Sub(e.inv.Reservation())
+	if !e.bonus.IsZero() {
+		n.bonusOut = n.bonusOut.Sub(e.bonus)
+		e.bonus = resources.Vector{}
+	}
+	if !n.committed.Nonnegative() {
+		panic(fmt.Sprintf("cluster: node %d committed went negative", n.id))
+	}
+	n.completions++
+	if n.warmTTL > 0 {
+		// The container pauses into the warm pool until claimed or until
+		// its idle TTL elapses.
+		app := e.inv.App.Name
+		n.warm[app] = append(n.warm[app], now+n.warmTTL)
+	}
+
+	// Timeliness: all resources of this invocation are released NOW,
+	// including units it had lent out — strip them from borrowers.
+	_, revokedCPU := n.CPUPool.ReleaseSource(now, e.inv.ID)
+	_, revokedMem := n.MemPool.ReleaseSource(now, e.inv.ID)
+	for _, l := range revokedCPU {
+		n.stripLoan(l, true)
+	}
+	for _, l := range revokedMem {
+		n.stripLoan(l, false)
+	}
+
+	// Re-harvesting: units this invocation borrowed return to the pool
+	// with their original expiry if their source still runs.
+	for _, l := range e.cpuLoans {
+		n.CPUPool.Reharvest(now, l)
+	}
+	for _, l := range e.memLoans {
+		n.MemPool.Reharvest(now, l)
+	}
+
+	n.replenish()
+
+	if n.OnComplete != nil {
+		n.OnComplete(e.inv)
+	}
+}

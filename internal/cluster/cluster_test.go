@@ -1,0 +1,384 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"libra/internal/function"
+	"libra/internal/harvest"
+	"libra/internal/resources"
+	"libra/internal/sim"
+)
+
+func testApp(t *testing.T, name string) *function.Spec {
+	t.Helper()
+	s, ok := function.ByName(name)
+	if !ok {
+		t.Fatalf("unknown app %s", name)
+	}
+	return s
+}
+
+// mkInv builds an invocation with explicit ground truth.
+func mkInv(id int64, app *function.Spec, cpu resources.Millicores, mem resources.MegaBytes, dur float64) *Invocation {
+	return &Invocation{
+		ID:        harvest.ID(id),
+		App:       app,
+		Actual:    function.Demand{CPUPeak: cpu, MemPeak: mem, Duration: dur},
+		UserAlloc: app.UserAlloc,
+	}
+}
+
+func newTestNode(eng *sim.Engine) *Node {
+	return NewNode(eng, 0, resources.Vector{CPU: resources.Cores(16), Mem: 16384})
+}
+
+func TestPlainExecutionColdStart(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH")
+	inv := mkInv(1, dh, resources.Cores(2), 256, 5)
+	inv.Arrival = 0
+	var done *Invocation
+	n.OnComplete = func(i *Invocation) { done = i }
+	n.Start(inv, StartOptions{OwnAlloc: inv.UserAlloc})
+	eng.Run()
+	if done == nil {
+		t.Fatal("invocation never completed")
+	}
+	if !inv.ColdStart {
+		t.Fatal("first invocation should cold-start")
+	}
+	// Full user alloc covers demand: duration = cold start + 5s.
+	want := dh.ColdStart + 5
+	if math.Abs(inv.End-want) > 1e-9 {
+		t.Fatalf("End = %g, want %g", inv.End, want)
+	}
+	if n.Completions() != 1 || n.Running() != 0 {
+		t.Fatalf("completions=%d running=%d", n.Completions(), n.Running())
+	}
+	if !n.Committed().IsZero() {
+		t.Fatalf("committed = %v after completion", n.Committed())
+	}
+}
+
+func TestWarmContainerReuse(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH")
+	first := mkInv(1, dh, resources.Cores(2), 256, 1)
+	n.Start(first, StartOptions{OwnAlloc: first.UserAlloc})
+	eng.Run()
+	second := mkInv(2, dh, resources.Cores(2), 256, 1)
+	n.Start(second, StartOptions{OwnAlloc: second.UserAlloc})
+	eng.Run()
+	if second.ColdStart {
+		t.Fatal("second invocation should reuse the warm container")
+	}
+	if n.ColdStarts() != 1 {
+		t.Fatalf("ColdStarts = %d, want 1", n.ColdStarts())
+	}
+	if math.Abs((second.End-second.ExecStart)-1) > 1e-9 {
+		t.Fatalf("warm execution took %g, want 1", second.End-second.ExecStart)
+	}
+}
+
+func TestUnderProvisionedRunsSlower(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	vp := testApp(t, "VP") // user 4 cores
+	// demands 8 cores for 4s of full-rate work -> at 4 cores rate=0.5 -> 8s
+	inv := mkInv(1, vp, resources.Cores(8), 512, 4)
+	n.Start(inv, StartOptions{OwnAlloc: inv.UserAlloc})
+	eng.Run()
+	if got := inv.End - inv.ExecStart; math.Abs(got-8) > 1e-9 {
+		t.Fatalf("under-provisioned execution took %g, want 8", got)
+	}
+}
+
+func TestHarvestingAndAcceleration(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH") // user 6 cores / 768 MB
+	vp := testApp(t, "VP") // user 4 cores / 512 MB
+
+	// DH only needs 1 core for 20s: harvest 5 cores.
+	src := mkInv(1, dh, resources.Cores(1), 128, 20)
+	n.Start(src, StartOptions{
+		OwnAlloc:      resources.Vector{CPU: resources.Cores(1), Mem: 256},
+		HarvestExpiry: 25,
+	})
+	if !src.Harvested {
+		t.Fatal("source not marked harvested")
+	}
+	if got := n.CPUPool.Available(0); got != 5000 {
+		t.Fatalf("pool CPU = %d, want 5000", got)
+	}
+
+	// VP wants 8 cores but owns 4: borrow 4 -> rate 1 -> 4s instead of 8.
+	acc := mkInv(2, vp, resources.Cores(8), 512, 4)
+	n.Start(acc, StartOptions{
+		OwnAlloc:  acc.UserAlloc,
+		ExtraWant: resources.Vector{CPU: resources.Cores(4)},
+	})
+	eng.Run()
+	if !acc.Accelerate {
+		t.Fatal("borrower not marked accelerated")
+	}
+	accDur := acc.End - acc.ExecStart
+	if math.Abs(accDur-4) > 1e-9 {
+		t.Fatalf("accelerated execution took %g, want 4 (rate 1)", accDur)
+	}
+	// Reassignment integral: +4 cores for 4 seconds.
+	if math.Abs(acc.CPUReassignSec-16) > 0.01 {
+		t.Fatalf("CPUReassignSec = %g, want 16", acc.CPUReassignSec)
+	}
+	// Source integral: -5 cores while harvested... it was restored at its
+	// own completion; at least it must be negative.
+	if src.CPUReassignSec >= 0 {
+		t.Fatalf("source CPUReassignSec = %g, want negative", src.CPUReassignSec)
+	}
+}
+
+func TestTimelinessPreemptiveReleaseOnSourceCompletion(t *testing.T) {
+	// Fig 2 scenario: borrower loses the harvested unit when the source
+	// finishes, and continues at its own allocation.
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH")
+	vp := testApp(t, "VP")
+
+	// Source: 1 core used of 6, finishes at t≈2 (+cold start).
+	src := mkInv(1, dh, resources.Cores(1), 128, 2)
+	n.Start(src, StartOptions{
+		OwnAlloc:      resources.Vector{CPU: resources.Cores(1), Mem: 256},
+		HarvestExpiry: 2.5,
+	})
+	// Borrower: demands 8, owns 4, borrows 4 -> rate 1 until source dies.
+	acc := mkInv(2, vp, resources.Cores(8), 512, 10)
+	n.Start(acc, StartOptions{
+		OwnAlloc:  acc.UserAlloc,
+		ExtraWant: resources.Vector{CPU: resources.Cores(4)},
+	})
+	eng.Run()
+
+	srcEnd := src.End
+	// After srcEnd the borrower drops to 4/8 cores -> rate 0.5.
+	// Work done by srcEnd (both cold-start ≈ same): borrower ran at rate 1
+	// for (srcEnd - accStart), remainder at 0.5.
+	elapsed := srcEnd - acc.ExecStart
+	wantDur := elapsed + (10-elapsed)/0.5
+	if math.Abs((acc.End-acc.ExecStart)-wantDur) > 1e-6 {
+		t.Fatalf("borrower duration = %g, want %g (re-rated at source completion)",
+			acc.End-acc.ExecStart, wantDur)
+	}
+}
+
+func TestReharvestOnBorrowerCompletion(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH")
+	vp := testApp(t, "VP")
+
+	// Long-running source with 5 idle cores.
+	src := mkInv(1, dh, resources.Cores(1), 128, 100)
+	n.Start(src, StartOptions{
+		OwnAlloc:      resources.Vector{CPU: resources.Cores(1), Mem: 256},
+		HarvestExpiry: 101,
+	})
+	// Short borrower takes 4 cores and finishes quickly.
+	acc := mkInv(2, vp, resources.Cores(8), 512, 2)
+	n.Start(acc, StartOptions{
+		OwnAlloc:  acc.UserAlloc,
+		ExtraWant: resources.Vector{CPU: resources.Cores(4)},
+	})
+	eng.RunUntil(20)
+	if acc.End == 0 {
+		t.Fatal("borrower should have finished")
+	}
+	// The borrowed 4 cores re-entered the pool (source still running).
+	if got := n.CPUPool.Available(20); got != 5000 {
+		t.Fatalf("pool CPU after re-harvest = %d, want 5000", got)
+	}
+	eng.Run()
+}
+
+func TestSafeguardRestoresMispredictedInvocation(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH")
+	// Misprediction: profiler thought 1 core, actually needs 6 (all of
+	// user alloc). Own allocation reduced to 1 core; safeguard restores.
+	inv := mkInv(1, dh, resources.Cores(6), 256, 6)
+	n.Start(inv, StartOptions{
+		OwnAlloc:           resources.Vector{CPU: resources.Cores(1), Mem: 768},
+		HarvestExpiry:      100,
+		SafeguardThreshold: 0.8,
+		MonitorWindow:      0.1,
+	})
+	eng.Run()
+	if !inv.Safeguard {
+		t.Fatal("safeguard did not fire")
+	}
+	// Degradation limited to the monitor window: 0.1s at rate 1/6 , rest
+	// at rate 1.
+	exec := inv.End - inv.ExecStart
+	slowWork := 0.1 * (1.0 / 6.0)
+	want := 0.1 + (6 - slowWork)
+	if math.Abs(exec-want) > 1e-6 {
+		t.Fatalf("safeguarded execution = %g, want %g", exec, want)
+	}
+	// Nothing left in the pool: the harvested units were withdrawn.
+	if n.CPUPool.Available(inv.End) != 0 {
+		t.Fatal("pool still holds withdrawn units")
+	}
+}
+
+func TestSafeguardReclaimsFromBorrower(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH")
+	vp := testApp(t, "VP")
+	// Mispredicted source: owns 1 core, really needs 6, runs long.
+	src := mkInv(1, dh, resources.Cores(6), 256, 10)
+	n.Start(src, StartOptions{
+		OwnAlloc:           resources.Vector{CPU: resources.Cores(1), Mem: 768},
+		HarvestExpiry:      100,
+		SafeguardThreshold: 0.8,
+		MonitorWindow:      0.1,
+	})
+	// Borrower grabs the 5 harvested cores.
+	acc := mkInv(2, vp, resources.Cores(8), 512, 50)
+	n.Start(acc, StartOptions{
+		OwnAlloc:  acc.UserAlloc,
+		ExtraWant: resources.Vector{CPU: resources.Cores(4)},
+	})
+	eng.RunUntil(5)
+	// By now the source's safeguard fired and reclaimed the lent cores.
+	if !src.Safeguard {
+		t.Fatal("safeguard did not fire on the source")
+	}
+	eng.Run()
+	// Borrower lost its extra cores almost immediately: duration close to
+	// the unaccelerated 100s (8-core demand on 4 cores => rate .5).
+	if acc.End-acc.ExecStart < 90 {
+		t.Fatalf("borrower finished too fast (%g) — reclaimed cores not stripped", acc.End-acc.ExecStart)
+	}
+}
+
+func TestNoSafeguardMeansDegradation(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH")
+	inv := mkInv(1, dh, resources.Cores(6), 256, 6)
+	// Same misprediction as above but safeguard disabled (Libra-NS).
+	n.Start(inv, StartOptions{
+		OwnAlloc:      resources.Vector{CPU: resources.Cores(1), Mem: 768},
+		HarvestExpiry: 100,
+	})
+	eng.Run()
+	if inv.Safeguard {
+		t.Fatal("safeguard fired although disabled")
+	}
+	// Runs the whole way at rate 1/6: 36 seconds.
+	if got := inv.End - inv.ExecStart; math.Abs(got-36) > 1e-6 {
+		t.Fatalf("unprotected execution = %g, want 36", got)
+	}
+}
+
+func TestSafeguardDoesNotFireOnGoodPrediction(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH")
+	// Prediction with 25% headroom over the true 2-core demand.
+	inv := mkInv(1, dh, resources.Cores(2), 256, 3)
+	n.Start(inv, StartOptions{
+		OwnAlloc:           resources.Vector{CPU: 2500, Mem: 768},
+		HarvestExpiry:      100,
+		SafeguardThreshold: 0.8,
+	})
+	eng.Run()
+	if inv.Safeguard {
+		t.Fatal("safeguard fired on a correct prediction with headroom")
+	}
+}
+
+func TestAdmissionControlPanicsOnOvercommit(t *testing.T) {
+	eng := sim.NewEngine()
+	n := NewNode(eng, 0, resources.Vector{CPU: resources.Cores(4), Mem: 1024})
+	dh := testApp(t, "DH") // user 6 cores > node 4 cores
+	inv := mkInv(1, dh, resources.Cores(1), 128, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start on a full node did not panic")
+		}
+	}()
+	n.Start(inv, StartOptions{OwnAlloc: inv.UserAlloc})
+}
+
+func TestStartValidatesOwnAlloc(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH")
+	inv := mkInv(1, dh, resources.Cores(1), 128, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OwnAlloc > UserAlloc did not panic")
+		}
+	}()
+	n.Start(inv, StartOptions{OwnAlloc: resources.Vector{CPU: resources.Cores(7), Mem: 128}})
+}
+
+func TestUsageIntegrals(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH")
+	inv := mkInv(1, dh, resources.Cores(2), 256, 4)
+	n.Start(inv, StartOptions{OwnAlloc: inv.UserAlloc})
+	eng.Run()
+	usageCPU, usageMem, allocCPU, allocMem := n.UsageIntegrals()
+	// Usage: 2 cores × 4s = 8 core-seconds (cold start contributes zero
+	// usage). Allocation: 6 cores × (coldstart+4).
+	if math.Abs(usageCPU-8) > 1e-6 {
+		t.Fatalf("usage CPU integral = %g, want 8", usageCPU)
+	}
+	if math.Abs(usageMem-256*4) > 1e-6 {
+		t.Fatalf("usage mem integral = %g, want 1024", usageMem)
+	}
+	wantAllocCPU := 6 * (dh.ColdStart + 4)
+	if math.Abs(allocCPU-wantAllocCPU) > 1e-6 {
+		t.Fatalf("alloc CPU integral = %g, want %g", allocCPU, wantAllocCPU)
+	}
+	if allocMem <= 0 {
+		t.Fatal("alloc mem integral not accumulated")
+	}
+}
+
+func TestMemoryAccelerationHelpsMemBoundFunction(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	gp := testApp(t, "GP") // user 2 cores / 256 MB
+	dh := testApp(t, "DH")
+
+	// Source with idle memory.
+	src := mkInv(1, dh, resources.Cores(1), 128, 50)
+	n.Start(src, StartOptions{
+		OwnAlloc:      resources.Vector{CPU: resources.Cores(6), Mem: 256},
+		HarvestExpiry: 60,
+	})
+	// Memory-hungry invocation: needs 768 MB, owns 256 -> memFrac 1/3,
+	// rate sqrt(1/3) without help; the source's 512 spare MB fix that.
+	acc := mkInv(2, gp, resources.Cores(2), 768, 4)
+	n.Start(acc, StartOptions{
+		OwnAlloc:  acc.UserAlloc,
+		ExtraWant: resources.Vector{Mem: 512},
+	})
+	eng.RunUntil(40)
+	if acc.End == 0 {
+		t.Fatal("borrower did not finish")
+	}
+	if got := acc.End - acc.ExecStart; math.Abs(got-4) > 1e-6 {
+		t.Fatalf("memory-accelerated execution = %g, want 4", got)
+	}
+	eng.Run()
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"libra/internal/trace"
+)
+
+func smallSet(seed int64) trace.Set {
+	s := trace.SingleSet(seed)
+	s.Invocations = s.Invocations[:60]
+	return s
+}
+
+func TestRunLibra(t *testing.T) {
+	rep, err := Run(Config{Variant: VariantLibra, Seed: 1}, smallSet(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Invocations != 60 || rep.LatencyP99 <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Harvested == 0 {
+		t.Fatal("Libra run harvested nothing")
+	}
+	if !strings.Contains(rep.String(), "Libra") {
+		t.Fatalf("String() = %q", rep.String())
+	}
+}
+
+func TestRunRejectsUnknowns(t *testing.T) {
+	if _, err := Run(Config{Variant: "bogus"}, smallSet(1)); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+	if _, err := Run(Config{Testbed: "bogus"}, smallSet(1)); err == nil {
+		t.Fatal("unknown testbed accepted")
+	}
+}
+
+func TestCompareDefaultsToAllVariants(t *testing.T) {
+	reps, err := Compare(Config{Seed: 2}, smallSet(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 6 {
+		t.Fatalf("%d reports, want 6", len(reps))
+	}
+	names := map[string]bool{}
+	for _, r := range reps {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"Default", "Freyr", "Libra", "Libra-NS", "Libra-NP", "Libra-NSP"} {
+		if !names[want] {
+			t.Fatalf("missing variant %s in %v", want, names)
+		}
+	}
+}
+
+func TestOverrides(t *testing.T) {
+	rep, err := Run(Config{
+		Variant:            VariantLibra,
+		Testbed:            TestbedMultiNode,
+		Algorithm:          "RR",
+		SafeguardThreshold: 0.5,
+		CoverageWeight:     0.7,
+		Seed:               3,
+	}, smallSet(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Name, "RR") {
+		t.Fatalf("algorithm override not reflected in name %q", rep.Name)
+	}
+}
+
+func TestJetstreamGeometry(t *testing.T) {
+	rep, err := Run(Config{
+		Variant: VariantLibra,
+		Testbed: TestbedJetstream,
+		Nodes:   10,
+		Seed:    4,
+	}, trace.ConcurrentBurst(100, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Invocations != 100 {
+		t.Fatalf("invocations = %d", rep.Invocations)
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	rep, err := Run(Config{Variant: VariantDefault, Seed: 5}, smallSet(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != rep.Name || back.LatencyP99 != rep.LatencyP99 {
+		t.Fatal("JSON round trip lost fields")
+	}
+}

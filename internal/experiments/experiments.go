@@ -1,0 +1,115 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§8). Each experiment is a pure function of (Options) that
+// returns structured results plus a Render method producing the rows or
+// series the paper reports. The registry at the bottom powers
+// cmd/libra-bench and the root bench_test.go.
+//
+// Absolute numbers differ from the paper's physical testbeds (our
+// substrate is a simulator — see DESIGN.md §1); the shapes — who wins, by
+// roughly what factor, where crossovers fall — are the reproduction
+// target and are recorded against the paper in EXPERIMENTS.md.
+package experiments
+
+import (
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"libra/internal/platform"
+	"libra/internal/trace"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Seed drives every random choice; same seed, same report.
+	Seed int64
+	// Reps is how many repetitions results are averaged over (the paper
+	// averages over five runs). Default 3.
+	Reps int
+	// Quick trims repetitions and sweep densities for fast test runs.
+	Quick bool
+}
+
+func (o *Options) defaults() {
+	if o.Reps == 0 {
+		o.Reps = 3
+	}
+	if o.Quick {
+		o.Reps = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+}
+
+// Experiment is a runnable unit of the harness.
+type Experiment struct {
+	ID    string // e.g. "fig6"
+	Title string
+	Run   func(Options) Renderer
+}
+
+// Renderer renders an experiment's result as the paper-style rows.
+type Renderer interface {
+	Render(w io.Writer)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(Options) Renderer) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every registered experiment in paper order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return order(out[i].ID) < order(out[j].ID) })
+	return out
+}
+
+func order(id string) int {
+	for i, k := range []string{
+		"fig1", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "table2", "fig13", "fig14", "fig15", "fig16", "overheads",
+	} {
+		if k == id {
+			return i
+		}
+	}
+	return 99
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---- shared helpers ----
+
+// runPlatform runs one platform config over a set, averaged metrics are
+// the caller's business; this returns the raw result.
+func runPlatform(cfg platform.Config, set trace.Set) *platform.Result {
+	return platform.New(cfg).Run(set)
+}
+
+// repeatedRun executes the same configuration over `reps` seeds and calls
+// collect with each result. Seeds derive from base so repetitions differ
+// in both trace and platform randomness, as in the paper's five-run
+// averages.
+func repeatedRun(cfg platform.Config, mkSet func(seed int64) trace.Set, base int64, reps int, collect func(*platform.Result)) {
+	for r := 0; r < reps; r++ {
+		seed := base + int64(r)*101
+		c := cfg
+		c.Seed = seed
+		collect(runPlatform(c, mkSet(seed)))
+	}
+}
+
+func tw(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}

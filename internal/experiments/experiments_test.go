@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"libra/internal/function"
+)
+
+func quick() Options { return Options{Seed: 42, Quick: true} }
+
+func render(t *testing.T, r Renderer) string {
+	t.Helper()
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	if strings.TrimSpace(out) == "" {
+		t.Fatal("empty render output")
+	}
+	return out
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "table2", "fig13", "fig14", "fig15", "fig16", "overheads",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("registry order %v, want %v at %d", all[i].ID, id, i)
+		}
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("ByID(%q) missing", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	r := Fig1Motivation(quick()).(*Fig1Result)
+	if len(r.Cases) != 3 {
+		t.Fatalf("%d cases, want 3", len(r.Cases))
+	}
+	c1, c2, c3 := r.Cases[0], r.Cases[1], r.Cases[2]
+	// Case 1: DH ~4 cores of 6; Case 2: ~1 core; Case 3: saturated.
+	if !(c1.DHUsedCores > 3 && c1.DHUsedCores < 5) {
+		t.Errorf("case 1 DH used %.1f cores, want ≈4", c1.DHUsedCores)
+	}
+	if !(c2.DHUsedCores <= 1.5) {
+		t.Errorf("case 2 DH used %.1f cores, want ≈1", c2.DHUsedCores)
+	}
+	if !(c3.DHUsedCores >= 5.9) {
+		t.Errorf("case 3 DH used %.1f cores, want saturated", c3.DHUsedCores)
+	}
+	// VP saturates its allocation in every case.
+	for i, c := range r.Cases {
+		if c.VPUsedCores < c.VPAllocCores-0.01 {
+			t.Errorf("case %d VP not saturated: %.1f/%.1f", i+1, c.VPUsedCores, c.VPAllocCores)
+		}
+	}
+	// Harvesting reduces VP's latency in cases 1 and 2 without degrading DH.
+	for _, c := range []Fig1Case{c1, c2} {
+		if c.VPLatencyReduction <= 0.05 {
+			t.Errorf("%s: VP latency reduction %.2f, want >5%%", c.Label, c.VPLatencyReduction)
+		}
+		if c.DHLatencyHarvest > c.DHLatencyDefault*1.01 {
+			t.Errorf("%s: DH degraded by harvesting: %.2f vs %.2f", c.Label, c.DHLatencyHarvest, c.DHLatencyDefault)
+		}
+	}
+	// Case 3: nothing to harvest — no meaningful reduction.
+	if c3.VPLatencyReduction > 0.10 {
+		t.Errorf("case 3 got %.0f%% reduction with no idle resources", c3.VPLatencyReduction*100)
+	}
+	render(t, r)
+}
+
+func TestTable1(t *testing.T) {
+	out := render(t, Table1Apps(quick()))
+	for _, app := range function.Names() {
+		if !strings.Contains(out, app) {
+			t.Fatalf("Table 1 missing app %s", app)
+		}
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	r := Fig6CDF(quick()).(*Fig6Result)
+	if len(r.Platforms) != 6 {
+		t.Fatalf("%d platforms, want 6", len(r.Platforms))
+	}
+	by := map[string]PlatformSeries{}
+	for _, p := range r.Platforms {
+		by[p.Name] = p
+	}
+	// Headline: Libra's P99 beats Default and Freyr.
+	if r.P99ReductionVsDefault <= 0 {
+		t.Errorf("Libra P99 not below Default (reduction %.2f)", r.P99ReductionVsDefault)
+	}
+	if r.P99ReductionVsFreyr <= 0.1 {
+		t.Errorf("Libra P99 reduction vs Freyr = %.2f, want >10%%", r.P99ReductionVsFreyr)
+	}
+	// Safety: Libra's worst speedup is near zero; Freyr and NSP dive deep.
+	if by["Libra"].Speedup.Min < -0.15 {
+		t.Errorf("Libra worst speedup %.2f, want ≥ -0.15", by["Libra"].Speedup.Min)
+	}
+	if by["Freyr"].Speedup.Min > -0.5 {
+		t.Errorf("Freyr worst speedup %.2f, want deep degradation", by["Freyr"].Speedup.Min)
+	}
+	if by["Libra-NSP"].Speedup.Min > -0.3 {
+		t.Errorf("Libra-NSP worst speedup %.2f, want notable degradation", by["Libra-NSP"].Speedup.Min)
+	}
+	// NS degrades more than full Libra; NP stays safe.
+	if by["Libra-NS"].Speedup.Min > by["Libra"].Speedup.Min+1e-9 {
+		t.Errorf("Libra-NS min %.3f not worse than Libra %.3f",
+			by["Libra-NS"].Speedup.Min, by["Libra"].Speedup.Min)
+	}
+	if by["Libra-NP"].Speedup.Min < -0.15 {
+		t.Errorf("Libra-NP worst speedup %.2f, want safe (safeguard on)", by["Libra-NP"].Speedup.Min)
+	}
+	render(t, r)
+}
+
+func TestFig7Shapes(t *testing.T) {
+	r := Fig7Utilization(quick()).(*Fig7Result)
+	if r.CPUUtilVsDefault <= 1 {
+		t.Errorf("Libra CPU util multiple vs Default = %.2f, want >1", r.CPUUtilVsDefault)
+	}
+	if r.CPUUtilVsFreyr <= 1 {
+		t.Errorf("Libra CPU util multiple vs Freyr = %.2f, want >1", r.CPUUtilVsFreyr)
+	}
+	if r.CompletionVsDefault <= 0 {
+		t.Errorf("Libra completion improvement vs Default = %.2f, want >0", r.CompletionVsDefault)
+	}
+	if len(r.Timelines["Libra"]) == 0 {
+		t.Fatal("no Libra utilization timeline")
+	}
+	render(t, r)
+}
+
+func TestFig8Shapes(t *testing.T) {
+	r := Fig8Scatter(quick()).(*Fig8Result)
+	cats := map[string]map[string]int{}
+	for _, p := range r.Points {
+		if cats[p.Platform] == nil {
+			cats[p.Platform] = map[string]int{}
+		}
+		cats[p.Platform][p.Category]++
+		if p.Category == "default" && (p.CoreSec != 0 || p.MBSec != 0) {
+			t.Fatalf("default-category point has reassignment: %+v", p)
+		}
+	}
+	// Default platform: only default points. Libra: all four categories
+	// except possibly safeguard.
+	if len(cats["Default"]) != 1 {
+		t.Errorf("Default platform categories = %v", cats["Default"])
+	}
+	if cats["Libra"]["harvest"] == 0 || cats["Libra"]["accelerate"] == 0 {
+		t.Errorf("Libra categories = %v, want harvest+accelerate", cats["Libra"])
+	}
+	render(t, r)
+}
+
+func TestFig9to11Shapes(t *testing.T) {
+	r := schedulingSweep(quick())
+	// Libra achieves the lowest P99 at the highest RPM, and its idle
+	// core×sec stays at or below the baselines' at high load.
+	last := len(r.RPMs) - 1
+	libra := r.row("Libra")[last]
+	for _, algo := range []string{"Default", "RR", "JSQ", "MWS"} {
+		base := r.row(algo)[last]
+		if libra.P99Latency > base.P99Latency*1.05 {
+			t.Errorf("Libra P99 %.1f above %s %.1f at %.0f RPM",
+				libra.P99Latency, algo, base.P99Latency, libra.RPM)
+		}
+	}
+	// Completion rises with RPM for every algorithm (more pressure).
+	for _, algo := range r.Algos {
+		row := r.row(algo)
+		if row[0].Completion > row[last].Completion {
+			t.Errorf("%s completion fell with rising RPM: %.0f → %.0f",
+				algo, row[0].Completion, row[last].Completion)
+		}
+	}
+	render(t, &fig9View{r})
+	render(t, &fig10View{r})
+	render(t, &fig11View{r})
+}
+
+func TestFig12Shapes(t *testing.T) {
+	r := Fig12Scalability(quick()).(*Fig12Result)
+	// Strong scaling: at the largest node count, 4 schedulers beat 1.
+	var one, four float64
+	maxNodes := 0
+	for _, p := range r.Strong {
+		if p.Nodes > maxNodes {
+			maxNodes = p.Nodes
+		}
+	}
+	for _, p := range r.Strong {
+		if p.Nodes == maxNodes {
+			switch p.Schedulers {
+			case 1:
+				one = p.Completion
+			case 4:
+				four = p.Completion
+			}
+		}
+	}
+	if !(four < one) {
+		t.Errorf("strong scaling: 4 schedulers (%.1f) not faster than 1 (%.1f)", four, one)
+	}
+	// Scheduling overhead stays under 1 ms.
+	for _, p := range r.Delay {
+		if p.SchedDelay >= 0.001 {
+			t.Errorf("scheduling overhead %.2f ms ≥ 1 ms at %d invocations",
+				p.SchedDelay*1000, p.Invocations)
+		}
+	}
+	render(t, r)
+}
+
+func TestTable2Shapes(t *testing.T) {
+	r := Table2Models(quick()).(*Table2Result)
+	if len(r.Rows) != 10 {
+		t.Fatalf("%d rows, want 10", len(r.Rows))
+	}
+	// RF is the best model on average for related functions, and related
+	// R² is far above unrelated R² (which is near zero or negative).
+	rf := r.AvgRelated["RF"]
+	if rf[0] < 0.8 || rf[1] < 0.8 || rf[2] < 0.9 {
+		t.Errorf("RF related averages %v, want ≥0.8/0.8/0.9", rf)
+	}
+	rfu := r.AvgUnrelated["RF"]
+	if rfu[2] > 0.3 {
+		t.Errorf("RF unrelated R² average %.2f, want ≈≤0 (content-driven)", rfu[2])
+	}
+	for _, m := range []string{"LR", "SVM", "NN"} {
+		if r.AvgRelated[m][2] > rf[2]+0.05 {
+			t.Errorf("%s related R² %.2f beats RF %.2f", m, r.AvgRelated[m][2], rf[2])
+		}
+	}
+	render(t, r)
+}
+
+func TestFig13Shapes(t *testing.T) {
+	r := Fig13ModelAblation(quick()).(*Fig13Result)
+	if len(r.ModelAblation) != 3 || len(r.Related) != 3 || len(r.Unrelated) != 3 {
+		t.Fatal("missing series")
+	}
+	// Size-related workload gains more than unrelated (paper: 94% vs 13%).
+	if !(r.RelatedGain > r.UnrelatedGain) {
+		t.Errorf("related gain %.2f not above unrelated %.2f", r.RelatedGain, r.UnrelatedGain)
+	}
+	// Libra beats Default on the related workload.
+	if r.RelatedGain <= 0 {
+		t.Errorf("related gain %.2f, want positive", r.RelatedGain)
+	}
+	render(t, r)
+}
+
+func TestFig14Shapes(t *testing.T) {
+	r := Fig14SafeguardSensitivity(quick()).(*Fig14Result)
+	// Safeguarded ratio is nonincreasing in the threshold (allowing small
+	// sampling noise), and hits ~0 at threshold 1.0.
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if !(first.SafeguardedRatio >= last.SafeguardedRatio) {
+		t.Errorf("safeguarded ratio rose with threshold: %.2f → %.2f",
+			first.SafeguardedRatio, last.SafeguardedRatio)
+	}
+	if last.Threshold == 1.0 && last.SafeguardedRatio > 0.01 {
+		t.Errorf("threshold 1.0 safeguarded %.1f%%, want ≈0", last.SafeguardedRatio*100)
+	}
+	render(t, r)
+}
+
+func TestFig15Shapes(t *testing.T) {
+	r := Fig15Breakdown(quick()).(*Fig15Result)
+	if len(r.Rows) != 10 {
+		t.Fatalf("%d rows, want 10", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		libraParts := row.Frontend + row.Profiler + row.Pool
+		if libraParts > 0.2*(row.Init+row.Exec) {
+			t.Errorf("%s: Libra components %.3fs not negligible vs init+exec %.3fs",
+				row.App, libraParts, row.Init+row.Exec)
+		}
+	}
+	render(t, r)
+}
+
+func TestFig16Shapes(t *testing.T) {
+	r := Fig16CoverageWeight(quick()).(*Fig16Result)
+	if len(r.Points) < 3 {
+		t.Fatal("too few points")
+	}
+	render(t, r)
+}
+
+func TestOverheadReport(t *testing.T) {
+	r := OverheadReport(quick()).(*OverheadResult)
+	if r.Invocations == 0 || r.PoolOps == 0 {
+		t.Fatalf("degenerate overhead report %+v", r)
+	}
+	perInv := r.ProfilerSeconds / float64(r.Invocations)
+	if perInv > 0.005 {
+		t.Errorf("profiler overhead %.1f ms/invocation, want <5ms", perInv*1000)
+	}
+	render(t, r)
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"libra/internal/metrics"
+	"libra/internal/platform"
+	"libra/internal/plot"
+	"libra/internal/trace"
+)
+
+// PlatformSeries is the per-platform aggregate of the §8.3 single-node
+// comparison.
+type PlatformSeries struct {
+	Name        string
+	LatencyCDF  []metrics.CDFPoint
+	SpeedupCDF  []metrics.CDFPoint
+	Latency     metrics.Summary
+	Speedup     metrics.Summary
+	Completion  float64
+	AvgCPUUtil  float64
+	AvgMemUtil  float64
+	Safeguarded int
+	Harvested   int
+	Accelerated int
+}
+
+// Fig6Result carries the response-latency and speedup CDFs of the six
+// platforms (Fig 6a/6b) plus the paper's headline reductions.
+type Fig6Result struct {
+	Platforms []PlatformSeries
+	// P99ReductionVsDefault / VsFreyr are Libra's relative P99 latency
+	// reductions (paper: 50% and 39%).
+	P99ReductionVsDefault float64
+	P99ReductionVsFreyr   float64
+}
+
+func runSixPlatforms(o Options) []PlatformSeries {
+	var out []PlatformSeries
+	for _, cfg := range platform.SixPlatforms(platform.SingleNode(), o.Seed) {
+		var lats, sps []float64
+		var completion, cpuU, memU float64
+		var sg, hv, ac int
+		repeatedRun(cfg, trace.SingleSet, o.Seed, o.Reps, func(r *platform.Result) {
+			lats = append(lats, r.Latencies()...)
+			sps = append(sps, r.Speedups()...)
+			completion += r.CompletionTime
+			cpuU += r.AvgCPUUtil
+			memU += r.AvgMemUtil
+			sg += r.Safeguarded
+			hv += r.Harvested
+			ac += r.Accelerated
+		})
+		n := float64(o.Reps)
+		out = append(out, PlatformSeries{
+			Name:        cfg.Name,
+			LatencyCDF:  metrics.CDF(lats, 40),
+			SpeedupCDF:  metrics.CDF(sps, 40),
+			Latency:     metrics.Summarize(lats),
+			Speedup:     metrics.Summarize(sps),
+			Completion:  completion / n,
+			AvgCPUUtil:  cpuU / n,
+			AvgMemUtil:  memU / n,
+			Safeguarded: sg,
+			Harvested:   hv,
+			Accelerated: ac,
+		})
+	}
+	return out
+}
+
+// Fig6CDF regenerates Fig 6 (single-node cluster, *single* trace set).
+func Fig6CDF(o Options) Renderer {
+	o.defaults()
+	res := &Fig6Result{Platforms: runSixPlatforms(o)}
+	byName := map[string]*PlatformSeries{}
+	for i := range res.Platforms {
+		byName[res.Platforms[i].Name] = &res.Platforms[i]
+	}
+	if d, f, l := byName["Default"], byName["Freyr"], byName["Libra"]; d != nil && f != nil && l != nil {
+		res.P99ReductionVsDefault = 1 - l.Latency.P99/d.Latency.P99
+		res.P99ReductionVsFreyr = 1 - l.Latency.P99/f.Latency.P99
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r *Fig6Result) Render(w io.Writer) {
+	t := tw(w)
+	fmt.Fprintln(t, "Fig 6 — response latency and speedup, six platforms (single-node)")
+	fmt.Fprintln(t, "platform\tp50 lat\tp99 lat\tmean lat\tworst speedup\tp99 speedup\tsafeguarded")
+	for _, p := range r.Platforms {
+		fmt.Fprintf(t, "%s\t%.1fs\t%.1fs\t%.1fs\t%+.2f\t%+.2f\t%d\n",
+			p.Name, p.Latency.P50, p.Latency.P99, p.Latency.Mean,
+			p.Speedup.Min, p.Speedup.P99, p.Safeguarded)
+	}
+	t.Flush()
+	fmt.Fprintf(w, "Libra P99 reduction: %.0f%% vs Default, %.0f%% vs Freyr (paper: 50%%, 39%%)\n",
+		r.P99ReductionVsDefault*100, r.P99ReductionVsFreyr*100)
+
+	lat := plot.Line("Fig 6a — response latency CDF", "latency (s)", "fraction")
+	sp := plot.Line("Fig 6b — speedup CDF", "speedup", "fraction")
+	lat.YMin, lat.YMax = 0, 1
+	sp.YMin, sp.YMax = 0, 1
+	for _, p := range r.Platforms {
+		lat.Add(cdfSeries(p.Name, p.LatencyCDF))
+		sp.Add(cdfSeries(p.Name, p.SpeedupCDF))
+	}
+	lat.Render(w)
+	sp.Render(w)
+}
+
+func cdfSeries(name string, pts []metrics.CDFPoint) plot.Series {
+	s := plot.Series{Name: name}
+	for _, p := range pts {
+		s.X = append(s.X, p.Value)
+		s.Y = append(s.Y, p.Frac)
+	}
+	return s
+}
+
+// Fig7Result carries the utilization timelines (Fig 7) and the derived
+// utilization multiples of §8.3.
+type Fig7Result struct {
+	Timelines map[string][]metrics.UtilizationSample
+	Platforms []PlatformSeries
+	// CPUUtilVsDefault etc. are Libra's average-utilization multiples
+	// (paper: 3.82×/2.09× vs Default, 2.93×/2.48× vs Freyr).
+	CPUUtilVsDefault float64
+	MemUtilVsDefault float64
+	CPUUtilVsFreyr   float64
+	MemUtilVsFreyr   float64
+	// CompletionVsDefault / VsFreyr are relative completion-time
+	// improvements (paper: 51% and 43%).
+	CompletionVsDefault float64
+	CompletionVsFreyr   float64
+}
+
+// Fig7Utilization regenerates the Fig 7 CPU/memory timelines.
+func Fig7Utilization(o Options) Renderer {
+	o.defaults()
+	res := &Fig7Result{Timelines: map[string][]metrics.UtilizationSample{}}
+	for _, cfg := range platform.SixPlatforms(platform.SingleNode(), o.Seed) {
+		cfg.Seed = o.Seed
+		r := runPlatform(cfg, trace.SingleSet(o.Seed))
+		res.Timelines[cfg.Name] = r.Samples
+	}
+	res.Platforms = runSixPlatforms(o)
+	get := func(name string) *PlatformSeries {
+		for i := range res.Platforms {
+			if res.Platforms[i].Name == name {
+				return &res.Platforms[i]
+			}
+		}
+		return nil
+	}
+	d, f, l := get("Default"), get("Freyr"), get("Libra")
+	res.CPUUtilVsDefault = l.AvgCPUUtil / d.AvgCPUUtil
+	res.MemUtilVsDefault = l.AvgMemUtil / d.AvgMemUtil
+	res.CPUUtilVsFreyr = l.AvgCPUUtil / f.AvgCPUUtil
+	res.MemUtilVsFreyr = l.AvgMemUtil / f.AvgMemUtil
+	res.CompletionVsDefault = 1 - l.Completion/d.Completion
+	res.CompletionVsFreyr = 1 - l.Completion/f.Completion
+	return res
+}
+
+// Render implements Renderer.
+func (r *Fig7Result) Render(w io.Writer) {
+	t := tw(w)
+	fmt.Fprintln(t, "Fig 7 — CPU/memory utilization through the experiment timeline")
+	fmt.Fprintln(t, "platform\tavg CPU util\tavg mem util\tcompletion")
+	for _, p := range r.Platforms {
+		fmt.Fprintf(t, "%s\t%.1f%%\t%.1f%%\t%.0fs\n", p.Name, p.AvgCPUUtil*100, p.AvgMemUtil*100, p.Completion)
+	}
+	t.Flush()
+	fmt.Fprintf(w, "Libra avg CPU/mem util: %.2fx/%.2fx vs Default (paper 3.82x/2.09x), %.2fx/%.2fx vs Freyr (paper 2.93x/2.48x)\n",
+		r.CPUUtilVsDefault, r.MemUtilVsDefault, r.CPUUtilVsFreyr, r.MemUtilVsFreyr)
+	fmt.Fprintf(w, "Libra completes the workload %.0f%% faster than Default (paper 51%%), %.0f%% than Freyr (paper 43%%)\n",
+		r.CompletionVsDefault*100, r.CompletionVsFreyr*100)
+	// Timeline chart: CPU utilization of the headline trio.
+	c := plot.Line("Fig 7 — CPU utilization timeline", "wall clock (s)", "utilization")
+	c.YMin, c.YMax = 0, 1
+	for _, name := range []string{"Default", "Freyr", "Libra"} {
+		tl := r.Timelines[name]
+		s := plot.Series{Name: name}
+		for _, pt := range tl {
+			s.X = append(s.X, pt.T)
+			s.Y = append(s.Y, pt.CPUFrac)
+		}
+		c.Add(s)
+	}
+	c.Render(w)
+}
+
+// Fig8Point is one invocation of the Fig 8 scatter.
+type Fig8Point struct {
+	Platform string
+	App      string
+	CoreSec  float64 // reassigned cores × seconds (negative = harvested)
+	MBSec    float64
+	Speedup  float64
+	Category string // default | harvest | accelerate | safeguard
+}
+
+// Fig8Result is the resource-reassignment scatter (Fig 8).
+type Fig8Result struct{ Points []Fig8Point }
+
+// Fig8Scatter regenerates Fig 8: per-invocation (core×sec, MB×sec) vs
+// speedup for all six platforms.
+func Fig8Scatter(o Options) Renderer {
+	o.defaults()
+	res := &Fig8Result{}
+	for _, cfg := range platform.SixPlatforms(platform.SingleNode(), o.Seed) {
+		cfg.Seed = o.Seed
+		r := runPlatform(cfg, trace.SingleSet(o.Seed))
+		for _, rec := range r.Records {
+			cat := "default"
+			switch {
+			case rec.Inv.Safeguard:
+				cat = "safeguard"
+			case rec.Inv.Accelerate:
+				cat = "accelerate"
+			case rec.Inv.Harvested:
+				cat = "harvest"
+			}
+			res.Points = append(res.Points, Fig8Point{
+				Platform: cfg.Name,
+				App:      rec.Inv.App.Name,
+				CoreSec:  rec.Inv.CPUReassignSec,
+				MBSec:    rec.Inv.MemReassignSec,
+				Speedup:  rec.Speedup,
+				Category: cat,
+			})
+		}
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r *Fig8Result) Render(w io.Writer) {
+	t := tw(w)
+	fmt.Fprintln(t, "Fig 8 — per-invocation resource reassignment (aggregated per platform/category)")
+	fmt.Fprintln(t, "platform\tcategory\tcount\tmean core*s\tmean MB*s\tmean speedup\tworst speedup")
+	type key struct{ p, c string }
+	agg := map[key]*struct {
+		n                       int
+		cs, ms, sp              float64
+		worst                   float64
+		initializedWorstTracked bool
+	}{}
+	var keys []key
+	for _, pt := range r.Points {
+		k := key{pt.Platform, pt.Category}
+		a, ok := agg[k]
+		if !ok {
+			a = &struct {
+				n                       int
+				cs, ms, sp              float64
+				worst                   float64
+				initializedWorstTracked bool
+			}{}
+			agg[k] = a
+			keys = append(keys, k)
+		}
+		a.n++
+		a.cs += pt.CoreSec
+		a.ms += pt.MBSec
+		a.sp += pt.Speedup
+		if !a.initializedWorstTracked || pt.Speedup < a.worst {
+			a.worst = pt.Speedup
+			a.initializedWorstTracked = true
+		}
+	}
+	for _, k := range keys {
+		a := agg[k]
+		n := float64(a.n)
+		fmt.Fprintf(t, "%s\t%s\t%d\t%.1f\t%.0f\t%+.3f\t%+.3f\n",
+			k.p, k.c, a.n, a.cs/n, a.ms/n, a.sp/n, a.worst)
+	}
+	t.Flush()
+}
+
+func init() {
+	register("fig6", "Latency and speedup CDFs of six platforms", Fig6CDF)
+	register("fig7", "CPU/memory utilization timelines", Fig7Utilization)
+	register("fig8", "Per-invocation harvesting/acceleration scatter", Fig8Scatter)
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"libra/internal/function"
+	"libra/internal/resources"
+)
+
+// Fig1Case is one bar group of the motivating example (Fig 1): DH and VP
+// invoked simultaneously with a given input pair, under default fixed
+// allocations and under harvesting.
+type Fig1Case struct {
+	Label   string
+	DHInput function.Input
+	VPInput function.Input
+
+	// Default allocations (user-defined) and outcomes.
+	DHUsedCores, DHAllocCores float64
+	VPUsedCores, VPAllocCores float64
+	DHUsedMB, DHAllocMB       float64
+	VPUsedMB, VPAllocMB       float64
+	DHLatencyDefault          float64
+	VPLatencyDefault          float64
+
+	// Harvesting outcomes.
+	VPCoresWithHarvest float64
+	DHLatencyHarvest   float64
+	VPLatencyHarvest   float64
+	VPLatencyReduction float64 // fraction
+}
+
+// Fig1Result reproduces the motivating example.
+type Fig1Result struct{ Cases []Fig1Case }
+
+// Fig1Motivation runs the three input cases of Fig 1: DH with sizes
+// 100 / 4K / 10K and VP with three different videos, first under default
+// fixed allocations, then with DH's idle resources harvested to
+// accelerate VP.
+func Fig1Motivation(o Options) Renderer {
+	o.defaults()
+	dh, _ := function.ByName("DH")
+	vp, _ := function.ByName("VP")
+	cases := []struct {
+		label  string
+		dhSize float64
+		vpSeed uint64
+	}{
+		{"Case 1 (4K/video-1)", 4000, 11},
+		{"Case 2 (100/video-2)", 100, 22},
+		{"Case 3 (10K/video-3)", 10000, 9},
+	}
+	res := &Fig1Result{}
+	for _, c := range cases {
+		fc := Fig1Case{
+			Label:   c.label,
+			DHInput: function.Input{Size: c.dhSize, Seed: 7},
+			VPInput: function.Input{Size: 30, Seed: c.vpSeed},
+		}
+		dhD := dh.Demand(fc.DHInput)
+		vpD := vp.Demand(fc.VPInput)
+
+		fc.DHAllocCores = dh.UserAlloc.CPU.Cores()
+		fc.VPAllocCores = vp.UserAlloc.CPU.Cores()
+		fc.DHAllocMB = float64(dh.UserAlloc.Mem)
+		fc.VPAllocMB = float64(vp.UserAlloc.Mem)
+		fc.DHUsedCores = function.Usage(dh.UserAlloc, dhD).CPU.Cores()
+		fc.VPUsedCores = function.Usage(vp.UserAlloc, vpD).CPU.Cores()
+		fc.DHUsedMB = float64(function.Usage(dh.UserAlloc, dhD).Mem)
+		fc.VPUsedMB = float64(function.Usage(vp.UserAlloc, vpD).Mem)
+		fc.DHLatencyDefault = function.DurationUnder(dh.UserAlloc, dhD)
+		fc.VPLatencyDefault = function.DurationUnder(vp.UserAlloc, vpD)
+
+		// Harvesting (Fig 1b): DH keeps exactly what it uses; its idle
+		// remainder is reassigned to VP, capped by VP's extra demand. Fig 1
+		// illustrates the reassignment opportunity in steady state —
+		// resource timeliness enters later, in Fig 2 / §3.1.
+		dhKeeps := dhD.Vector().Min(dh.UserAlloc)
+		idle := dh.UserAlloc.Sub(dhKeeps)
+		extra := vpD.Vector().Sub(vp.UserAlloc).Max(resources.Vector{}).Min(idle)
+		vpAlloc := vp.UserAlloc.Add(extra)
+		fc.DHLatencyHarvest = function.DurationUnder(dhKeeps, dhD)
+		fc.VPLatencyHarvest = function.DurationUnder(vpAlloc, vpD)
+		fc.VPCoresWithHarvest = vpAlloc.CPU.Cores()
+		if fc.VPLatencyDefault > 0 {
+			fc.VPLatencyReduction = 1 - fc.VPLatencyHarvest/fc.VPLatencyDefault
+		}
+		res.Cases = append(res.Cases, fc)
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r *Fig1Result) Render(w io.Writer) {
+	t := tw(w)
+	fmt.Fprintln(t, "Fig 1 — motivating example (DH user 6 cores/768MB, VP user 4 cores/512MB)")
+	fmt.Fprintln(t, "case\tDH used/alloc cores\tVP used/alloc cores\tDH lat (s)\tVP lat default (s)\tVP lat harvest (s)\tVP reduction")
+	for _, c := range r.Cases {
+		fmt.Fprintf(t, "%s\t%.1f/%.0f\t%.1f/%.0f\t%.1f\t%.1f\t%.1f\t%.0f%%\n",
+			c.Label, c.DHUsedCores, c.DHAllocCores, c.VPUsedCores, c.VPAllocCores,
+			c.DHLatencyDefault, c.VPLatencyDefault, c.VPLatencyHarvest, c.VPLatencyReduction*100)
+	}
+	t.Flush()
+}
+
+// Table1Result is the application characterization table.
+type Table1Result struct{ Apps []*function.Spec }
+
+// Table1Apps reproduces Table 1.
+func Table1Apps(Options) Renderer {
+	return &Table1Result{Apps: function.Apps()}
+}
+
+// Render implements Renderer.
+func (r *Table1Result) Render(w io.Writer) {
+	t := tw(w)
+	fmt.Fprintln(t, "Table 1 — serverless applications")
+	fmt.Fprintln(t, "input size\tfunc\tdescription\tuser alloc\tdataset")
+	for _, s := range r.Apps {
+		lo, hi := s.SizeRange()
+		fmt.Fprintf(t, "%v\t%s\t%s\t%v\t%g–%g %s\n",
+			s.Class, s.Name, s.Description, s.UserAlloc, lo, hi, s.SizeUnit())
+	}
+	t.Flush()
+}
+
+func init() {
+	register("fig1", "Motivating example: harvesting DH's idle resources for VP", Fig1Motivation)
+	register("table1", "Application characterization", Table1Apps)
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"libra/internal/metrics"
+	"libra/internal/platform"
+	"libra/internal/plot"
+	"libra/internal/scheduler"
+	"libra/internal/trace"
+)
+
+// SchedCell is one (algorithm, RPM) measurement of the §8.4 comparison.
+type SchedCell struct {
+	Algorithm string
+	RPM       float64
+
+	P99Latency  float64
+	Completion  float64
+	CPUIdle     float64 // idle harvested core×sec (Fig 10b, core-seconds)
+	MemIdle     float64 // idle harvested MB×sec (Fig 10c)
+	AvgCPUUtil  float64
+	PeakCPUUtil float64
+	AvgMemUtil  float64
+	PeakMemUtil float64
+}
+
+// SchedResult carries Figs 9, 10 and 11: the five scheduling algorithms
+// over the ten multi trace sets on the four-worker cluster, with Libra's
+// harvesting enabled under every algorithm for fairness.
+type SchedResult struct {
+	Cells []SchedCell
+	RPMs  []float64
+	Algos []string
+}
+
+func schedulingSweep(o Options) *SchedResult {
+	o.defaults()
+	rpms := trace.MultiRPMs
+	if o.Quick {
+		rpms = []float64{30, 120, 300}
+	}
+	res := &SchedResult{RPMs: rpms, Algos: scheduler.Names()}
+	for _, algo := range res.Algos {
+		for i, rpm := range rpms {
+			rpm := rpm
+			cfg := platform.WithAlgorithm(platform.PresetLibra(platform.MultiNode(), o.Seed), algo)
+			var cell SchedCell
+			cell.Algorithm = algo
+			cell.RPM = rpm
+			mk := func(seed int64) trace.Set {
+				return trace.MultiSet(rpm, seed+int64(i)*7919)
+			}
+			var lats []float64
+			repeatedRun(cfg, mk, o.Seed, o.Reps, func(r *platform.Result) {
+				lats = append(lats, r.Latencies()...)
+				cell.Completion += r.CompletionTime
+				cell.CPUIdle += r.CPUIdleIntegral / 1000 // millicore-s → core-s
+				cell.MemIdle += r.MemIdleIntegral
+				cell.AvgCPUUtil += r.AvgCPUUtil
+				cell.AvgMemUtil += r.AvgMemUtil
+				if r.PeakCPUUtil > cell.PeakCPUUtil {
+					cell.PeakCPUUtil = r.PeakCPUUtil
+				}
+				if r.PeakMemUtil > cell.PeakMemUtil {
+					cell.PeakMemUtil = r.PeakMemUtil
+				}
+			})
+			n := float64(o.Reps)
+			cell.P99Latency = metrics.Summarize(lats).P99
+			cell.Completion /= n
+			cell.CPUIdle /= n
+			cell.MemIdle /= n
+			cell.AvgCPUUtil /= n
+			cell.AvgMemUtil /= n
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res
+}
+
+// Fig9SchedulingP99 regenerates Fig 9: P99 end-to-end latency of the five
+// algorithms across the RPM sweep.
+func Fig9SchedulingP99(o Options) Renderer {
+	r := schedulingSweep(o)
+	return &fig9View{r}
+}
+
+// Fig10IdleTime regenerates Fig 10: workload completion time and the idle
+// (core×sec / MB×sec) products of harvested resources.
+func Fig10IdleTime(o Options) Renderer {
+	r := schedulingSweep(o)
+	return &fig10View{r}
+}
+
+// Fig11AvgPeakUtil regenerates Fig 11: average and peak CPU/memory
+// utilization of the five algorithms.
+func Fig11AvgPeakUtil(o Options) Renderer {
+	r := schedulingSweep(o)
+	return &fig11View{r}
+}
+
+type fig9View struct{ *SchedResult }
+type fig10View struct{ *SchedResult }
+type fig11View struct{ *SchedResult }
+
+func (v *fig9View) Render(w io.Writer) {
+	t := tw(w)
+	fmt.Fprintln(t, "Fig 9 — P99 end-to-end response latency (s) by RPM")
+	header(t, v.RPMs)
+	for _, algo := range v.Algos {
+		fmt.Fprintf(t, "%s", algo)
+		for _, c := range v.row(algo) {
+			fmt.Fprintf(t, "\t%.1f", c.P99Latency)
+		}
+		fmt.Fprintln(t)
+	}
+	t.Flush()
+	chart := plot.Line("", "request per min", "p99 latency (s)")
+	for _, algo := range v.Algos {
+		s := plot.Series{Name: algo}
+		for _, c := range v.row(algo) {
+			s.X = append(s.X, c.RPM)
+			s.Y = append(s.Y, c.P99Latency)
+		}
+		chart.Add(s)
+	}
+	chart.Render(w)
+}
+
+func (v *fig10View) Render(w io.Writer) {
+	t := tw(w)
+	fmt.Fprintln(t, "Fig 10a — workload completion time (s) by RPM")
+	header(t, v.RPMs)
+	for _, algo := range v.Algos {
+		fmt.Fprintf(t, "%s", algo)
+		for _, c := range v.row(algo) {
+			fmt.Fprintf(t, "\t%.0f", c.Completion)
+		}
+		fmt.Fprintln(t)
+	}
+	fmt.Fprintln(t, "Fig 10b — idle harvested CPU (core×sec) by RPM")
+	header(t, v.RPMs)
+	for _, algo := range v.Algos {
+		fmt.Fprintf(t, "%s", algo)
+		for _, c := range v.row(algo) {
+			fmt.Fprintf(t, "\t%.0f", c.CPUIdle)
+		}
+		fmt.Fprintln(t)
+	}
+	fmt.Fprintln(t, "Fig 10c — idle harvested memory (MB×sec) by RPM")
+	header(t, v.RPMs)
+	for _, algo := range v.Algos {
+		fmt.Fprintf(t, "%s", algo)
+		for _, c := range v.row(algo) {
+			fmt.Fprintf(t, "\t%.0f", c.MemIdle)
+		}
+		fmt.Fprintln(t)
+	}
+	t.Flush()
+}
+
+func (v *fig11View) Render(w io.Writer) {
+	t := tw(w)
+	for _, part := range []struct {
+		title string
+		get   func(SchedCell) float64
+	}{
+		{"Fig 11a — average CPU utilization (%)", func(c SchedCell) float64 { return c.AvgCPUUtil * 100 }},
+		{"Fig 11b — peak CPU utilization (%)", func(c SchedCell) float64 { return c.PeakCPUUtil * 100 }},
+		{"Fig 11c — average memory utilization (%)", func(c SchedCell) float64 { return c.AvgMemUtil * 100 }},
+		{"Fig 11d — peak memory utilization (%)", func(c SchedCell) float64 { return c.PeakMemUtil * 100 }},
+	} {
+		fmt.Fprintln(t, part.title)
+		header(t, v.RPMs)
+		for _, algo := range v.Algos {
+			fmt.Fprintf(t, "%s", algo)
+			for _, c := range v.row(algo) {
+				fmt.Fprintf(t, "\t%.1f", part.get(c))
+			}
+			fmt.Fprintln(t)
+		}
+	}
+	t.Flush()
+}
+
+func (r *SchedResult) row(algo string) []SchedCell {
+	var out []SchedCell
+	for _, c := range r.Cells {
+		if c.Algorithm == algo {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func header(w io.Writer, rpms []float64) {
+	fmt.Fprint(w, "algorithm")
+	for _, r := range rpms {
+		fmt.Fprintf(w, "\t%.0f", r)
+	}
+	fmt.Fprintln(w)
+}
+
+func init() {
+	register("fig9", "P99 latency of five scheduling algorithms", Fig9SchedulingP99)
+	register("fig10", "Completion time and idle harvested resources", Fig10IdleTime)
+	register("fig11", "Average/peak CPU and memory utilization", Fig11AvgPeakUtil)
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"libra/internal/metrics"
+	"libra/internal/platform"
+	"libra/internal/plot"
+	"libra/internal/trace"
+)
+
+// Fig14Point is one safeguard-threshold measurement.
+type Fig14Point struct {
+	Threshold        float64
+	SafeguardedRatio float64
+	P99Latency       float64
+}
+
+// Fig14Result is the safeguard-threshold sensitivity study (§8.8): the
+// ratio of safeguarded invocations drops as the threshold rises, and the
+// P99 latency is minimized near the default 0.8.
+type Fig14Result struct{ Points []Fig14Point }
+
+// Fig14SafeguardSensitivity regenerates Fig 14 on the single-node
+// cluster with the *single* trace set, sweeping the threshold 0.1 → 1.0.
+func Fig14SafeguardSensitivity(o Options) Renderer {
+	o.defaults()
+	ths := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	if o.Quick {
+		ths = []float64{0.2, 0.5, 0.8, 1.0}
+	}
+	res := &Fig14Result{}
+	for _, th := range ths {
+		cfg := platform.PresetLibra(platform.SingleNode(), o.Seed)
+		cfg.Threshold = th
+		var lats []float64
+		var sg, total int
+		repeatedRun(cfg, trace.SingleSet, o.Seed, o.Reps, func(r *platform.Result) {
+			lats = append(lats, r.Latencies()...)
+			sg += r.Safeguarded
+			total += len(r.Records)
+		})
+		res.Points = append(res.Points, Fig14Point{
+			Threshold:        th,
+			SafeguardedRatio: float64(sg) / float64(total),
+			P99Latency:       metrics.Summarize(lats).P99,
+		})
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r *Fig14Result) Render(w io.Writer) {
+	t := tw(w)
+	fmt.Fprintln(t, "Fig 14 — safeguard threshold sensitivity (single set)")
+	fmt.Fprintln(t, "threshold\tsafeguarded ratio\tp99 latency (s)")
+	for _, p := range r.Points {
+		fmt.Fprintf(t, "%.1f\t%.1f%%\t%.1f\n", p.Threshold, p.SafeguardedRatio*100, p.P99Latency)
+	}
+	t.Flush()
+	var ratio, p99 plot.Series
+	ratio.Name, p99.Name = "safeguarded %", "p99 (s)"
+	for _, p := range r.Points {
+		ratio.X = append(ratio.X, p.Threshold)
+		ratio.Y = append(ratio.Y, p.SafeguardedRatio*100)
+		p99.X = append(p99.X, p.Threshold)
+		p99.Y = append(p99.Y, p.P99Latency)
+	}
+	plot.Line("Fig 14a — safeguarded invocations", "threshold", "%", ratio).Render(w)
+	plot.Line("Fig 14b — P99 latency", "threshold", "seconds", p99).Render(w)
+}
+
+// Fig16Point is one coverage-weight measurement.
+type Fig16Point struct {
+	Weight     float64
+	CPUIdle    float64 // idle harvested core×sec
+	MemIdle    float64 // idle harvested MB×sec
+	P99Latency float64
+}
+
+// Fig16Result is the demand-coverage-weight sensitivity study (§8.8) on
+// the multi-node cluster at 120 RPM: raising the weight α makes CPU
+// coverage dominate, lowering CPU idle time and raising memory idle
+// time; P99 is minimized near α = 0.9.
+type Fig16Result struct{ Points []Fig16Point }
+
+// Fig16CoverageWeight regenerates Fig 16.
+func Fig16CoverageWeight(o Options) Renderer {
+	o.defaults()
+	weights := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	if o.Quick {
+		weights = []float64{0.1, 0.5, 0.9}
+	}
+	res := &Fig16Result{}
+	for _, wgt := range weights {
+		cfg := platform.PresetLibra(platform.MultiNode(), o.Seed)
+		cfg.CoverageAlpha = wgt
+		mk := func(seed int64) trace.Set {
+			return trace.MultiSet(120, seed)
+		}
+		var lats []float64
+		var cpuIdle, memIdle float64
+		repeatedRun(cfg, mk, o.Seed, o.Reps, func(r *platform.Result) {
+			lats = append(lats, r.Latencies()...)
+			cpuIdle += r.CPUIdleIntegral / 1000
+			memIdle += r.MemIdleIntegral
+		})
+		n := float64(o.Reps)
+		res.Points = append(res.Points, Fig16Point{
+			Weight:     wgt,
+			CPUIdle:    cpuIdle / n,
+			MemIdle:    memIdle / n,
+			P99Latency: metrics.Summarize(lats).P99,
+		})
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r *Fig16Result) Render(w io.Writer) {
+	t := tw(w)
+	fmt.Fprintln(t, "Fig 16 — demand coverage weight sensitivity (multi, 120 RPM)")
+	fmt.Fprintln(t, "weight\tCPU idle (core×s)\tmem idle (MB×s)\tp99 latency (s)")
+	for _, p := range r.Points {
+		fmt.Fprintf(t, "%.1f\t%.0f\t%.0f\t%.1f\n", p.Weight, p.CPUIdle, p.MemIdle, p.P99Latency)
+	}
+	t.Flush()
+	var cpu, mem, p99 plot.Series
+	cpu.Name, mem.Name, p99.Name = "CPU idle (core*s)", "mem idle (MB*s/100)", "p99 (s)"
+	for _, p := range r.Points {
+		cpu.X = append(cpu.X, p.Weight)
+		cpu.Y = append(cpu.Y, p.CPUIdle)
+		mem.X = append(mem.X, p.Weight)
+		mem.Y = append(mem.Y, p.MemIdle/100)
+		p99.X = append(p99.X, p.Weight)
+		p99.Y = append(p99.Y, p.P99Latency)
+	}
+	plot.Line("Fig 16a — idle harvested resources", "coverage weight", "value", cpu, mem).Render(w)
+	plot.Line("Fig 16b — P99 latency", "coverage weight", "seconds", p99).Render(w)
+}
+
+func init() {
+	register("fig14", "Safeguard threshold sensitivity", Fig14SafeguardSensitivity)
+	register("fig16", "Demand coverage weight sensitivity", Fig16CoverageWeight)
+}

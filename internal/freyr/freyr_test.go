@@ -1,0 +1,104 @@
+package freyr
+
+import (
+	"testing"
+
+	"libra/internal/function"
+	"libra/internal/profiler"
+	"libra/internal/resources"
+)
+
+func app(t *testing.T, name string) *function.Spec {
+	t.Helper()
+	s, ok := function.ByName(name)
+	if !ok {
+		t.Fatalf("unknown app %s", name)
+	}
+	return s
+}
+
+func TestFirstPredictionUnreliable(t *testing.T) {
+	e := New()
+	dh := app(t, "DH")
+	pred, cost := e.Predict(dh, function.Input{Size: 100})
+	if pred.Reliable || cost != 0 {
+		t.Fatalf("first prediction = %+v cost %g, want unreliable free", pred, cost)
+	}
+	if pred.Demand.CPUPeak != dh.UserAlloc.CPU {
+		t.Fatal("first prediction should be the user allocation")
+	}
+}
+
+func TestHistoryQuantilePrediction(t *testing.T) {
+	e := New()
+	dh := app(t, "DH")
+	in := function.Input{Size: 100}
+	for i := 1; i <= 10; i++ {
+		e.Observe(dh, in, function.Demand{
+			CPUPeak:  resources.Millicores(i * 500),
+			MemPeak:  resources.MegaBytes(i * 50),
+			Duration: float64(i),
+		})
+	}
+	pred, _ := e.Predict(dh, in)
+	if !pred.Reliable || pred.Source != profiler.SourceHistogram {
+		t.Fatalf("prediction = %+v", pred)
+	}
+	// P90 of 500..5000 is 4500; median duration 5 or 6.
+	if pred.Demand.CPUPeak != 4500 {
+		t.Fatalf("CPU prediction = %v, want 4500 (P90)", pred.Demand.CPUPeak)
+	}
+	if pred.Demand.Duration < 5 || pred.Demand.Duration > 6 {
+		t.Fatalf("duration prediction = %g, want median ≈5", pred.Demand.Duration)
+	}
+}
+
+func TestInputSizeIgnored(t *testing.T) {
+	e := New()
+	dh := app(t, "DH")
+	e.Observe(dh, function.Input{Size: 100}, function.Demand{CPUPeak: 3000, MemPeak: 300, Duration: 3})
+	a, _ := e.Predict(dh, function.Input{Size: 1})
+	b, _ := e.Predict(dh, function.Input{Size: 1e9})
+	if a.Demand != b.Demand {
+		t.Fatal("Freyr prediction depended on input size")
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	e := New()
+	dh := app(t, "DH")
+	in := function.Input{Size: 100}
+	// A huge early observation must be evicted after HistoryDepth more.
+	e.Observe(dh, in, function.Demand{CPUPeak: 8000, MemPeak: 1024, Duration: 100})
+	for i := 0; i < HistoryDepth; i++ {
+		e.Observe(dh, in, function.Demand{CPUPeak: 1000, MemPeak: 128, Duration: 1})
+	}
+	pred, _ := e.Predict(dh, in)
+	if pred.Demand.CPUPeak != 1000 {
+		t.Fatalf("evicted observation still visible: %v", pred.Demand.CPUPeak)
+	}
+}
+
+func TestPredictionClampedToPlatformMax(t *testing.T) {
+	e := New()
+	dh := app(t, "DH")
+	in := function.Input{Size: 100}
+	for i := 0; i < 10; i++ {
+		e.Observe(dh, in, function.Demand{CPUPeak: 8000, MemPeak: 1024, Duration: 1})
+	}
+	pred, _ := e.Predict(dh, in)
+	if pred.Demand.CPUPeak > function.MaxAlloc.CPU || pred.Demand.MemPeak > function.MaxAlloc.Mem {
+		t.Fatalf("prediction %v exceeds platform max", pred.Demand)
+	}
+}
+
+func TestPerFunctionIsolation(t *testing.T) {
+	e := New()
+	dh := app(t, "DH")
+	vp := app(t, "VP")
+	e.Observe(dh, function.Input{}, function.Demand{CPUPeak: 3000, MemPeak: 256, Duration: 2})
+	pred, _ := e.Predict(vp, function.Input{})
+	if pred.Reliable {
+		t.Fatal("VP prediction used DH history")
+	}
+}

@@ -1,0 +1,250 @@
+package function
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"libra/internal/resources"
+)
+
+// The ten applications of Table 1. Demand-law breakpoints are calibrated
+// to the qualitative behaviour reported in the paper: e.g. DH ("Dynamic
+// HTML") uses ~1 core at input size 100, ~4 cores at 4K and saturates its
+// allocation at 10K (Fig 1); VP ("Video Processing") always saturates its
+// 4-core allocation and could use more (Fig 1's under-provisioned case).
+var catalog = []*Spec{
+	{
+		Name: "UL", LongName: "Uploader",
+		Description: "Upload input files to storage",
+		Class:       SizeRelated,
+		UserAlloc:   resources.Vector{CPU: resources.Cores(4), Mem: 768},
+		ColdStart:   0.45,
+		curve: []curvePoint{
+			{size: 0.1, cpu: 300, mem: 96, dur: 1.6},
+			{size: 1, cpu: 600, mem: 140, dur: 3.6},
+			{size: 10, cpu: 1400, mem: 270, dur: 8.8},
+			{size: 100, cpu: 2600, mem: 660, dur: 26},
+		},
+		jitter: 0.06,
+		sizeLo: 0.1, sizeHi: 100, sizeUnit: "MB",
+	},
+	{
+		Name: "TN", LongName: "Thumbnailer",
+		Description: "Thumbnail input images",
+		Class:       SizeRelated,
+		UserAlloc:   resources.Vector{CPU: resources.Cores(2), Mem: 512},
+		ColdStart:   0.4,
+		curve: []curvePoint{
+			{size: 0.05, cpu: 200, mem: 80, dur: 1},
+			{size: 0.5, cpu: 500, mem: 140, dur: 2.4},
+			{size: 5, cpu: 1500, mem: 320, dur: 7.2},
+			{size: 20, cpu: 2400, mem: 540, dur: 14},
+		},
+		jitter: 0.07,
+		sizeLo: 0.05, sizeHi: 20, sizeUnit: "MB",
+	},
+	{
+		Name: "CP", LongName: "Compression",
+		Description: "Compress input files",
+		Class:       SizeRelated,
+		UserAlloc:   resources.Vector{CPU: resources.Cores(2), Mem: 768},
+		ColdStart:   0.4,
+		curve: []curvePoint{
+			{size: 0.2, cpu: 400, mem: 96, dur: 2},
+			{size: 2, cpu: 1100, mem: 192, dur: 5.6},
+			{size: 20, cpu: 2800, mem: 448, dur: 16},
+			{size: 200, cpu: 4800, mem: 880, dur: 44},
+		},
+		jitter: 0.06,
+		sizeLo: 0.2, sizeHi: 200, sizeUnit: "MB",
+	},
+	{
+		Name: "DV", LongName: "DNA Visualization",
+		Description: "Visualize input DNA sequence files",
+		Class:       SizeRelated,
+		UserAlloc:   resources.Vector{CPU: resources.Cores(6), Mem: 1024},
+		ColdStart:   0.6,
+		curve: []curvePoint{
+			{size: 0.5, cpu: 900, mem: 150, dur: 3.2},
+			{size: 5, cpu: 2400, mem: 288, dur: 9.6},
+			{size: 50, cpu: 5200, mem: 620, dur: 27.2},
+			{size: 150, cpu: 6900, mem: 960, dur: 48},
+		},
+		jitter: 0.05,
+		sizeLo: 0.5, sizeHi: 150, sizeUnit: "MB",
+	},
+	{
+		Name: "DH", LongName: "Dynamic HTML",
+		Description: "Generate HTMLs from input templates",
+		Class:       SizeRelated,
+		UserAlloc:   resources.Vector{CPU: resources.Cores(6), Mem: 768},
+		ColdStart:   0.35,
+		curve: []curvePoint{
+			{size: 50, cpu: 800, mem: 112, dur: 2.4},
+			{size: 100, cpu: 950, mem: 140, dur: 3.6},
+			{size: 1000, cpu: 2300, mem: 200, dur: 8},
+			{size: 4000, cpu: 3600, mem: 270, dur: 14.4},
+			{size: 10000, cpu: 6500, mem: 800, dur: 24},
+			{size: 20000, cpu: 8000, mem: 1024, dur: 36},
+		},
+		jitter: 0.05,
+		sizeLo: 50, sizeHi: 20000, sizeUnit: "pages",
+	},
+	{
+		Name: "VP", LongName: "Video Processing",
+		Description: "Generate GIF of an input video",
+		Class:       SizeUnrelated,
+		UserAlloc:   resources.Vector{CPU: resources.Cores(4), Mem: 512},
+		ColdStart:   0.8,
+		// Content-driven: every video saturates the 4-core allocation and
+		// most could use far more (Fig 1: VP is under-provisioned in all
+		// three cases).
+		cpuBase: 4200, cpuRange: 3600,
+		memBase: 384, memRange: 520,
+		durBase: 10, durRange: 36, durShape: 1.6,
+		jitter: 0.0,
+		sizeLo: 1, sizeHi: 80, sizeUnit: "MB",
+	},
+	{
+		Name: "IR", LongName: "Image Recognition",
+		Description: "Recognize an input image",
+		Class:       SizeUnrelated,
+		UserAlloc:   resources.Vector{CPU: resources.Cores(4), Mem: 768},
+		ColdStart:   1.1,
+		cpuBase:     2200, cpuRange: 4800,
+		memBase: 320, memRange: 560,
+		durBase: 4.8, durRange: 20, durShape: 1.3,
+		sizeLo: 0.05, sizeHi: 0.2, sizeUnit: "MB",
+	},
+	{
+		Name: "GP", LongName: "Graph Pagerank",
+		Description: "Pagerank a randomly generated graph",
+		Class:       SizeUnrelated,
+		UserAlloc:   resources.Vector{CPU: resources.Cores(3), Mem: 512},
+		ColdStart:   0.5,
+		cpuBase:     900, cpuRange: 3800,
+		memBase: 128, memRange: 448,
+		durBase: 3.2, durRange: 24, durShape: 1.8,
+		sizeLo: 1000, sizeHi: 100000, sizeUnit: "nodes",
+	},
+	{
+		Name: "GM", LongName: "Graph MST",
+		Description: "Minimum spanning tree on a randomly generated graph",
+		Class:       SizeUnrelated,
+		UserAlloc:   resources.Vector{CPU: resources.Cores(3), Mem: 512},
+		ColdStart:   0.5,
+		cpuBase:     800, cpuRange: 3400,
+		memBase: 112, memRange: 400,
+		durBase: 2.8, durRange: 20, durShape: 1.5,
+		sizeLo: 1000, sizeHi: 100000, sizeUnit: "nodes",
+	},
+	{
+		Name: "GB", LongName: "Graph BFS",
+		Description: "Breadth-first search on a randomly generated graph",
+		Class:       SizeUnrelated,
+		UserAlloc:   resources.Vector{CPU: resources.Cores(3), Mem: 512},
+		ColdStart:   0.5,
+		cpuBase:     700, cpuRange: 3000,
+		memBase: 96, memRange: 384,
+		durBase: 2, durRange: 16, durShape: 1.4,
+		sizeLo: 1000, sizeHi: 100000, sizeUnit: "nodes",
+	},
+}
+
+// Apps returns the ten applications of Table 1 in their table order.
+// The returned slice is shared; callers must not mutate the specs.
+func Apps() []*Spec { return catalog }
+
+// SizeRelatedApps returns UL, TN, CP, DV, DH — the input-size-related
+// workload of §8.7.
+func SizeRelatedApps() []*Spec { return filter(SizeRelated) }
+
+// SizeUnrelatedApps returns VP, IR, GP, GM, GB.
+func SizeUnrelatedApps() []*Spec { return filter(SizeUnrelated) }
+
+func filter(c Class) []*Spec {
+	var out []*Spec
+	for _, s := range catalog {
+		if s.Class == c {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByName looks an application up by its short name (e.g. "DH"); the
+// second result reports whether it exists.
+func ByName(name string) (*Spec, bool) {
+	for _, s := range catalog {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// SampleInput draws one input from the app's synthetic dataset: sizes are
+// log-uniform over the dataset range (heavy tail toward small inputs, as
+// in real storage/video datasets) and content seeds are uniform.
+func (s *Spec) SampleInput(rng *rand.Rand) Input {
+	lo, hi := math.Log(s.sizeLo), math.Log(s.sizeHi)
+	return Input{
+		Size: math.Exp(lo + rng.Float64()*(hi-lo)),
+		Seed: rng.Uint64(),
+	}
+}
+
+// Allocation classes (§4.3.1): "each allocation option is a separate
+// class". CPU options are whole cores 1..8; memory options are 128 MB
+// steps 128..1024.
+const (
+	NumCPUClasses = 8
+	NumMemClasses = 8
+)
+
+// CPUClass maps a CPU peak to its allocation-option class 0..7
+// (class k means k+1 cores).
+func CPUClass(c resources.Millicores) int {
+	k := int((c + 999) / 1000) // ceil to cores
+	if k < 1 {
+		k = 1
+	}
+	if k > NumCPUClasses {
+		k = NumCPUClasses
+	}
+	return k - 1
+}
+
+// CPUFromClass returns the allocation for a CPU class.
+func CPUFromClass(k int) resources.Millicores {
+	return resources.Millicores((k + 1) * 1000)
+}
+
+// MemClass maps a memory peak to its allocation-option class 0..7
+// (class k means (k+1)*128 MB).
+func MemClass(m resources.MegaBytes) int {
+	k := int((m + 127) / 128)
+	if k < 1 {
+		k = 1
+	}
+	if k > NumMemClasses {
+		k = NumMemClasses
+	}
+	return k - 1
+}
+
+// MemFromClass returns the allocation for a memory class.
+func MemFromClass(k int) resources.MegaBytes {
+	return resources.MegaBytes((k + 1) * 128)
+}
+
+// Names returns the sorted short names of all applications.
+func Names() []string {
+	out := make([]string, len(catalog))
+	for i, s := range catalog {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,252 @@
+// Package function models the ten serverless applications of the paper's
+// evaluation (Table 1, SeBS benchmark suite): five whose resource demands
+// are dominated by input *size* (UL, TN, CP, DV, DH) and five dominated by
+// input *content* (VP, IR, GP, GM, GB).
+//
+// The paper runs the real applications on real datasets (CIFAR-100,
+// YouTube-8M, NCBI genomes, igraph); we substitute deterministic synthetic
+// demand laws — see DESIGN.md §1. Each application maps an Input to a
+// ground-truth Demand (CPU peak, memory peak, reference duration). For
+// size-related apps the law is a monotone curve over input size with small
+// content jitter; for size-unrelated apps the law is driven by a content
+// hash, so input size carries (almost) no signal — exactly the property
+// the profiler must detect (§4.3).
+package function
+
+import (
+	"fmt"
+	"math"
+
+	"libra/internal/resources"
+)
+
+// Class distinguishes the two application families of Table 1.
+type Class int
+
+const (
+	// SizeRelated applications' demands are dominated by input size.
+	SizeRelated Class = iota
+	// SizeUnrelated applications' demands are dominated by input content.
+	SizeUnrelated
+)
+
+func (c Class) String() string {
+	if c == SizeRelated {
+		return "size-related"
+	}
+	return "size-unrelated"
+}
+
+// Limits of the experimental environment (§8.2.3): every function is
+// profiled offline with the maximum allocation of eight CPU cores and
+// 1,024 MB memory.
+var (
+	MaxAlloc = resources.Vector{CPU: resources.Cores(8), Mem: 1024}
+	// MinMem is the per-function memory lower bound Libra reserves to
+	// mitigate OOM when harvesting memory (§5.1).
+	MinMem resources.MegaBytes = 64
+)
+
+// Input identifies one invocation's input data. Size is the app-specific
+// size measure (file MB, page count, graph nodes, ...); Seed identifies
+// the content (the provider cannot inspect content, but content still
+// determines the true demand of size-unrelated apps).
+type Input struct {
+	Size float64
+	Seed uint64
+}
+
+// Demand is the ground-truth resource demand of one invocation: the
+// highest number of busy millicores and MB during execution, and the
+// execution duration when the demand is fully provisioned.
+type Demand struct {
+	CPUPeak  resources.Millicores
+	MemPeak  resources.MegaBytes
+	Duration float64 // seconds at rate 1
+}
+
+// Vector returns the demand peaks as a resource vector.
+func (d Demand) Vector() resources.Vector {
+	return resources.Vector{CPU: d.CPUPeak, Mem: d.MemPeak}
+}
+
+// curvePoint is one breakpoint of a size-related demand law; sizes between
+// breakpoints interpolate linearly in log10(size).
+type curvePoint struct {
+	size float64
+	cpu  float64 // millicores
+	mem  float64 // MB
+	dur  float64 // seconds
+}
+
+// Spec describes one application.
+type Spec struct {
+	Name        string
+	LongName    string
+	Description string
+	Class       Class
+	// UserAlloc is the developer's fixed resource configuration (Step 1 of
+	// the workflow) — the upper bound invocations of this function receive
+	// without harvesting.
+	UserAlloc resources.Vector
+	// ColdStart is the container-initialization delay in seconds on a node
+	// with no warm container for this function.
+	ColdStart float64
+
+	// size-related law
+	curve []curvePoint
+	// content jitter amplitude applied to every metric (fraction, e.g.
+	// 0.07 = ±7%). For size-unrelated apps this is the *dominant* range.
+	jitter float64
+	// size-unrelated law: demand ranges driven by the content hash
+	cpuBase, cpuRange float64 // millicores
+	memBase, memRange float64 // MB
+	durBase, durRange float64 // seconds
+	durShape          float64 // skew of the content distribution
+
+	// input dataset model
+	sizeLo, sizeHi float64
+	sizeUnit       string
+}
+
+// SizeUnit names the app-specific unit of Input.Size (for reports).
+func (s *Spec) SizeUnit() string { return s.sizeUnit }
+
+// SizeRange returns the sampling range of the app's synthetic dataset.
+func (s *Spec) SizeRange() (lo, hi float64) { return s.sizeLo, s.sizeHi }
+
+// hash01 maps a seed to a deterministic uniform value in [0,1).
+func hash01(seed uint64) float64 {
+	// splitmix64 finalizer
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// jitterFactor derives a multiplicative jitter in [1-amp, 1+amp] from the
+// seed and a salt (so CPU, memory and duration jitters are independent).
+func jitterFactor(seed uint64, salt uint64, amp float64) float64 {
+	return 1 + amp*(2*hash01(seed^salt*0x9e3779b97f4a7c15)-1)
+}
+
+// Demand returns the ground-truth demand of the invocation, deterministic
+// in (app, input).
+func (s *Spec) Demand(in Input) Demand {
+	var cpu, mem, dur float64
+	switch s.Class {
+	case SizeRelated:
+		cpu, mem, dur = s.interp(in.Size)
+		dur *= jitterFactor(in.Seed, 3, s.jitter)
+		// Busy-core and memory peaks are inherently quantized: a function
+		// occupies whole worker threads and the runtime's allocator hands
+		// out 128 MB slabs, so the peak snaps to the enclosing allocation
+		// option. Content jitter affects duration only.
+		return Demand{
+			CPUPeak:  CPUFromClass(CPUClass(clampCPU(resources.Millicores(cpu)))),
+			MemPeak:  MemFromClass(MemClass(clampMem(resources.MegaBytes(mem)))),
+			Duration: math.Max(0.05, dur),
+		}
+	default:
+		f := hash01(in.Seed)
+		g := math.Pow(f, s.durShape)
+		cpu = s.cpuBase + s.cpuRange*hash01(in.Seed^0xabcdef)
+		mem = s.memBase + s.memRange*hash01(in.Seed^0x123456)
+		dur = s.durBase + s.durRange*g
+	}
+	d := Demand{
+		CPUPeak:  clampCPU(resources.Millicores(cpu)),
+		MemPeak:  clampMem(resources.MegaBytes(mem)),
+		Duration: math.Max(0.05, dur),
+	}
+	return d
+}
+
+func clampCPU(c resources.Millicores) resources.Millicores {
+	if c < 100 {
+		return 100
+	}
+	if c > MaxAlloc.CPU {
+		return MaxAlloc.CPU
+	}
+	return c
+}
+
+func clampMem(m resources.MegaBytes) resources.MegaBytes {
+	if m < MinMem {
+		return MinMem
+	}
+	if m > MaxAlloc.Mem {
+		return MaxAlloc.Mem
+	}
+	return m
+}
+
+// interp evaluates the size-related law at size, interpolating between
+// breakpoints in log10(size). Outside the breakpoint range the edge
+// segment extrapolates log-linearly — real functions keep scaling with
+// input size; the envelope clamp in Demand caps resources at the
+// platform maximum while duration keeps growing.
+func (s *Spec) interp(size float64) (cpu, mem, dur float64) {
+	c := s.curve
+	n := len(c)
+	seg := 0
+	switch {
+	case size <= c[0].size:
+		seg = 0
+	case size >= c[n-1].size:
+		seg = n - 2
+	default:
+		for seg = 0; seg+2 < n && size > c[seg+1].size; seg++ {
+		}
+	}
+	a, b := c[seg], c[seg+1]
+	t := (math.Log10(size) - math.Log10(a.size)) /
+		(math.Log10(b.size) - math.Log10(a.size))
+	return lerp(a.cpu, b.cpu, t), lerp(a.mem, b.mem, t), lerp(a.dur, b.dur, t)
+}
+
+func lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// Rate returns the execution progress rate (0..1] of an invocation with
+// ground-truth demand d running under allocation alloc. Rate 1 means the
+// invocation progresses at its reference speed; an under-provisioned
+// invocation progresses proportionally slower on the CPU axis and with a
+// square-root penalty on the memory axis (paging pressure degrades
+// sublinearly until the OOM floor).
+func Rate(alloc resources.Vector, d Demand) float64 {
+	if alloc.CPU <= 0 || alloc.Mem <= 0 {
+		return 0
+	}
+	cpuFrac := float64(alloc.CPU) / float64(d.CPUPeak)
+	if cpuFrac > 1 {
+		cpuFrac = 1
+	}
+	memFrac := float64(alloc.Mem) / float64(d.MemPeak)
+	if memFrac > 1 {
+		memFrac = 1
+	}
+	return cpuFrac * math.Sqrt(memFrac)
+}
+
+// DurationUnder returns the execution duration of demand d under a fixed
+// allocation.
+func DurationUnder(alloc resources.Vector, d Demand) float64 {
+	r := Rate(alloc, d)
+	if r <= 0 {
+		return math.Inf(1)
+	}
+	return d.Duration / r
+}
+
+// Usage returns the resources the invocation actually keeps busy under an
+// allocation: the component-wise minimum of allocation and demand peak.
+// System utilization (§8.1) divides the sum of Usage by cluster capacity.
+func Usage(alloc resources.Vector, d Demand) resources.Vector {
+	return alloc.Min(d.Vector())
+}
+
+func (s *Spec) String() string {
+	return fmt.Sprintf("%s (%s, %s)", s.Name, s.LongName, s.Class)
+}

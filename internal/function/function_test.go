@@ -1,0 +1,265 @@
+package function
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"libra/internal/resources"
+)
+
+func TestCatalogShape(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 10 {
+		t.Fatalf("len(Apps()) = %d, want 10", len(apps))
+	}
+	if len(SizeRelatedApps()) != 5 || len(SizeUnrelatedApps()) != 5 {
+		t.Fatalf("class split = %d/%d, want 5/5",
+			len(SizeRelatedApps()), len(SizeUnrelatedApps()))
+	}
+	seen := map[string]bool{}
+	for _, s := range apps {
+		if seen[s.Name] {
+			t.Fatalf("duplicate app name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if !s.UserAlloc.Fits(MaxAlloc) {
+			t.Errorf("%s user alloc %v exceeds max %v", s.Name, s.UserAlloc, MaxAlloc)
+		}
+		if s.ColdStart <= 0 {
+			t.Errorf("%s has non-positive cold start", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("DH")
+	if !ok || s.LongName != "Dynamic HTML" {
+		t.Fatalf("ByName(DH) = %v, %v", s, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName(nope) should fail")
+	}
+}
+
+func TestDemandDeterministic(t *testing.T) {
+	for _, s := range Apps() {
+		in := Input{Size: (s.sizeLo + s.sizeHi) / 2, Seed: 12345}
+		a, b := s.Demand(in), s.Demand(in)
+		if a != b {
+			t.Fatalf("%s: Demand not deterministic: %v vs %v", s.Name, a, b)
+		}
+	}
+}
+
+func TestDemandWithinEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range Apps() {
+		for i := 0; i < 500; i++ {
+			d := s.Demand(s.SampleInput(rng))
+			if d.CPUPeak < 100 || d.CPUPeak > MaxAlloc.CPU {
+				t.Fatalf("%s: CPU peak %v out of envelope", s.Name, d.CPUPeak)
+			}
+			if d.MemPeak < MinMem || d.MemPeak > MaxAlloc.Mem {
+				t.Fatalf("%s: mem peak %v out of envelope", s.Name, d.MemPeak)
+			}
+			if d.Duration <= 0 {
+				t.Fatalf("%s: non-positive duration", s.Name)
+			}
+		}
+	}
+}
+
+func TestSizeRelatedMonotoneInSize(t *testing.T) {
+	// With a fixed seed, size-related demand laws are nondecreasing in
+	// input size (jitter is a fixed multiplier for a fixed seed).
+	for _, s := range SizeRelatedApps() {
+		lo, hi := s.SizeRange()
+		prev := Demand{}
+		for i := 0; i <= 20; i++ {
+			size := lo * math.Pow(hi/lo, float64(i)/20)
+			d := s.Demand(Input{Size: size, Seed: 7})
+			if i > 0 && (d.CPUPeak < prev.CPUPeak || d.MemPeak < prev.MemPeak || d.Duration < prev.Duration-1e-9) {
+				t.Fatalf("%s: demand not monotone at size %g: %+v < %+v", s.Name, size, d, prev)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestSizeUnrelatedIgnoresSize(t *testing.T) {
+	for _, s := range SizeUnrelatedApps() {
+		d1 := s.Demand(Input{Size: 1, Seed: 99})
+		d2 := s.Demand(Input{Size: 1e6, Seed: 99})
+		if d1 != d2 {
+			t.Fatalf("%s: size changed demand of size-unrelated app", s.Name)
+		}
+		// ... but content changes it.
+		d3 := s.Demand(Input{Size: 1, Seed: 100})
+		if d1 == d3 {
+			t.Fatalf("%s: content seed had no effect", s.Name)
+		}
+	}
+}
+
+func TestDHMotivatingCases(t *testing.T) {
+	// Fig 1 calibration: DH at size 100 uses ~1 core, at 4K ~4 cores, at
+	// 10K it (nearly) saturates its 6-core user allocation.
+	dh, _ := ByName("DH")
+	d100 := dh.Demand(Input{Size: 100, Seed: 0})
+	d4k := dh.Demand(Input{Size: 4000, Seed: 0})
+	d10k := dh.Demand(Input{Size: 10000, Seed: 0})
+	if c := d100.CPUPeak.Cores(); c < 0.7 || c > 1.4 {
+		t.Errorf("DH@100 cpu = %.2f cores, want ≈1", c)
+	}
+	if c := d4k.CPUPeak.Cores(); c < 3.3 || c > 4.7 {
+		t.Errorf("DH@4K cpu = %.2f cores, want ≈4", c)
+	}
+	if c := d10k.CPUPeak.Cores(); c < 5.8 {
+		t.Errorf("DH@10K cpu = %.2f cores, want ≥6 (saturated)", c)
+	}
+}
+
+func TestVPAlwaysUnderProvisioned(t *testing.T) {
+	// Fig 1: VP saturates its 4-core allocation with every video.
+	vp, _ := ByName("VP")
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		d := vp.Demand(vp.SampleInput(rng))
+		if d.CPUPeak < vp.UserAlloc.CPU {
+			t.Fatalf("VP demand %v below user alloc %v", d.CPUPeak, vp.UserAlloc.CPU)
+		}
+	}
+}
+
+func TestRate(t *testing.T) {
+	d := Demand{CPUPeak: 4000, MemPeak: 512, Duration: 10}
+	if r := Rate(resources.Vector{CPU: 4000, Mem: 512}, d); r != 1 {
+		t.Fatalf("full-provision rate = %g, want 1", r)
+	}
+	if r := Rate(resources.Vector{CPU: 2000, Mem: 512}, d); math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("half-CPU rate = %g, want 0.5", r)
+	}
+	if r := Rate(resources.Vector{CPU: 4000, Mem: 128}, d); math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("quarter-mem rate = %g, want sqrt(0.25)=0.5", r)
+	}
+	if r := Rate(resources.Vector{CPU: 8000, Mem: 2048}, d); r != 1 {
+		t.Fatalf("over-provision rate = %g, want 1 (capped)", r)
+	}
+	if r := Rate(resources.Vector{}, d); r != 0 {
+		t.Fatalf("zero-alloc rate = %g, want 0", r)
+	}
+}
+
+func TestDurationUnder(t *testing.T) {
+	d := Demand{CPUPeak: 4000, MemPeak: 512, Duration: 10}
+	if dur := DurationUnder(resources.Vector{CPU: 2000, Mem: 512}, d); math.Abs(dur-20) > 1e-9 {
+		t.Fatalf("half-CPU duration = %g, want 20", dur)
+	}
+	if dur := DurationUnder(resources.Vector{}, d); !math.IsInf(dur, 1) {
+		t.Fatalf("zero-alloc duration = %g, want +Inf", dur)
+	}
+}
+
+func TestUsage(t *testing.T) {
+	d := Demand{CPUPeak: 4000, MemPeak: 512}
+	u := Usage(resources.Vector{CPU: 6000, Mem: 256}, d)
+	if u != (resources.Vector{CPU: 4000, Mem: 256}) {
+		t.Fatalf("Usage = %v", u)
+	}
+}
+
+func TestPropertyRateMonotoneInAllocation(t *testing.T) {
+	f := func(cpu1, cpu2 uint16, mem1, mem2 uint16) bool {
+		d := Demand{CPUPeak: 4000, MemPeak: 512, Duration: 5}
+		a := resources.Vector{CPU: resources.Millicores(cpu1), Mem: resources.MegaBytes(mem1)}
+		b := a.Add(resources.Vector{CPU: resources.Millicores(cpu2), Mem: resources.MegaBytes(mem2)})
+		return Rate(b, d) >= Rate(a, d)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRateBounded(t *testing.T) {
+	f := func(cpu uint32, mem uint32, dc uint16, dm uint16) bool {
+		d := Demand{
+			CPUPeak:  resources.Millicores(dc%8000 + 100),
+			MemPeak:  resources.MegaBytes(dm%1024 + 64),
+			Duration: 1,
+		}
+		a := resources.Vector{CPU: resources.Millicores(cpu % 20000), Mem: resources.MegaBytes(mem % 4096)}
+		r := Rate(a, d)
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleInputWithinRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, s := range Apps() {
+		lo, hi := s.SizeRange()
+		for i := 0; i < 200; i++ {
+			in := s.SampleInput(rng)
+			if in.Size < lo || in.Size > hi {
+				t.Fatalf("%s: sampled size %g outside [%g, %g]", s.Name, in.Size, lo, hi)
+			}
+		}
+	}
+}
+
+func TestAllocationClasses(t *testing.T) {
+	if CPUClass(1) != 0 || CPUClass(1000) != 0 || CPUClass(1001) != 1 || CPUClass(8000) != 7 || CPUClass(99999) != 7 {
+		t.Fatal("CPUClass boundaries wrong")
+	}
+	if MemClass(1) != 0 || MemClass(128) != 0 || MemClass(129) != 1 || MemClass(1024) != 7 || MemClass(99999) != 7 {
+		t.Fatal("MemClass boundaries wrong")
+	}
+	for k := 0; k < NumCPUClasses; k++ {
+		if CPUClass(CPUFromClass(k)) != k {
+			t.Fatalf("CPU class %d does not round-trip", k)
+		}
+	}
+	for k := 0; k < NumMemClasses; k++ {
+		if MemClass(MemFromClass(k)) != k {
+			t.Fatalf("mem class %d does not round-trip", k)
+		}
+	}
+}
+
+// Property: a predicted class allocation always covers demands within
+// that class (the class ceiling is what Libra allocates).
+func TestPropertyClassAllocationCoversDemand(t *testing.T) {
+	f := func(c uint16) bool {
+		mc := resources.Millicores(c%8000 + 1)
+		return CPUFromClass(CPUClass(mc)) >= mc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("Names() = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	dh, _ := ByName("DH")
+	if got := dh.String(); got != "DH (Dynamic HTML, size-related)" {
+		t.Fatalf("String() = %q", got)
+	}
+	if SizeUnrelated.String() != "size-unrelated" {
+		t.Fatal("Class.String wrong")
+	}
+}

@@ -1,0 +1,322 @@
+// Package harvest implements Libra's harvest resource pool (§5.1): the
+// per-worker-node registry of idle resources harvested from
+// over-provisioned function invocations.
+//
+// A pool tracks one resource type (the paper decouples CPU and memory, so
+// each node owns one pool for millicores and one for MB). Each tracking
+// object is the paper's (invo_id, hvst_resource_vol, priority) tuple; the
+// priority is the source invocation's estimated completion timestamp, and
+// get() hands out units with the *largest* priority first — resources that
+// potentially stay valid longest.
+//
+// The pool supports the paper's full lifecycle:
+//
+//   - put: track idle units harvested from a source invocation;
+//   - get: borrow units best-effort for an accelerated invocation (a Loan);
+//   - preemptive release: when the source completes (or its safeguard
+//     fires), all of its units vanish instantly — both the pooled remainder
+//     and the outstanding loans, which the caller must strip from borrowers;
+//   - re-harvest: when a borrower completes while the source is still
+//     running, the borrowed units re-enter the pool with their original
+//     priority.
+//
+// All operations are guarded by a mutex ("atomic resource operations with
+// mutex exclusion", §5.1) so concurrent schedulers can share a node view.
+package harvest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ID identifies a function invocation (the source or borrower of
+// harvested units).
+type ID int64
+
+// Entry is a snapshot of one tracking object in the pool.
+type Entry struct {
+	Source ID
+	Vol    int64
+	// Expiry is the priority: the source's estimated completion timestamp.
+	Expiry float64
+}
+
+// Loan records units currently borrowed from one source by one borrower.
+type Loan struct {
+	Source   ID
+	Borrower ID
+	Vol      int64
+	Expiry   float64
+}
+
+// LendOrder selects which pooled units a get() hands out first.
+type LendOrder int
+
+const (
+	// LongestExpiryFirst is the paper's priority: units whose source
+	// potentially runs longest are lent first (§5.1 "Priority").
+	LongestExpiryFirst LendOrder = iota
+	// FIFO lends in insertion order regardless of expiry — the ablation
+	// baseline for the priority design choice.
+	FIFO
+)
+
+// Pool is a harvest resource pool for a single resource type.
+type Pool struct {
+	// Order is the lending order; the zero value is the paper's
+	// longest-expiry-first priority.
+	Order LendOrder
+
+	mu       sync.Mutex
+	bySource map[ID]*Entry
+	loans    map[ID][]*Loan // keyed by source
+	seq      map[ID]int64   // insertion order for FIFO
+	nextSeq  int64
+
+	// idle-time accounting for Fig 10: ∫ pooled-but-unused volume dt.
+	lastUpdate   float64
+	pooledVol    int64
+	idleIntegral float64
+
+	// counters for reports
+	totalPut, totalGot, totalExpired, totalReharvested int64
+}
+
+// New returns an empty pool.
+func New() *Pool {
+	return &Pool{
+		bySource: make(map[ID]*Entry),
+		loans:    make(map[ID][]*Loan),
+		seq:      make(map[ID]int64),
+	}
+}
+
+func (p *Pool) advance(now float64) {
+	if now > p.lastUpdate {
+		p.idleIntegral += float64(p.pooledVol) * (now - p.lastUpdate)
+		p.lastUpdate = now
+	}
+}
+
+// Put tracks vol idle units harvested from src, valid until expiry.
+// Multiple puts for the same source merge; the later expiry wins (it is
+// the fresher estimate). Zero or negative volumes are ignored.
+func (p *Pool) Put(now float64, src ID, vol int64, expiry float64) {
+	if vol <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advance(now)
+	if e, ok := p.bySource[src]; ok {
+		e.Vol += vol
+		if expiry > e.Expiry {
+			e.Expiry = expiry
+		}
+	} else {
+		p.bySource[src] = &Entry{Source: src, Vol: vol, Expiry: expiry}
+		p.seq[src] = p.nextSeq
+		p.nextSeq++
+	}
+	p.pooledVol += vol
+	p.totalPut += vol
+}
+
+// Get borrows up to want units for borrower, preferring units whose
+// expiry is farthest in the future. It is best-effort: the returned loans
+// may cover less than want (or be empty). Units already expired relative
+// to now are skipped and dropped.
+func (p *Pool) Get(now float64, borrower ID, want int64) []*Loan {
+	if want <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advance(now)
+	entries := make([]*Entry, 0, len(p.bySource))
+	for _, e := range p.bySource {
+		entries = append(entries, e)
+	}
+	if p.Order == FIFO {
+		sort.Slice(entries, func(i, j int) bool {
+			return p.seq[entries[i].Source] < p.seq[entries[j].Source]
+		})
+	} else {
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].Expiry != entries[j].Expiry {
+				return entries[i].Expiry > entries[j].Expiry
+			}
+			return entries[i].Source < entries[j].Source // deterministic tie-break
+		})
+	}
+	var out []*Loan
+	for _, e := range entries {
+		if want <= 0 {
+			break
+		}
+		if e.Expiry <= now {
+			// The source should already have released these; drop stale
+			// units defensively rather than lend invalid resources.
+			p.pooledVol -= e.Vol
+			p.totalExpired += e.Vol
+			p.remove(e.Source)
+			continue
+		}
+		take := e.Vol
+		if take > want {
+			take = want
+		}
+		e.Vol -= take
+		p.pooledVol -= take
+		p.totalGot += take
+		if e.Vol == 0 {
+			p.remove(e.Source)
+		}
+		loan := &Loan{Source: e.Source, Borrower: borrower, Vol: take, Expiry: e.Expiry}
+		p.loans[e.Source] = append(p.loans[e.Source], loan)
+		out = append(out, loan)
+		want -= take
+	}
+	return out
+}
+
+// Reharvest returns a loan's units to the pool (the borrower finished
+// while the source is still running, §5.1 "Re-harvesting"). The units
+// re-enter with their original expiry. If the loan's source has already
+// been released the call is a no-op — the units are simply gone.
+func (p *Pool) Reharvest(now float64, loan *Loan) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advance(now)
+	if !p.removeLoan(loan) {
+		return // source already released; nothing to return
+	}
+	if loan.Expiry <= now {
+		p.totalExpired += loan.Vol
+		return
+	}
+	if e, ok := p.bySource[loan.Source]; ok {
+		e.Vol += loan.Vol
+	} else {
+		p.bySource[loan.Source] = &Entry{Source: loan.Source, Vol: loan.Vol, Expiry: loan.Expiry}
+		p.seq[loan.Source] = p.nextSeq
+		p.nextSeq++
+	}
+	p.pooledVol += loan.Vol
+	p.totalReharvested += loan.Vol
+}
+
+// ReleaseSource performs the preemptive release for src (§5.1): all its
+// pooled units vanish and every outstanding loan from it is revoked. The
+// revoked loans are returned so the caller (the worker node) can strip
+// the units from the borrowers' allocations in realtime.
+func (p *Pool) ReleaseSource(now float64, src ID) (pooled int64, revoked []*Loan) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advance(now)
+	if e, ok := p.bySource[src]; ok {
+		pooled = e.Vol
+		p.pooledVol -= e.Vol
+		p.remove(src)
+	}
+	revoked = p.loans[src]
+	delete(p.loans, src)
+	return pooled, revoked
+}
+
+// remove drops a source's entry and its FIFO sequence.
+func (p *Pool) remove(src ID) {
+	delete(p.bySource, src)
+	delete(p.seq, src)
+}
+
+// removeLoan unlinks loan from its source's loan list; reports whether it
+// was still outstanding.
+func (p *Pool) removeLoan(loan *Loan) bool {
+	ls := p.loans[loan.Source]
+	for i, l := range ls {
+		if l == loan {
+			ls[i] = ls[len(ls)-1]
+			ls = ls[:len(ls)-1]
+			if len(ls) == 0 {
+				delete(p.loans, loan.Source)
+			} else {
+				p.loans[loan.Source] = ls
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Available returns the pooled (unlent, unexpired) volume at now.
+func (p *Pool) Available(now float64) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var v int64
+	for _, e := range p.bySource {
+		if e.Expiry > now {
+			v += e.Vol
+		}
+	}
+	return v
+}
+
+// Entries returns a snapshot of the pooled tracking objects, sorted by
+// descending expiry. This is the status information piggybacked on the
+// node's health ping messages (§6.4) for demand-coverage computation.
+func (p *Pool) Entries() []Entry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Entry, 0, len(p.bySource))
+	for _, e := range p.bySource {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Expiry != out[j].Expiry {
+			return out[i].Expiry > out[j].Expiry
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// OutstandingLoans returns the total volume currently lent out.
+func (p *Pool) OutstandingLoans() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var v int64
+	for _, ls := range p.loans {
+		for _, l := range ls {
+			v += l.Vol
+		}
+	}
+	return v
+}
+
+// IdleIntegral returns ∫ pooled volume dt up to now — the "idle time of
+// harvested resources" metric of Fig 10 (units × seconds spent in the
+// pool with no invocation using them).
+func (p *Pool) IdleIntegral(now float64) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advance(now)
+	return p.idleIntegral
+}
+
+// Stats summarises pool activity for the overhead report.
+type Stats struct {
+	Put, Got, Expired, Reharvested int64
+}
+
+// Stats returns cumulative counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{Put: p.totalPut, Got: p.totalGot, Expired: p.totalExpired, Reharvested: p.totalReharvested}
+}
+
+func (e Entry) String() string {
+	return fmt.Sprintf("{src=%d vol=%d expiry=%.3f}", e.Source, e.Vol, e.Expiry)
+}

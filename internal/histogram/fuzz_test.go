@@ -1,0 +1,32 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuantile: for any observation sequence and quantile, the estimate
+// stays inside [Min, Max] and never panics.
+func FuzzQuantile(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 0.5)
+	f.Add(-10.0, 1e9, 0.0, 0.99)
+	f.Add(math.Inf(1), 5.0, 5.0, 0.0)
+	f.Fuzz(func(t *testing.T, a, b, c, q float64) {
+		h := New(0, 100, 8)
+		for _, v := range []float64{a, b, c} {
+			if !math.IsInf(v, 0) {
+				h.Observe(v)
+			}
+		}
+		if h.Count() == 0 {
+			return
+		}
+		got := h.Quantile(q)
+		if math.IsNaN(got) {
+			t.Fatalf("Quantile(%g) = NaN", q)
+		}
+		if got < h.Min()-1e-9 || got > h.Max()+1e-9 {
+			t.Fatalf("Quantile(%g) = %g outside [%g, %g]", q, got, h.Min(), h.Max())
+		}
+	})
+}

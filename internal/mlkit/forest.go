@@ -1,0 +1,133 @@
+package mlkit
+
+import "math/rand"
+
+// ForestConfig parametrizes a random forest. Zero values select the
+// defaults noted per field.
+type ForestConfig struct {
+	Trees          int   // default 40
+	MaxDepth       int   // default 12
+	MinSamplesLeaf int   // default 1
+	MaxFeatures    int   // default: all features
+	Seed           int64 // bagging/feature-subsampling seed
+}
+
+func (c *ForestConfig) defaults() {
+	if c.Trees == 0 {
+		c.Trees = 40
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinSamplesLeaf == 0 {
+		c.MinSamplesLeaf = 1
+	}
+}
+
+// RandomForestClassifier is a bagged ensemble of CART classifiers with
+// majority voting — the model the paper selects for the profiler's CPU and
+// memory usage-peak predictions (§4.3.1, §8.6).
+type RandomForestClassifier struct {
+	Config ForestConfig
+	trees  []*DecisionTreeClassifier
+	k      int
+}
+
+// FitClassifier implements Classifier.
+func (f *RandomForestClassifier) FitClassifier(X [][]float64, y []int) {
+	checkFit(X, len(y))
+	f.Config.defaults()
+	rng := rand.New(rand.NewSource(f.Config.Seed))
+	f.k = NumClasses(y)
+	f.trees = make([]*DecisionTreeClassifier, f.Config.Trees)
+	n := len(X)
+	for t := range f.trees {
+		bx := make([][]float64, n)
+		by := make([]int, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i], by[i] = X[j], y[j]
+		}
+		tree := &DecisionTreeClassifier{Config: TreeConfig{
+			MaxDepth:       f.Config.MaxDepth,
+			MinSamplesLeaf: f.Config.MinSamplesLeaf,
+			MaxFeatures:    f.Config.MaxFeatures,
+			featurePick:    featurePicker(rng, f.Config.MaxFeatures),
+		}}
+		tree.FitClassifier(bx, by)
+		f.trees[t] = tree
+	}
+}
+
+// PredictClass implements Classifier by majority vote; ties break toward
+// the smaller class index (deterministic).
+func (f *RandomForestClassifier) PredictClass(x []float64) int {
+	votes := make([]int, f.k)
+	for _, t := range f.trees {
+		votes[t.PredictClass(x)]++
+	}
+	best, bestN := 0, -1
+	for c, n := range votes {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// RandomForestRegressor is a bagged ensemble of CART regressors with mean
+// aggregation — the paper's execution-time predictor (§4.3.1).
+type RandomForestRegressor struct {
+	Config ForestConfig
+	trees  []*DecisionTreeRegressor
+}
+
+// FitRegressor implements Regressor.
+func (f *RandomForestRegressor) FitRegressor(X [][]float64, y []float64) {
+	checkFit(X, len(y))
+	f.Config.defaults()
+	rng := rand.New(rand.NewSource(f.Config.Seed))
+	f.trees = make([]*DecisionTreeRegressor, f.Config.Trees)
+	n := len(X)
+	for t := range f.trees {
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i], by[i] = X[j], y[j]
+		}
+		tree := &DecisionTreeRegressor{Config: TreeConfig{
+			MaxDepth:       f.Config.MaxDepth,
+			MinSamplesLeaf: f.Config.MinSamplesLeaf,
+			MaxFeatures:    f.Config.MaxFeatures,
+			featurePick:    featurePicker(rng, f.Config.MaxFeatures),
+		}}
+		tree.FitRegressor(bx, by)
+		f.trees[t] = tree
+	}
+}
+
+// Predict implements Regressor.
+func (f *RandomForestRegressor) Predict(x []float64) float64 {
+	s := 0.0
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+func featurePicker(rng *rand.Rand, maxFeatures int) func(n int) []int {
+	if maxFeatures <= 0 {
+		return nil
+	}
+	return func(n int) []int {
+		if maxFeatures >= n {
+			all := make([]int, n)
+			for i := range all {
+				all[i] = i
+			}
+			return all
+		}
+		return rng.Perm(n)[:maxFeatures]
+	}
+}

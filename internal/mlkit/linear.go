@@ -1,0 +1,243 @@
+package mlkit
+
+import "math"
+
+// LinearRegression is ordinary least squares with an intercept, solved via
+// the normal equations with a small ridge term for numerical stability.
+// It is the "LR" regression entry of Table 2.
+type LinearRegression struct {
+	// Ridge is the L2 regularization strength; 0 means 1e-8 (stability only).
+	Ridge   float64
+	weights []float64 // [bias, w1..wd]
+}
+
+// FitRegressor implements Regressor.
+func (l *LinearRegression) FitRegressor(X [][]float64, y []float64) {
+	checkFit(X, len(y))
+	d := len(X[0]) + 1 // +1 intercept
+	lam := l.Ridge
+	if lam == 0 {
+		lam = 1e-8
+	}
+	// Build A = XᵀX + λI and b = Xᵀy with the augmented design matrix.
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d)
+	}
+	b := make([]float64, d)
+	row := make([]float64, d)
+	for i, x := range X {
+		row[0] = 1
+		copy(row[1:], x)
+		for p := 0; p < d; p++ {
+			for q := 0; q < d; q++ {
+				a[p][q] += row[p] * row[q]
+			}
+			b[p] += row[p] * y[i]
+		}
+	}
+	for p := 0; p < d; p++ {
+		a[p][p] += lam
+	}
+	l.weights = solveGauss(a, b)
+}
+
+// Predict implements Regressor.
+func (l *LinearRegression) Predict(x []float64) float64 {
+	s := l.weights[0]
+	for i, v := range x {
+		s += l.weights[i+1] * v
+	}
+	return s
+}
+
+// solveGauss solves a·w = b with partial pivoting. a and b are clobbered.
+func solveGauss(a [][]float64, b []float64) []float64 {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// pivot
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		p := a[col][col]
+		if p == 0 {
+			continue // singular direction; ridge term normally prevents this
+		}
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / p
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	w := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * w[c]
+		}
+		if a[r][r] != 0 {
+			w[r] = s / a[r][r]
+		}
+	}
+	return w
+}
+
+// LogisticRegression is multinomial (softmax) logistic regression trained
+// by full-batch gradient descent — the "LR" classification entry of Table 2.
+type LogisticRegression struct {
+	// LearningRate defaults to 0.1; Epochs defaults to 400; L2 defaults to 1e-4.
+	LearningRate float64
+	Epochs       int
+	L2           float64
+
+	k       int
+	weights [][]float64 // k × (d+1), column 0 is the bias
+	scaler  scaler
+}
+
+// FitClassifier implements Classifier.
+func (l *LogisticRegression) FitClassifier(X [][]float64, y []int) {
+	checkFit(X, len(y))
+	if l.LearningRate == 0 {
+		l.LearningRate = 0.1
+	}
+	if l.Epochs == 0 {
+		l.Epochs = 400
+	}
+	if l.L2 == 0 {
+		l.L2 = 1e-4
+	}
+	l.scaler.fit(X)
+	Xs := l.scaler.transform(X)
+	l.k = NumClasses(y)
+	d := len(Xs[0])
+	l.weights = make([][]float64, l.k)
+	for c := range l.weights {
+		l.weights[c] = make([]float64, d+1)
+	}
+	n := float64(len(Xs))
+	probs := make([]float64, l.k)
+	for ep := 0; ep < l.Epochs; ep++ {
+		grad := make([][]float64, l.k)
+		for c := range grad {
+			grad[c] = make([]float64, d+1)
+		}
+		for i, x := range Xs {
+			l.softmax(x, probs)
+			for c := 0; c < l.k; c++ {
+				t := 0.0
+				if y[i] == c {
+					t = 1
+				}
+				e := probs[c] - t
+				grad[c][0] += e
+				for j, v := range x {
+					grad[c][j+1] += e * v
+				}
+			}
+		}
+		for c := 0; c < l.k; c++ {
+			for j := range l.weights[c] {
+				g := grad[c][j]/n + l.L2*l.weights[c][j]
+				l.weights[c][j] -= l.LearningRate * g
+			}
+		}
+	}
+}
+
+func (l *LogisticRegression) softmax(x []float64, out []float64) {
+	maxz := math.Inf(-1)
+	for c := 0; c < l.k; c++ {
+		z := l.weights[c][0]
+		for j, v := range x {
+			z += l.weights[c][j+1] * v
+		}
+		out[c] = z
+		if z > maxz {
+			maxz = z
+		}
+	}
+	sum := 0.0
+	for c := range out {
+		out[c] = math.Exp(out[c] - maxz)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+}
+
+// PredictClass implements Classifier.
+func (l *LogisticRegression) PredictClass(x []float64) int {
+	xs := l.scaler.transformRow(x)
+	best, bestZ := 0, math.Inf(-1)
+	for c := 0; c < l.k; c++ {
+		z := l.weights[c][0]
+		for j, v := range xs {
+			z += l.weights[c][j+1] * v
+		}
+		if z > bestZ {
+			best, bestZ = c, z
+		}
+	}
+	return best
+}
+
+// scaler standardizes features to zero mean / unit variance; the gradient
+// models (logistic, SVM, MLP) need it, trees do not.
+type scaler struct {
+	mean, std []float64
+}
+
+func (s *scaler) fit(X [][]float64) {
+	d := len(X[0])
+	s.mean = make([]float64, d)
+	s.std = make([]float64, d)
+	for _, x := range X {
+		for j, v := range x {
+			s.mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, x := range X {
+		for j, v := range x {
+			dlt := v - s.mean[j]
+			s.std[j] += dlt * dlt
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] == 0 {
+			s.std[j] = 1
+		}
+	}
+}
+
+func (s *scaler) transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, x := range X {
+		out[i] = s.transformRow(x)
+	}
+	return out
+}
+
+func (s *scaler) transformRow(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}

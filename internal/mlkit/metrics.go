@@ -1,0 +1,73 @@
+package mlkit
+
+// Accuracy is the fraction of correct predictions — the paper's metric for
+// the CPU/memory usage-peak classifiers (§8.6).
+func Accuracy(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("mlkit: Accuracy length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	hit := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(pred))
+}
+
+// R2 is the coefficient of determination — the paper's metric for the
+// execution-time regressor (§8.6). It can be arbitrarily negative when the
+// model is worse than predicting the mean (Table 2 reports values like
+// -475 for SVM on DH).
+func R2(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("mlkit: R2 length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range truth {
+		mean += v
+	}
+	mean /= float64(len(truth))
+	var ssRes, ssTot float64
+	for i := range truth {
+		dr := truth[i] - pred[i]
+		dt := truth[i] - mean
+		ssRes += dr * dr
+		ssTot += dt * dt
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// EvaluateClassifier fits c on the train split and returns accuracy on the
+// test split.
+func EvaluateClassifier(c Classifier, X [][]float64, y []int, train, test []int) float64 {
+	c.FitClassifier(Rows(X, train), IntsAt(y, train))
+	pred := make([]int, len(test))
+	for i, j := range test {
+		pred[i] = c.PredictClass(X[j])
+	}
+	return Accuracy(pred, IntsAt(y, test))
+}
+
+// EvaluateRegressor fits r on the train split and returns R² on the test
+// split.
+func EvaluateRegressor(r Regressor, X [][]float64, y []float64, train, test []int) float64 {
+	r.FitRegressor(Rows(X, train), FloatsAt(y, train))
+	pred := make([]float64, len(test))
+	for i, j := range test {
+		pred[i] = r.Predict(X[j])
+	}
+	return R2(pred, FloatsAt(y, test))
+}

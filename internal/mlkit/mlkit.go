@@ -1,0 +1,89 @@
+// Package mlkit is a small, dependency-free machine-learning toolkit
+// implementing the model families the paper's profiler evaluates (§8.6,
+// Table 2): Random Forest, Logistic/Linear Regression, a linear SVM and a
+// one-hidden-layer Neural Network, for both multi-class classification
+// (CPU/memory usage-peak classes) and scalar regression (execution time).
+//
+// All models are seeded and deterministic. Feature matrices are dense
+// [][]float64 with one row per sample.
+package mlkit
+
+import "math/rand"
+
+// Classifier is a multi-class classification model. Classes are dense
+// integers 0..K-1 (the profiler maps allocation options to classes).
+type Classifier interface {
+	// FitClassifier trains on rows X with labels y. It panics if
+	// len(X) != len(y) or the training set is empty.
+	FitClassifier(X [][]float64, y []int)
+	// PredictClass returns the predicted class for one sample.
+	PredictClass(x []float64) int
+}
+
+// Regressor is a scalar regression model.
+type Regressor interface {
+	FitRegressor(X [][]float64, y []float64)
+	Predict(x []float64) float64
+}
+
+func checkFit(X [][]float64, n int) {
+	if len(X) == 0 {
+		panic("mlkit: empty training set")
+	}
+	if len(X) != n {
+		panic("mlkit: len(X) != len(y)")
+	}
+}
+
+// TrainTestSplit shuffles indices with rng and splits them into a training
+// and a test portion; trainFrac is the fraction assigned to training (the
+// paper uses 7:3, §8.2.3).
+func TrainTestSplit(n int, trainFrac float64, rng *rand.Rand) (train, test []int) {
+	perm := rng.Perm(n)
+	cut := int(float64(n) * trainFrac)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut > n {
+		cut = n
+	}
+	return perm[:cut], perm[cut:]
+}
+
+// Rows gathers the rows of X at the given indices.
+func Rows(X [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, j := range idx {
+		out[i] = X[j]
+	}
+	return out
+}
+
+// IntsAt gathers y at the given indices.
+func IntsAt(y []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = y[j]
+	}
+	return out
+}
+
+// FloatsAt gathers y at the given indices.
+func FloatsAt(y []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = y[j]
+	}
+	return out
+}
+
+// NumClasses returns 1 + max(y), the dense class count of a label vector.
+func NumClasses(y []int) int {
+	k := 0
+	for _, v := range y {
+		if v+1 > k {
+			k = v + 1
+		}
+	}
+	return k
+}

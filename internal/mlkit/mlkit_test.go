@@ -1,0 +1,310 @@
+package mlkit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthClassification builds a dataset where class = floor(x/10) clipped
+// to [0,k) with a little noise-free structure — every reasonable model
+// should learn it.
+func synthClassification(n, k int, rng *rand.Rand) (X [][]float64, y []int) {
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * float64(k*10)
+		c := int(x / 10)
+		if c >= k {
+			c = k - 1
+		}
+		X = append(X, []float64{x, math.Log1p(x)})
+		y = append(y, c)
+	}
+	return X, y
+}
+
+func synthRegression(n int, rng *rand.Rand) (X [][]float64, y []float64) {
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 100
+		X = append(X, []float64{x})
+		y = append(y, 3*x+7)
+	}
+	return X, y
+}
+
+func TestDecisionTreeClassifierLearnsSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := synthClassification(300, 4, rng)
+	tr, te := TrainTestSplit(len(X), 0.7, rng)
+	var m DecisionTreeClassifier
+	acc := EvaluateClassifier(&m, X, y, tr, te)
+	if acc < 0.95 {
+		t.Fatalf("tree accuracy = %.3f, want ≥0.95", acc)
+	}
+}
+
+func TestDecisionTreeRegressorLearnsLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X, y := synthRegression(300, rng)
+	tr, te := TrainTestSplit(len(X), 0.7, rng)
+	var m DecisionTreeRegressor
+	r2 := EvaluateRegressor(&m, X, y, tr, te)
+	if r2 < 0.98 {
+		t.Fatalf("tree R² = %.3f, want ≥0.98", r2)
+	}
+}
+
+func TestRandomForestClassifier(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := synthClassification(300, 5, rng)
+	tr, te := TrainTestSplit(len(X), 0.7, rng)
+	m := &RandomForestClassifier{Config: ForestConfig{Trees: 20, Seed: 1}}
+	acc := EvaluateClassifier(m, X, y, tr, te)
+	if acc < 0.93 {
+		t.Fatalf("forest accuracy = %.3f, want ≥0.93", acc)
+	}
+}
+
+func TestRandomForestRegressor(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X, y := synthRegression(300, rng)
+	tr, te := TrainTestSplit(len(X), 0.7, rng)
+	m := &RandomForestRegressor{Config: ForestConfig{Trees: 20, Seed: 1}}
+	r2 := EvaluateRegressor(m, X, y, tr, te)
+	if r2 < 0.97 {
+		t.Fatalf("forest R² = %.3f, want ≥0.97", r2)
+	}
+}
+
+func TestRandomForestDeterministicUnderSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, y := synthClassification(200, 3, rng)
+	a := &RandomForestClassifier{Config: ForestConfig{Trees: 10, Seed: 42}}
+	b := &RandomForestClassifier{Config: ForestConfig{Trees: 10, Seed: 42}}
+	a.FitClassifier(X, y)
+	b.FitClassifier(X, y)
+	for i := 0.0; i < 30; i++ {
+		x := []float64{i, math.Log1p(i)}
+		if a.PredictClass(x) != b.PredictClass(x) {
+			t.Fatalf("same-seed forests disagree at x=%v", x)
+		}
+	}
+}
+
+func TestLinearRegressionExact(t *testing.T) {
+	// y = 2a - 3b + 5 must be recovered essentially exactly.
+	X := [][]float64{{1, 0}, {0, 1}, {2, 1}, {3, 5}, {7, 2}, {4, 4}}
+	y := make([]float64, len(X))
+	for i, x := range X {
+		y[i] = 2*x[0] - 3*x[1] + 5
+	}
+	var m LinearRegression
+	m.FitRegressor(X, y)
+	for i, x := range X {
+		if math.Abs(m.Predict(x)-y[i]) > 1e-6 {
+			t.Fatalf("Predict(%v) = %g, want %g", x, m.Predict(x), y[i])
+		}
+	}
+}
+
+func TestLogisticRegressionSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		x := rng.Float64()*2 - 1
+		c := 0
+		if x > 0 {
+			c = 1
+		}
+		X = append(X, []float64{x})
+		y = append(y, c)
+	}
+	var m LogisticRegression
+	tr, te := TrainTestSplit(len(X), 0.7, rng)
+	acc := EvaluateClassifier(&m, X, y, tr, te)
+	if acc < 0.95 {
+		t.Fatalf("logistic accuracy = %.3f, want ≥0.95", acc)
+	}
+}
+
+func TestSVMSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 300; i++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		c := 0
+		if a+b > 0 {
+			c = 1
+		}
+		X = append(X, []float64{a, b})
+		y = append(y, c)
+	}
+	m := &SVMClassifier{Seed: 1}
+	tr, te := TrainTestSplit(len(X), 0.7, rng)
+	acc := EvaluateClassifier(m, X, y, tr, te)
+	if acc < 0.93 {
+		t.Fatalf("SVM accuracy = %.3f, want ≥0.93", acc)
+	}
+}
+
+func TestMLPClassifier(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	X, y := synthClassification(300, 3, rng)
+	m := &MLP{Seed: 1, Epochs: 800}
+	tr, te := TrainTestSplit(len(X), 0.7, rng)
+	acc := EvaluateClassifier(m, X, y, tr, te)
+	if acc < 0.85 {
+		t.Fatalf("MLP accuracy = %.3f, want ≥0.85", acc)
+	}
+}
+
+func TestMLPRegressor(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	X, y := synthRegression(300, rng)
+	m := &MLP{Seed: 1, Epochs: 1500, LearningRate: 0.1}
+	tr, te := TrainTestSplit(len(X), 0.7, rng)
+	r2 := EvaluateRegressor(m, X, y, tr, te)
+	if r2 < 0.9 {
+		t.Fatalf("MLP R² = %.3f, want ≥0.9", r2)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if a := Accuracy([]int{1, 2, 3}, []int{1, 2, 4}); math.Abs(a-2.0/3) > 1e-12 {
+		t.Fatalf("Accuracy = %g", a)
+	}
+	if a := Accuracy(nil, nil); a != 0 {
+		t.Fatalf("Accuracy(empty) = %g", a)
+	}
+}
+
+func TestR2(t *testing.T) {
+	if r := R2([]float64{1, 2, 3}, []float64{1, 2, 3}); r != 1 {
+		t.Fatalf("perfect R² = %g", r)
+	}
+	// Predicting the mean gives R² = 0.
+	if r := R2([]float64{2, 2, 2}, []float64{1, 2, 3}); math.Abs(r) > 1e-12 {
+		t.Fatalf("mean-prediction R² = %g", r)
+	}
+	// Worse than the mean gives negative R².
+	if r := R2([]float64{10, 10, 10}, []float64{1, 2, 3}); r >= 0 {
+		t.Fatalf("bad-prediction R² = %g, want negative", r)
+	}
+	// Constant truth, perfect prediction.
+	if r := R2([]float64{5, 5}, []float64{5, 5}); r != 1 {
+		t.Fatalf("constant R² = %g", r)
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tr, te := TrainTestSplit(10, 0.7, rng)
+	if len(tr) != 7 || len(te) != 3 {
+		t.Fatalf("split sizes = %d/%d, want 7/3", len(tr), len(te))
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, tr...), te...) {
+		if seen[i] {
+			t.Fatalf("index %d appears twice", i)
+		}
+		seen[i] = true
+	}
+	// Degenerate fractions are clamped to keep ≥1 training sample.
+	tr, _ = TrainTestSplit(5, 0, rng)
+	if len(tr) != 1 {
+		t.Fatalf("zero-fraction split gave %d training samples, want 1", len(tr))
+	}
+}
+
+func TestNumClasses(t *testing.T) {
+	if k := NumClasses([]int{0, 3, 1}); k != 4 {
+		t.Fatalf("NumClasses = %d, want 4", k)
+	}
+	if k := NumClasses(nil); k != 0 {
+		t.Fatalf("NumClasses(nil) = %d, want 0", k)
+	}
+}
+
+// Property: R² of the exact truth is 1 for any non-constant vector.
+func TestPropertyR2Exact(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e8 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		return R2(clean, clean) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a tree trained on data with a constant label predicts it
+// everywhere.
+func TestPropertyTreeConstantLabel(t *testing.T) {
+	f := func(seed int64, label uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		X := make([][]float64, n)
+		y := make([]int, n)
+		for i := range X {
+			X[i] = []float64{rng.Float64()}
+			y[i] = int(label % 5)
+		}
+		var m DecisionTreeClassifier
+		m.FitClassifier(X, y)
+		return m.PredictClass([]float64{rng.Float64() * 10}) == int(label%5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FitClassifier(empty) did not panic")
+		}
+	}()
+	var m DecisionTreeClassifier
+	m.FitClassifier(nil, nil)
+}
+
+func TestFitPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	var m LinearRegression
+	m.FitRegressor([][]float64{{1}, {2}}, []float64{1})
+}
+
+func BenchmarkRandomForestFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	X, y := synthClassification(200, 5, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := &RandomForestClassifier{Config: ForestConfig{Trees: 10, Seed: 1}}
+		m.FitClassifier(X, y)
+	}
+}
+
+func BenchmarkRandomForestPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	X, y := synthClassification(200, 5, rng)
+	m := &RandomForestClassifier{Config: ForestConfig{Trees: 40, Seed: 1}}
+	m.FitClassifier(X, y)
+	x := []float64{25, math.Log1p(25)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictClass(x)
+	}
+}

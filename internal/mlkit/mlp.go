@@ -1,0 +1,231 @@
+package mlkit
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is a one-hidden-layer neural network (tanh hidden units) trained by
+// full-batch gradient descent. With a softmax head it is the "NN"
+// classification entry of Table 2; with a linear head it is the regression
+// entry.
+type MLP struct {
+	// Hidden defaults to 16 units, LearningRate to 0.05, Epochs to 600.
+	Hidden       int
+	LearningRate float64
+	Epochs       int
+	Seed         int64
+
+	classification bool
+	k              int // outputs
+	w1             [][]float64
+	b1             []float64
+	w2             [][]float64
+	b2             []float64
+	scaler         scaler
+	yMean, yStd    float64 // regression target scaling
+}
+
+func (m *MLP) defaults() {
+	if m.Hidden == 0 {
+		m.Hidden = 16
+	}
+	if m.LearningRate == 0 {
+		m.LearningRate = 0.05
+	}
+	if m.Epochs == 0 {
+		m.Epochs = 600
+	}
+}
+
+func (m *MLP) initWeights(d int, rng *rand.Rand) {
+	m.w1 = make([][]float64, m.Hidden)
+	m.b1 = make([]float64, m.Hidden)
+	scale1 := math.Sqrt(2 / float64(d))
+	for h := range m.w1 {
+		m.w1[h] = make([]float64, d)
+		for j := range m.w1[h] {
+			m.w1[h][j] = rng.NormFloat64() * scale1
+		}
+	}
+	m.w2 = make([][]float64, m.k)
+	m.b2 = make([]float64, m.k)
+	scale2 := math.Sqrt(2 / float64(m.Hidden))
+	for o := range m.w2 {
+		m.w2[o] = make([]float64, m.Hidden)
+		for h := range m.w2[o] {
+			m.w2[o][h] = rng.NormFloat64() * scale2
+		}
+	}
+}
+
+func (m *MLP) forward(x []float64, hid, out []float64) {
+	for h := 0; h < m.Hidden; h++ {
+		z := m.b1[h]
+		for j, v := range x {
+			z += m.w1[h][j] * v
+		}
+		hid[h] = math.Tanh(z)
+	}
+	for o := 0; o < m.k; o++ {
+		z := m.b2[o]
+		for h := 0; h < m.Hidden; h++ {
+			z += m.w2[o][h] * hid[h]
+		}
+		out[o] = z
+	}
+}
+
+// FitClassifier implements Classifier (softmax + cross-entropy).
+func (m *MLP) FitClassifier(X [][]float64, y []int) {
+	checkFit(X, len(y))
+	m.defaults()
+	m.classification = true
+	m.k = NumClasses(y)
+	m.scaler.fit(X)
+	Xs := m.scaler.transform(X)
+	d := len(Xs[0])
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.initWeights(d, rng)
+	m.train(Xs, func(i int, out []float64, dOut []float64) {
+		// softmax + cross-entropy gradient: p - onehot
+		maxz := math.Inf(-1)
+		for _, z := range out {
+			if z > maxz {
+				maxz = z
+			}
+		}
+		sum := 0.0
+		for o, z := range out {
+			dOut[o] = math.Exp(z - maxz)
+			sum += dOut[o]
+		}
+		for o := range dOut {
+			dOut[o] /= sum
+			if y[i] == o {
+				dOut[o]--
+			}
+		}
+	})
+}
+
+// PredictClass implements Classifier.
+func (m *MLP) PredictClass(x []float64) int {
+	hid := make([]float64, m.Hidden)
+	out := make([]float64, m.k)
+	m.forward(m.scaler.transformRow(x), hid, out)
+	best, bestZ := 0, math.Inf(-1)
+	for o, z := range out {
+		if z > bestZ {
+			best, bestZ = o, z
+		}
+	}
+	return best
+}
+
+// FitRegressor implements Regressor (linear head + squared loss).
+func (m *MLP) FitRegressor(X [][]float64, y []float64) {
+	checkFit(X, len(y))
+	m.defaults()
+	m.classification = false
+	m.k = 1
+	m.scaler.fit(X)
+	Xs := m.scaler.transform(X)
+	// Standardize targets so the learning rate is scale-free.
+	m.yMean, m.yStd = 0, 0
+	for _, v := range y {
+		m.yMean += v
+	}
+	m.yMean /= float64(len(y))
+	for _, v := range y {
+		d := v - m.yMean
+		m.yStd += d * d
+	}
+	m.yStd = math.Sqrt(m.yStd / float64(len(y)))
+	if m.yStd == 0 {
+		m.yStd = 1
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.initWeights(len(Xs[0]), rng)
+	m.train(Xs, func(i int, out []float64, dOut []float64) {
+		dOut[0] = out[0] - (y[i]-m.yMean)/m.yStd
+	})
+}
+
+// Predict implements Regressor.
+func (m *MLP) Predict(x []float64) float64 {
+	hid := make([]float64, m.Hidden)
+	out := make([]float64, 1)
+	m.forward(m.scaler.transformRow(x), hid, out)
+	return out[0]*m.yStd + m.yMean
+}
+
+// train runs full-batch gradient descent; lossGrad fills dOut with the
+// gradient of the loss w.r.t. the pre-head outputs for sample i.
+func (m *MLP) train(X [][]float64, lossGrad func(i int, out, dOut []float64)) {
+	d := len(X[0])
+	n := float64(len(X))
+	hid := make([]float64, m.Hidden)
+	out := make([]float64, m.k)
+	dOut := make([]float64, m.k)
+	gw1 := make([][]float64, m.Hidden)
+	for h := range gw1 {
+		gw1[h] = make([]float64, d)
+	}
+	gb1 := make([]float64, m.Hidden)
+	gw2 := make([][]float64, m.k)
+	for o := range gw2 {
+		gw2[o] = make([]float64, m.Hidden)
+	}
+	gb2 := make([]float64, m.k)
+	dHid := make([]float64, m.Hidden)
+
+	for ep := 0; ep < m.Epochs; ep++ {
+		for h := range gw1 {
+			for j := range gw1[h] {
+				gw1[h][j] = 0
+			}
+			gb1[h] = 0
+		}
+		for o := range gw2 {
+			for h := range gw2[o] {
+				gw2[o][h] = 0
+			}
+			gb2[o] = 0
+		}
+		for i, x := range X {
+			m.forward(x, hid, out)
+			lossGrad(i, out, dOut)
+			for h := range dHid {
+				dHid[h] = 0
+			}
+			for o := 0; o < m.k; o++ {
+				gb2[o] += dOut[o]
+				for h := 0; h < m.Hidden; h++ {
+					gw2[o][h] += dOut[o] * hid[h]
+					dHid[h] += dOut[o] * m.w2[o][h]
+				}
+			}
+			for h := 0; h < m.Hidden; h++ {
+				g := dHid[h] * (1 - hid[h]*hid[h])
+				gb1[h] += g
+				for j, v := range x {
+					gw1[h][j] += g * v
+				}
+			}
+		}
+		lr := m.LearningRate / n
+		for h := 0; h < m.Hidden; h++ {
+			m.b1[h] -= lr * gb1[h]
+			for j := 0; j < d; j++ {
+				m.w1[h][j] -= lr * gw1[h][j]
+			}
+		}
+		for o := 0; o < m.k; o++ {
+			m.b2[o] -= lr * gb2[o]
+			for h := 0; h < m.Hidden; h++ {
+				m.w2[o][h] -= lr * gw2[o][h]
+			}
+		}
+	}
+}

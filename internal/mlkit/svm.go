@@ -1,0 +1,88 @@
+package mlkit
+
+import "math/rand"
+
+// SVMClassifier is a linear soft-margin SVM trained with the Pegasos
+// stochastic sub-gradient algorithm, extended to multi-class via
+// one-vs-rest — the "SVM" classification entry of Table 2.
+type SVMClassifier struct {
+	// Lambda is the regularization strength (default 1e-3); Epochs defaults
+	// to 200 passes over the data; Seed feeds the sampling order.
+	Lambda float64
+	Epochs int
+	Seed   int64
+
+	k       int
+	weights [][]float64 // per class: [bias, w...]
+	scaler  scaler
+}
+
+// FitClassifier implements Classifier.
+func (s *SVMClassifier) FitClassifier(X [][]float64, y []int) {
+	checkFit(X, len(y))
+	if s.Lambda == 0 {
+		s.Lambda = 1e-3
+	}
+	if s.Epochs == 0 {
+		s.Epochs = 200
+	}
+	s.scaler.fit(X)
+	Xs := s.scaler.transform(X)
+	s.k = NumClasses(y)
+	d := len(Xs[0])
+	s.weights = make([][]float64, s.k)
+	rng := rand.New(rand.NewSource(s.Seed))
+	for c := 0; c < s.k; c++ {
+		s.weights[c] = s.fitBinary(Xs, y, c, d, rng)
+	}
+}
+
+func (s *SVMClassifier) fitBinary(X [][]float64, y []int, cls, d int, rng *rand.Rand) []float64 {
+	w := make([]float64, d+1)
+	t := 0
+	n := len(X)
+	for ep := 0; ep < s.Epochs; ep++ {
+		for it := 0; it < n; it++ {
+			t++
+			i := rng.Intn(n)
+			eta := 1 / (s.Lambda * float64(t))
+			yi := -1.0
+			if y[i] == cls {
+				yi = 1
+			}
+			margin := w[0]
+			for j, v := range X[i] {
+				margin += w[j+1] * v
+			}
+			margin *= yi
+			// L2 shrink on the non-bias weights.
+			for j := 1; j < len(w); j++ {
+				w[j] *= 1 - eta*s.Lambda
+			}
+			if margin < 1 {
+				w[0] += eta * yi
+				for j, v := range X[i] {
+					w[j+1] += eta * yi * v
+				}
+			}
+		}
+	}
+	return w
+}
+
+// PredictClass implements Classifier: the class with the largest decision
+// value wins.
+func (s *SVMClassifier) PredictClass(x []float64) int {
+	xs := s.scaler.transformRow(x)
+	best, bestZ := 0, -1e308
+	for c := 0; c < s.k; c++ {
+		z := s.weights[c][0]
+		for j, v := range xs {
+			z += s.weights[c][j+1] * v
+		}
+		if z > bestZ {
+			best, bestZ = c, z
+		}
+	}
+	return best
+}

@@ -1,0 +1,281 @@
+package mlkit
+
+import (
+	"math"
+	"sort"
+)
+
+// treeNode is one node of a CART decision tree. Leaves have feature == -1.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	// leaf payloads
+	class int     // classification
+	value float64 // regression
+}
+
+func (n *treeNode) isLeaf() bool { return n.feature < 0 }
+
+// TreeConfig bounds tree growth. Zero values select the defaults noted on
+// each field.
+type TreeConfig struct {
+	MaxDepth       int // default 12
+	MinSamplesLeaf int // default 1
+	// MaxFeatures is how many features are considered per split; 0 means
+	// all features (plain CART). Random forests set this below the feature
+	// count to decorrelate trees.
+	MaxFeatures int
+	// rng source for feature subsampling; nil means deterministic
+	// all-features scan.
+	featurePick func(n int) []int
+}
+
+func (c *TreeConfig) defaults() {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinSamplesLeaf == 0 {
+		c.MinSamplesLeaf = 1
+	}
+}
+
+// DecisionTreeClassifier is a CART classifier using Gini impurity.
+type DecisionTreeClassifier struct {
+	Config TreeConfig
+	root   *treeNode
+	k      int
+}
+
+// FitClassifier implements Classifier.
+func (t *DecisionTreeClassifier) FitClassifier(X [][]float64, y []int) {
+	checkFit(X, len(y))
+	t.Config.defaults()
+	t.k = NumClasses(y)
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(X, y, idx, 0)
+}
+
+// PredictClass implements Classifier.
+func (t *DecisionTreeClassifier) PredictClass(x []float64) int {
+	n := t.root
+	for !n.isLeaf() {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class
+}
+
+func (t *DecisionTreeClassifier) grow(X [][]float64, y []int, idx []int, depth int) *treeNode {
+	counts := make([]int, t.k)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	maj, majN := 0, -1
+	pure := false
+	for c, n := range counts {
+		if n > majN {
+			maj, majN = c, n
+		}
+	}
+	pure = majN == len(idx)
+	if pure || depth >= t.Config.MaxDepth || len(idx) < 2*t.Config.MinSamplesLeaf {
+		return &treeNode{feature: -1, class: maj}
+	}
+	feat, thr, ok := bestSplitGini(X, y, idx, t.k, t.Config)
+	if !ok {
+		return &treeNode{feature: -1, class: maj}
+	}
+	li, ri := partition(X, idx, feat, thr)
+	if len(li) < t.Config.MinSamplesLeaf || len(ri) < t.Config.MinSamplesLeaf {
+		return &treeNode{feature: -1, class: maj}
+	}
+	return &treeNode{
+		feature:   feat,
+		threshold: thr,
+		left:      t.grow(X, y, li, depth+1),
+		right:     t.grow(X, y, ri, depth+1),
+	}
+}
+
+// DecisionTreeRegressor is a CART regressor minimizing within-node variance.
+type DecisionTreeRegressor struct {
+	Config TreeConfig
+	root   *treeNode
+}
+
+// FitRegressor implements Regressor.
+func (t *DecisionTreeRegressor) FitRegressor(X [][]float64, y []float64) {
+	checkFit(X, len(y))
+	t.Config.defaults()
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(X, y, idx, 0)
+}
+
+// Predict implements Regressor.
+func (t *DecisionTreeRegressor) Predict(x []float64) float64 {
+	n := t.root
+	for !n.isLeaf() {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+func (t *DecisionTreeRegressor) grow(X [][]float64, y []float64, idx []int, depth int) *treeNode {
+	mean, variance := meanVar(y, idx)
+	if variance == 0 || depth >= t.Config.MaxDepth || len(idx) < 2*t.Config.MinSamplesLeaf {
+		return &treeNode{feature: -1, value: mean}
+	}
+	feat, thr, ok := bestSplitVariance(X, y, idx, t.Config)
+	if !ok {
+		return &treeNode{feature: -1, value: mean}
+	}
+	li, ri := partition(X, idx, feat, thr)
+	if len(li) < t.Config.MinSamplesLeaf || len(ri) < t.Config.MinSamplesLeaf {
+		return &treeNode{feature: -1, value: mean}
+	}
+	return &treeNode{
+		feature:   feat,
+		threshold: thr,
+		left:      t.grow(X, y, li, depth+1),
+		right:     t.grow(X, y, ri, depth+1),
+	}
+}
+
+func meanVar(y []float64, idx []int) (mean, variance float64) {
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	for _, i := range idx {
+		d := y[i] - mean
+		variance += d * d
+	}
+	variance /= float64(len(idx))
+	return mean, variance
+}
+
+func partition(X [][]float64, idx []int, feat int, thr float64) (left, right []int) {
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return left, right
+}
+
+func candidateFeatures(nFeat int, cfg TreeConfig) []int {
+	if cfg.featurePick != nil && cfg.MaxFeatures > 0 && cfg.MaxFeatures < nFeat {
+		return cfg.featurePick(nFeat)
+	}
+	all := make([]int, nFeat)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// bestSplitGini scans candidate (feature, threshold) pairs and returns the
+// split with the lowest weighted Gini impurity.
+func bestSplitGini(X [][]float64, y []int, idx []int, k int, cfg TreeConfig) (feat int, thr float64, ok bool) {
+	best := math.Inf(1)
+	vals := make([]float64, 0, len(idx))
+	for _, f := range candidateFeatures(len(X[0]), cfg) {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, X[i][f])
+		}
+		sort.Float64s(vals)
+		for vi := 0; vi+1 < len(vals); vi++ {
+			if vals[vi] == vals[vi+1] {
+				continue
+			}
+			t := (vals[vi] + vals[vi+1]) / 2
+			lc := make([]int, k)
+			rc := make([]int, k)
+			ln, rn := 0, 0
+			for _, i := range idx {
+				if X[i][f] <= t {
+					lc[y[i]]++
+					ln++
+				} else {
+					rc[y[i]]++
+					rn++
+				}
+			}
+			if ln == 0 || rn == 0 {
+				continue
+			}
+			g := float64(ln)*gini(lc, ln) + float64(rn)*gini(rc, rn)
+			if g < best {
+				best, feat, thr, ok = g, f, t, true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+func gini(counts []int, n int) float64 {
+	s := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		s -= p * p
+	}
+	return s
+}
+
+// bestSplitVariance returns the split minimizing the summed child SSE.
+func bestSplitVariance(X [][]float64, y []float64, idx []int, cfg TreeConfig) (feat int, thr float64, ok bool) {
+	best := math.Inf(1)
+	vals := make([]float64, 0, len(idx))
+	for _, f := range candidateFeatures(len(X[0]), cfg) {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, X[i][f])
+		}
+		sort.Float64s(vals)
+		for vi := 0; vi+1 < len(vals); vi++ {
+			if vals[vi] == vals[vi+1] {
+				continue
+			}
+			t := (vals[vi] + vals[vi+1]) / 2
+			var ls, lss, rs, rss float64
+			ln, rn := 0, 0
+			for _, i := range idx {
+				if X[i][f] <= t {
+					ls += y[i]
+					lss += y[i] * y[i]
+					ln++
+				} else {
+					rs += y[i]
+					rss += y[i] * y[i]
+					rn++
+				}
+			}
+			if ln == 0 || rn == 0 {
+				continue
+			}
+			sse := (lss - ls*ls/float64(ln)) + (rss - rs*rs/float64(rn))
+			if sse < best {
+				best, feat, thr, ok = sse, f, t, true
+			}
+		}
+	}
+	return feat, thr, ok
+}

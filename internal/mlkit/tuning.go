@@ -1,0 +1,159 @@
+package mlkit
+
+import "math/rand"
+
+// Hyperparameter search (§8.6: "All models are tuned with hyperparameter
+// searching"): small grid searches scored by k-fold cross-validation on
+// the training portion, mirroring scikit-learn's GridSearchCV at the
+// scale of the profiler's 100-sample datasets.
+
+// kFolds partitions n shuffled indices into k folds.
+func kFolds(n, k int, rng *rand.Rand) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	folds := make([][]int, k)
+	for i, idx := range perm {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	return folds
+}
+
+func splitFolds(folds [][]int, hold int) (train, test []int) {
+	for i, f := range folds {
+		if i == hold {
+			test = append(test, f...)
+		} else {
+			train = append(train, f...)
+		}
+	}
+	return train, test
+}
+
+// CrossValidateClassifier returns the mean k-fold accuracy of models
+// produced by mk.
+func CrossValidateClassifier(mk func() Classifier, X [][]float64, y []int, k int, rng *rand.Rand) float64 {
+	folds := kFolds(len(X), k, rng)
+	var sum float64
+	for i := range folds {
+		train, test := splitFolds(folds, i)
+		if len(train) == 0 || len(test) == 0 {
+			continue
+		}
+		sum += EvaluateClassifier(mk(), X, y, train, test)
+	}
+	return sum / float64(len(folds))
+}
+
+// CrossValidateRegressor returns the mean k-fold R² of models produced
+// by mk.
+func CrossValidateRegressor(mk func() Regressor, X [][]float64, y []float64, k int, rng *rand.Rand) float64 {
+	folds := kFolds(len(X), k, rng)
+	var sum float64
+	for i := range folds {
+		train, test := splitFolds(folds, i)
+		if len(train) == 0 || len(test) == 0 {
+			continue
+		}
+		sum += EvaluateRegressor(mk(), X, y, train, test)
+	}
+	return sum / float64(len(folds))
+}
+
+// tuneClassifier picks the candidate factory with the best CV accuracy
+// and returns an unfitted model from it.
+func tuneClassifier(candidates []func() Classifier, X [][]float64, y []int, k int, rng *rand.Rand) Classifier {
+	best, bestScore := candidates[0], -1.0
+	for _, mk := range candidates {
+		if score := CrossValidateClassifier(mk, X, y, k, rand.New(rand.NewSource(rng.Int63()))); score > bestScore {
+			best, bestScore = mk, score
+		}
+	}
+	return best()
+}
+
+func tuneRegressor(candidates []func() Regressor, X [][]float64, y []float64, k int, rng *rand.Rand) Regressor {
+	best, bestScore := candidates[0], -1e308
+	for _, mk := range candidates {
+		if score := CrossValidateRegressor(mk, X, y, k, rand.New(rand.NewSource(rng.Int63()))); score > bestScore {
+			best, bestScore = mk, score
+		}
+	}
+	return best()
+}
+
+// TuneLogistic grid-searches the logistic-regression learning rate.
+func TuneLogistic(X [][]float64, y []int, rng *rand.Rand) Classifier {
+	return tuneClassifier([]func() Classifier{
+		func() Classifier { return &LogisticRegression{LearningRate: 0.03} },
+		func() Classifier { return &LogisticRegression{LearningRate: 0.1} },
+		func() Classifier { return &LogisticRegression{LearningRate: 0.3} },
+	}, X, y, 3, rng)
+}
+
+// TuneSVM grid-searches the SVM regularization strength.
+func TuneSVM(X [][]float64, y []int, seed int64, rng *rand.Rand) Classifier {
+	return tuneClassifier([]func() Classifier{
+		func() Classifier { return &SVMClassifier{Lambda: 1e-4, Seed: seed} },
+		func() Classifier { return &SVMClassifier{Lambda: 1e-3, Seed: seed} },
+		func() Classifier { return &SVMClassifier{Lambda: 1e-2, Seed: seed} },
+	}, X, y, 3, rng)
+}
+
+// TuneMLPClassifier grid-searches the hidden width.
+func TuneMLPClassifier(X [][]float64, y []int, seed int64, rng *rand.Rand) Classifier {
+	return tuneClassifier([]func() Classifier{
+		func() Classifier { return &MLP{Hidden: 8, Seed: seed} },
+		func() Classifier { return &MLP{Hidden: 16, Seed: seed} },
+		func() Classifier { return &MLP{Hidden: 32, Seed: seed} },
+	}, X, y, 3, rng)
+}
+
+// TuneMLPRegressor grid-searches hidden width and learning rate.
+func TuneMLPRegressor(X [][]float64, y []float64, seed int64, rng *rand.Rand) Regressor {
+	return tuneRegressor([]func() Regressor{
+		func() Regressor { return &MLP{Hidden: 8, Seed: seed, LearningRate: 0.1} },
+		func() Regressor { return &MLP{Hidden: 16, Seed: seed, LearningRate: 0.05} },
+		func() Regressor { return &MLP{Hidden: 32, Seed: seed, LearningRate: 0.05} },
+	}, X, y, 3, rng)
+}
+
+// TuneForestClassifier grid-searches tree count and depth.
+func TuneForestClassifier(X [][]float64, y []int, seed int64, rng *rand.Rand) Classifier {
+	return tuneClassifier([]func() Classifier{
+		func() Classifier {
+			return &RandomForestClassifier{Config: ForestConfig{Trees: 20, MaxDepth: 8, Seed: seed}}
+		},
+		func() Classifier {
+			return &RandomForestClassifier{Config: ForestConfig{Trees: 30, MaxDepth: 12, Seed: seed}}
+		},
+		func() Classifier {
+			return &RandomForestClassifier{Config: ForestConfig{Trees: 40, MaxDepth: 16, Seed: seed}}
+		},
+	}, X, y, 3, rng)
+}
+
+// TuneForestRegressor grid-searches tree count and depth.
+func TuneForestRegressor(X [][]float64, y []float64, seed int64, rng *rand.Rand) Regressor {
+	return tuneRegressor([]func() Regressor{
+		func() Regressor {
+			return &RandomForestRegressor{Config: ForestConfig{Trees: 20, MaxDepth: 8, Seed: seed}}
+		},
+		func() Regressor {
+			return &RandomForestRegressor{Config: ForestConfig{Trees: 30, MaxDepth: 12, Seed: seed}}
+		},
+	}, X, y, 3, rng)
+}
+
+// TuneLinear grid-searches the ridge strength of linear regression.
+func TuneLinear(X [][]float64, y []float64, rng *rand.Rand) Regressor {
+	return tuneRegressor([]func() Regressor{
+		func() Regressor { return &LinearRegression{Ridge: 1e-8} },
+		func() Regressor { return &LinearRegression{Ridge: 1e-2} },
+		func() Regressor { return &LinearRegression{Ridge: 1.0} },
+	}, X, y, 3, rng)
+}

@@ -1,0 +1,81 @@
+package platform
+
+import (
+	"testing"
+
+	"libra/internal/trace"
+)
+
+// Physical feasibility: at every utilization sample, the summed
+// allocations (own + borrowed + bonus) never exceed cluster capacity, and
+// usage never exceeds allocation — across all six variants and several
+// seeds. This is the load-bearing invariant of the harvesting design: a
+// borrowed unit is always some co-located reservation's idle share.
+func TestInvariantAllocationsWithinCapacity(t *testing.T) {
+	for _, seed := range []int64{1, 7, 13} {
+		set := trace.SingleSet(seed)
+		set.Invocations = set.Invocations[:100]
+		for _, cfg := range SixPlatforms(SingleNode(), seed) {
+			cfg.SampleInterval = 0.5
+			r := New(cfg).Run(set)
+			capCPU := SingleNodeCap.CPU.Cores()
+			capMem := float64(SingleNodeCap.Mem)
+			for _, s := range r.Samples {
+				if s.CPUAlloc > capCPU+1e-9 {
+					t.Fatalf("%s seed %d t=%.1f: allocated %.2f cores > capacity %.0f",
+						cfg.Name, seed, s.T, s.CPUAlloc, capCPU)
+				}
+				if s.MemAlloc > capMem+1e-9 {
+					t.Fatalf("%s seed %d t=%.1f: allocated %.0f MB > capacity %.0f",
+						cfg.Name, seed, s.T, s.MemAlloc, capMem)
+				}
+				if s.CPUUsed > s.CPUAlloc+1e-9 {
+					t.Fatalf("%s seed %d t=%.1f: usage %.2f > allocation %.2f",
+						cfg.Name, seed, s.T, s.CPUUsed, s.CPUAlloc)
+				}
+				if s.MemUsed > s.MemAlloc+1e-9 {
+					t.Fatalf("%s seed %d t=%.1f: mem usage %.0f > allocation %.0f",
+						cfg.Name, seed, s.T, s.MemUsed, s.MemAlloc)
+				}
+			}
+		}
+	}
+}
+
+// Every invocation completes exactly once, with a coherent timeline.
+func TestInvariantTimelineCoherence(t *testing.T) {
+	set := trace.MultiSet(300, 5)
+	for _, cfg := range SixPlatforms(MultiNode(), 5) {
+		r := New(cfg).Run(set)
+		if len(r.Records) != len(set.Invocations) {
+			t.Fatalf("%s: %d records for %d invocations", cfg.Name, len(r.Records), len(set.Invocations))
+		}
+		seen := map[int64]bool{}
+		for _, rec := range r.Records {
+			inv := rec.Inv
+			if seen[int64(inv.ID)] {
+				t.Fatalf("%s: invocation %d completed twice", cfg.Name, inv.ID)
+			}
+			seen[int64(inv.ID)] = true
+			if !(inv.Arrival <= inv.SchedPick && inv.SchedPick <= inv.SchedDone &&
+				inv.SchedDone <= inv.ExecStart && inv.ExecStart < inv.End) {
+				t.Fatalf("%s: incoherent timeline %+v", cfg.Name, inv)
+			}
+		}
+	}
+}
+
+// Libra's safety guarantee holds across seeds: worst-case per-invocation
+// degradation stays small when the safeguard is on.
+func TestInvariantLibraSafetyAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 5, 8, 13} {
+		set := trace.SingleSet(seed)
+		r := New(PresetLibra(SingleNode(), seed)).Run(set)
+		for _, rec := range r.Records {
+			if rec.Speedup < -0.2 {
+				t.Fatalf("seed %d: invocation %d of %s degraded %.0f%% despite safeguard",
+					seed, rec.Inv.ID, rec.Inv.App.Name, -rec.Speedup*100)
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package platform
+
+import (
+	"testing"
+
+	"libra/internal/metrics"
+	"libra/internal/trace"
+)
+
+// Coverage decisions read the piggybacked health-ping snapshots, which
+// lag the live pools by up to PingInterval (§6.4). The platform must run
+// correctly across staleness regimes and the live-read mode.
+func TestPingStalenessRegimes(t *testing.T) {
+	set := trace.MultiSet(120, 9)
+	var p99s []float64
+	for _, interval := range []float64{-1, 0.2, 1, 5} {
+		cfg := PresetLibra(MultiNode(), 9)
+		cfg.PingInterval = interval
+		r := New(cfg).Run(set)
+		if len(r.Records) != len(set.Invocations) {
+			t.Fatalf("interval %g: lost invocations", interval)
+		}
+		p99s = append(p99s, metrics.Summarize(r.Latencies()).P99)
+	}
+	// All regimes complete with sane latencies; staleness must not change
+	// results by an order of magnitude (it only affects node choice).
+	for i, v := range p99s {
+		if v <= 0 || v > p99s[0]*3+100 {
+			t.Fatalf("p99s across ping regimes look broken: %v (index %d)", p99s, i)
+		}
+	}
+}
+
+func TestPingDefaultInterval(t *testing.T) {
+	cfg := Config{Nodes: 1, NodeCap: SingleNodeCap}
+	cfg.defaults()
+	if cfg.PingInterval != 1 {
+		t.Fatalf("default PingInterval = %g, want 1", cfg.PingInterval)
+	}
+}

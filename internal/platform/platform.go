@@ -1,0 +1,522 @@
+// Package platform assembles the full serverless platform on top of the
+// cluster substrate: front end, demand estimator, sharded schedulers,
+// harvest policy and safeguard — in the six configurations the paper
+// evaluates (§8.3): OpenWhisk Default, Freyr, Libra, and the Libra-NS /
+// -NP / -NSP ablation variants — crossed with the five scheduling
+// algorithms of §8.4.
+package platform
+
+import (
+	"fmt"
+	"math"
+
+	"libra/internal/cluster"
+	"libra/internal/freyr"
+	"libra/internal/function"
+	"libra/internal/harvest"
+	"libra/internal/metrics"
+	"libra/internal/profiler"
+	"libra/internal/resources"
+	"libra/internal/safeguard"
+	"libra/internal/scheduler"
+	"libra/internal/sim"
+	"libra/internal/trace"
+)
+
+// EstimatorKind selects the demand estimator.
+type EstimatorKind int
+
+const (
+	// EstNone disables estimation (Default platform).
+	EstNone EstimatorKind = iota
+	// EstProfiler is Libra's profiler (§4).
+	EstProfiler
+	// EstWindow is the moving-window max (Libra-NP / -NSP variants).
+	EstWindow
+	// EstFreyr is the Freyr-analogue history estimator.
+	EstFreyr
+)
+
+// Overhead constants in virtual seconds. The front-end and pool-operation
+// costs are from the latency breakdown discussion (§8.9: Libra components
+// incur negligible overhead vs. container init and execution); the
+// dispatch time models the controller's per-activation handling, which is
+// what a single centralized scheduler bottlenecks on under bursts (§6.4).
+const (
+	FrontendOverhead = 0.0005
+	DecisionOverhead = 0.0005 // pick-up → sent-to-node compute (Fig 12c)
+	PoolOpOverhead   = 0.0002
+	DefaultDispatch  = 0.025
+)
+
+// Config assembles a platform. Mandatory: Nodes, NodeCap. Zero values on
+// the rest select the documented defaults.
+type Config struct {
+	Name    string
+	Nodes   int
+	NodeCap resources.Vector
+	// Schedulers is the number of decentralized sharding schedulers
+	// (default 1 = centralized).
+	Schedulers int
+	// Algorithm is one of scheduler.Names() (default "Libra").
+	Algorithm string
+	// Harvest enables harvesting + acceleration (false = Default).
+	Harvest bool
+	// Estimator picks the demand estimator (EstNone for Default).
+	Estimator    EstimatorKind
+	ProfilerMode profiler.Mode
+	// Safeguard enables the per-container daemon; Threshold is the
+	// usage-fraction trigger line (§5.2; default 0.8). The harvesting
+	// headroom is the fixed safeguard.Margin, deliberately independent of
+	// the threshold (see Fig 14).
+	Safeguard bool
+	Threshold float64
+	// AggressiveHarvest drops the headroom margin (Freyr: allocation =
+	// predicted peak exactly).
+	AggressiveHarvest bool
+	// TimelinessBlind marks harvested units with unbounded expiry
+	// (Freyr: the pool and coverage cannot see availability windows).
+	TimelinessBlind bool
+	// CoverageAlpha is the demand-coverage weight α (default 0.9).
+	CoverageAlpha float64
+	// VolumeOnlyCoverage is the ablation switch for timeless coverage.
+	VolumeOnlyCoverage bool
+	// PoolLendOrder overrides the harvest pools' lending order (the
+	// ablation for §5.1's longest-expiry-first priority).
+	PoolLendOrder harvest.LendOrder
+	// HarvestCPUOnly / HarvestMemOnly restrict harvesting and
+	// acceleration to one resource axis. Memory-only mirrors OFC, which
+	// "only harvests memory, whereas Libra jointly harvests CPU and
+	// memory" (§9) — the joint-vs-single-axis comparison bench uses these.
+	HarvestCPUOnly bool
+	HarvestMemOnly bool
+	// HistWindow overrides the profiler's histogram warm-up window.
+	HistWindow int
+	// MemRetreatAfter stops harvesting memory from a function after this
+	// many safeguard triggers, retreating to the user-defined memory
+	// allocation (§5.1 "Mitigating OOM"; default 3, 0 keeps the default,
+	// negative disables the retreat).
+	MemRetreatAfter int
+	// DispatchTime is the scheduler's per-invocation handling time
+	// (default DefaultDispatch).
+	DispatchTime float64
+	// PingInterval is how often nodes piggyback their harvest-pool status
+	// on health pings (§6.4); schedulers compute coverage from these
+	// possibly-stale snapshots. Default 1s; negative reads pools live.
+	PingInterval float64
+	// SampleInterval for utilization tracking (default 1s).
+	SampleInterval float64
+	Seed           int64
+}
+
+func (c *Config) defaults() {
+	if c.Schedulers == 0 {
+		c.Schedulers = 1
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = "Libra"
+	}
+	if c.Threshold == 0 {
+		c.Threshold = safeguard.DefaultThreshold
+	}
+	if c.CoverageAlpha == 0 {
+		c.CoverageAlpha = 0.9
+	}
+	if c.DispatchTime == 0 {
+		c.DispatchTime = DefaultDispatch
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = 1
+	}
+	if c.MemRetreatAfter == 0 {
+		c.MemRetreatAfter = 3
+	}
+	if c.PingInterval == 0 {
+		c.PingInterval = 1
+	}
+}
+
+// PhaseBreakdown accumulates per-phase latency for Fig 15.
+type PhaseBreakdown struct {
+	Count     int
+	Frontend  float64
+	Profiler  float64
+	Scheduler float64
+	Pool      float64
+	Init      float64
+	Exec      float64
+}
+
+// InvRecord pairs an invocation with its derived metrics.
+type InvRecord struct {
+	Inv     *cluster.Invocation
+	Latency float64
+	TUser   float64 // hypothetical latency under the user allocation
+	Speedup float64
+}
+
+// Result is the outcome of running one trace on one platform.
+type Result struct {
+	Name           string
+	Records        []InvRecord
+	CompletionTime float64
+	Samples        []metrics.UtilizationSample
+
+	AvgCPUUtil, PeakCPUUtil float64
+	AvgMemUtil, PeakMemUtil float64
+
+	CPUIdleIntegral float64 // pooled-idle core-seconds ×1000 (millicore-s)
+	MemIdleIntegral float64 // pooled-idle MB-seconds
+
+	Safeguarded int
+	Harvested   int
+	Accelerated int
+	ColdStarts  int
+
+	SchedOverheads []float64 // decision compute per invocation (Fig 12c)
+	Trainings      int       // one-time offline profiler trainings
+	Breakdown      map[string]*PhaseBreakdown
+}
+
+// Latencies extracts the response latencies.
+func (r *Result) Latencies() []float64 {
+	out := make([]float64, len(r.Records))
+	for i, rec := range r.Records {
+		out[i] = rec.Latency
+	}
+	return out
+}
+
+// Speedups extracts the per-invocation speedups.
+func (r *Result) Speedups() []float64 {
+	out := make([]float64, len(r.Records))
+	for i, rec := range r.Records {
+		out[i] = rec.Speedup
+	}
+	return out
+}
+
+// Platform is a runnable serverless platform instance.
+type Platform struct {
+	cfg    Config
+	eng    *sim.Engine
+	nodes  []*cluster.Node
+	shards []*scheduler.Shard
+	est    profiler.Estimator
+
+	pending    []*queued
+	owners     map[harvest.ID]*scheduler.Shard
+	sgCounts   map[string]int // per-function safeguard triggers (OOM retreat)
+	pings      map[int]*poolStatus
+	pingTicker *sim.Ticker
+	remaining  int
+	result     *Result
+	tracker    *metrics.UtilizationTracker
+	nextShard  int
+}
+
+// poolStatus is one node's last health-ping snapshot.
+type poolStatus struct {
+	cpu, mem []harvest.Entry
+}
+
+type queued struct {
+	inv   *cluster.Invocation
+	req   scheduler.Request
+	pred  profiler.Prediction
+	shard *scheduler.Shard
+}
+
+// New builds a platform from cfg.
+func New(cfg Config) *Platform {
+	cfg.defaults()
+	if cfg.Nodes <= 0 || cfg.NodeCap.IsZero() {
+		panic("platform: Nodes and NodeCap are required")
+	}
+	if _, ok := scheduler.ByName(cfg.Algorithm); !ok {
+		panic(fmt.Sprintf("platform: unknown algorithm %q", cfg.Algorithm))
+	}
+	p := &Platform{
+		cfg:      cfg,
+		eng:      sim.NewEngine(),
+		owners:   make(map[harvest.ID]*scheduler.Shard),
+		sgCounts: make(map[string]int),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := cluster.NewNode(p.eng, i, cfg.NodeCap)
+		n.OnComplete = p.onComplete
+		n.CPUPool.Order = cfg.PoolLendOrder
+		n.MemPool.Order = cfg.PoolLendOrder
+		p.nodes = append(p.nodes, n)
+	}
+	if cfg.PingInterval > 0 {
+		p.pings = make(map[int]*poolStatus, cfg.Nodes)
+		for _, n := range p.nodes {
+			p.pings[n.ID()] = &poolStatus{}
+		}
+	}
+	p.shards = scheduler.NewShards(cfg.Schedulers, p.nodes, func() scheduler.Algorithm {
+		algo, _ := scheduler.ByName(cfg.Algorithm)
+		if l, ok := algo.(*scheduler.Libra); ok {
+			l.Alpha = cfg.CoverageAlpha
+			l.VolumeOnly = cfg.VolumeOnlyCoverage
+			if p.pings != nil {
+				l.Status = func(n *cluster.Node) ([]harvest.Entry, []harvest.Entry) {
+					st := p.pings[n.ID()]
+					return st.cpu, st.mem
+				}
+			}
+		}
+		return algo
+	})
+	switch cfg.Estimator {
+	case EstProfiler:
+		p.est = profiler.New(profiler.Config{
+			Mode: cfg.ProfilerMode, Seed: cfg.Seed, HistWindow: cfg.HistWindow,
+		})
+	case EstWindow:
+		p.est = profiler.NewWindowEstimator(5)
+	case EstFreyr:
+		p.est = freyr.New()
+	}
+	return p
+}
+
+// Engine exposes the simulation engine (examples drive custom scenarios).
+func (p *Platform) Engine() *sim.Engine { return p.eng }
+
+// Nodes exposes the worker nodes.
+func (p *Platform) Nodes() []*cluster.Node { return p.nodes }
+
+// Run replays the trace set to completion and returns the result.
+func (p *Platform) Run(set trace.Set) *Result {
+	p.result = &Result{Name: p.cfg.Name, Breakdown: make(map[string]*PhaseBreakdown)}
+	p.remaining = len(set.Invocations)
+	p.tracker = metrics.NewUtilizationTracker(p.eng, p.nodes, p.cfg.SampleInterval)
+	if p.remaining == 0 {
+		p.tracker.Stop()
+		return p.result
+	}
+	if p.pings != nil {
+		p.pingTicker = p.eng.Every(p.cfg.PingInterval, func() {
+			for _, n := range p.nodes {
+				st := p.pings[n.ID()]
+				st.cpu = n.CPUPool.Entries()
+				st.mem = n.MemPool.Entries()
+			}
+		})
+	}
+	for _, ti := range set.Invocations {
+		ti := ti
+		p.eng.At(ti.Arrival, func() { p.arrive(ti) })
+	}
+	p.eng.Run()
+	r := p.result
+	r.Samples = p.tracker.Samples()
+	r.AvgCPUUtil, r.PeakCPUUtil, r.AvgMemUtil, r.PeakMemUtil = p.tracker.AveragePeak(r.CompletionTime)
+	for _, n := range p.nodes {
+		r.CPUIdleIntegral += n.CPUPool.IdleIntegral(p.eng.Now())
+		r.MemIdleIntegral += n.MemPool.IdleIntegral(p.eng.Now())
+		r.ColdStarts += n.ColdStarts()
+	}
+	return r
+}
+
+// arrive is Step 2 of the workflow: the front end accepts the invocation
+// and forwards it to the profiler, then to a sharding scheduler.
+func (p *Platform) arrive(ti trace.Invocation) {
+	spec, ok := function.ByName(ti.App)
+	if !ok {
+		panic("platform: trace names unknown app " + ti.App)
+	}
+	inv := &cluster.Invocation{
+		ID:        harvest.ID(ti.ID),
+		App:       spec,
+		Input:     ti.Input,
+		Actual:    spec.Demand(ti.Input),
+		UserAlloc: spec.UserAlloc,
+		Arrival:   p.eng.Now(),
+	}
+
+	// Front end + profiling (Step 3).
+	var pred profiler.Prediction
+	profCost := 0.0
+	if p.est != nil {
+		var trainCost float64
+		pred, trainCost = p.est.Predict(spec, ti.Input)
+		profCost = profiler.PredictOverhead + trainCost
+		if trainCost > 0 {
+			p.result.Trainings++
+		}
+	} else {
+		pred = profiler.Prediction{
+			Demand: function.Demand{CPUPeak: spec.UserAlloc.CPU, MemPeak: spec.UserAlloc.Mem},
+		}
+	}
+	inv.Predicted = pred.Demand
+
+	bd := p.breakdown(spec.Name)
+	bd.Count++
+	bd.Frontend += FrontendOverhead
+	bd.Profiler += profCost
+
+	// Scheduling (Step 4): the front end assigns invocations to sharding
+	// schedulers round-robin; each scheduler serializes its own decisions.
+	shard := p.shards[p.nextShard]
+	p.nextShard = (p.nextShard + 1) % len(p.shards)
+
+	ready := p.eng.Now() + FrontendOverhead + profCost
+	pick := math.Max(ready, shard.BusyUntil)
+	service := DecisionOverhead + p.cfg.DispatchTime
+	shard.BusyUntil = pick + service
+
+	q := &queued{inv: inv, pred: pred, req: p.buildRequest(inv, pred), shard: shard}
+	p.eng.At(shard.BusyUntil, func() {
+		inv.SchedPick = pick
+		inv.SchedDone = p.eng.Now()
+		p.result.SchedOverheads = append(p.result.SchedOverheads, DecisionOverhead)
+		bd.Scheduler += inv.SchedDone - inv.Arrival - FrontendOverhead - profCost
+		q.req.Now = p.eng.Now()
+		if node := shard.Select(q.req, p.nodes); node != nil {
+			p.dispatch(q, node, shard)
+		} else {
+			p.pending = append(p.pending, q)
+		}
+	})
+}
+
+// buildRequest derives the scheduling request: the predicted extra demand
+// beyond the user reservation (per axis) for reliable predictions.
+func (p *Platform) buildRequest(inv *cluster.Invocation, pred profiler.Prediction) scheduler.Request {
+	var extra resources.Vector
+	if p.cfg.Harvest && pred.Reliable {
+		extra = pred.Demand.Vector().Sub(inv.UserAlloc).Max(resources.Vector{})
+	}
+	dur := pred.Demand.Duration
+	if dur <= 0 {
+		dur = 1 // unreliable predictions: nominal window
+	}
+	return scheduler.Request{Inv: inv, Extra: extra, PredDuration: dur}
+}
+
+// dispatch is Step 5: the harvest pool on the selected node performs
+// harvesting or acceleration per the prediction, then execution begins.
+func (p *Platform) dispatch(q *queued, node *cluster.Node, shard *scheduler.Shard) {
+	inv, pred := q.inv, q.pred
+	opts := cluster.StartOptions{OwnAlloc: inv.UserAlloc}
+	if p.cfg.Harvest {
+		bd := p.breakdown(inv.App.Name)
+		bd.Pool += PoolOpOverhead
+		switch {
+		case pred.Reliable:
+			own := safeguard.PlanOwnAllocation(pred.Demand, inv.UserAlloc)
+			if p.cfg.AggressiveHarvest {
+				floor := resources.Vector{CPU: 100, Mem: function.MinMem}
+				own = pred.Demand.Vector().Clamp(floor, inv.UserAlloc)
+			}
+			if p.cfg.MemRetreatAfter > 0 && p.sgCounts[inv.App.Name] >= p.cfg.MemRetreatAfter {
+				// OOM mitigation (§5.1): this function trips the safeguard
+				// too often — stop harvesting its memory.
+				own.Mem = inv.UserAlloc.Mem
+			}
+			extra := q.req.Extra
+			if p.cfg.HarvestCPUOnly {
+				own.Mem = inv.UserAlloc.Mem
+				extra.Mem = 0
+			}
+			if p.cfg.HarvestMemOnly {
+				own.CPU = inv.UserAlloc.CPU
+				extra.CPU = 0
+			}
+			opts.OwnAlloc = own
+			opts.ExtraWant = extra
+			initDelay := 0.0
+			if node.WarmContainers(inv.App.Name) == 0 {
+				initDelay = inv.App.ColdStart
+			}
+			if p.cfg.TimelinessBlind {
+				opts.HarvestExpiry = math.Inf(1)
+			} else {
+				opts.HarvestExpiry = p.eng.Now() + initDelay + pred.Demand.Duration
+			}
+			if p.cfg.Safeguard {
+				opts.SafeguardThreshold = p.cfg.Threshold
+				opts.MonitorWindow = safeguard.DefaultMonitorWindow
+			}
+		case pred.Source == profiler.SourceWarmup:
+			// Histogram profiling window: serve with maximum allocation via
+			// a revocable burst grant from uncommitted capacity (§4.3.2) —
+			// the true peaks become observable without crowding admissions.
+			opts.BonusUpTo = function.MaxAlloc.Sub(inv.UserAlloc).Max(resources.Vector{})
+		}
+	}
+	// The invocation's shard reclaims its reservation at completion.
+	p.owners[inv.ID] = shard
+	node.Start(inv, opts)
+}
+
+// onComplete is Step 5's tail: collect actuals, update models, release
+// the shard reservation, retry queued invocations.
+func (p *Platform) onComplete(inv *cluster.Invocation) {
+	if p.est != nil {
+		p.est.Observe(inv.App, inv.Input, inv.Actual)
+	}
+	shard := p.owners[inv.ID]
+	delete(p.owners, inv.ID)
+	shard.Release(inv.NodeID, inv.Reservation())
+
+	rec := InvRecord{Inv: inv, Latency: inv.ResponseLatency()}
+	rec.TUser = (inv.ExecStart - inv.Arrival) + function.DurationUnder(inv.UserAlloc, inv.Actual)
+	rec.Speedup = metrics.Speedup(rec.TUser, rec.Latency)
+	p.result.Records = append(p.result.Records, rec)
+	if inv.Safeguard {
+		p.result.Safeguarded++
+		p.sgCounts[inv.App.Name]++
+	}
+	if inv.Harvested {
+		p.result.Harvested++
+	}
+	if inv.Accelerate {
+		p.result.Accelerated++
+	}
+	bd := p.breakdown(inv.App.Name)
+	bd.Init += inv.ExecStart - inv.SchedDone
+	bd.Exec += inv.End - inv.ExecStart
+
+	p.remaining--
+	if p.remaining == 0 {
+		p.result.CompletionTime = p.eng.Now()
+		p.tracker.Stop()
+		p.stopPing()
+	}
+
+	// Retry capacity-blocked invocations in FIFO order.
+	if len(p.pending) > 0 {
+		var still []*queued
+		for _, q := range p.pending {
+			q.req.Now = p.eng.Now()
+			if node := q.shard.Select(q.req, p.nodes); node != nil {
+				p.dispatch(q, node, q.shard)
+			} else {
+				still = append(still, q)
+			}
+		}
+		p.pending = still
+	}
+}
+
+// stopPing halts the health-ping ticker so the event queue can drain.
+func (p *Platform) stopPing() {
+	if p.pingTicker != nil {
+		p.pingTicker.Stop()
+	}
+}
+
+func (p *Platform) breakdown(app string) *PhaseBreakdown {
+	bd, ok := p.result.Breakdown[app]
+	if !ok {
+		bd = &PhaseBreakdown{}
+		p.result.Breakdown[app] = bd
+	}
+	return bd
+}

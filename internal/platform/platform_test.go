@@ -1,0 +1,226 @@
+package platform
+
+import (
+	"math"
+	"testing"
+
+	"libra/internal/function"
+	"libra/internal/metrics"
+	"libra/internal/trace"
+)
+
+func runPreset(t *testing.T, cfg Config, set trace.Set) *Result {
+	t.Helper()
+	p := New(cfg)
+	r := p.Run(set)
+	if len(r.Records) != len(set.Invocations) {
+		t.Fatalf("%s: %d records for %d invocations", cfg.Name, len(r.Records), len(set.Invocations))
+	}
+	return r
+}
+
+func TestDefaultPlatformRunsTrace(t *testing.T) {
+	set := trace.SingleSet(1)
+	r := runPreset(t, PresetDefault(SingleNode(), 1), set)
+	if r.CompletionTime <= set.Duration() {
+		t.Fatalf("completion %g before last arrival %g", r.CompletionTime, set.Duration())
+	}
+	for _, rec := range r.Records {
+		if rec.Latency <= 0 {
+			t.Fatalf("non-positive latency %g", rec.Latency)
+		}
+		// Default never reassigns resources.
+		if rec.Inv.Harvested || rec.Inv.Accelerate || rec.Inv.Safeguard {
+			t.Fatalf("Default platform adjusted resources: %+v", rec.Inv)
+		}
+		// Default speedup is ≈ 0 (Eq. 1 baseline).
+		if math.Abs(rec.Speedup) > 1e-9 {
+			t.Fatalf("Default speedup = %g, want 0", rec.Speedup)
+		}
+	}
+	if r.Harvested != 0 || r.Accelerated != 0 {
+		t.Fatal("Default platform harvested")
+	}
+}
+
+func TestLibraHarvestsAndAccelerates(t *testing.T) {
+	set := trace.SingleSet(1)
+	r := runPreset(t, PresetLibra(SingleNode(), 1), set)
+	if r.Harvested == 0 {
+		t.Fatal("Libra never harvested")
+	}
+	if r.Accelerated == 0 {
+		t.Fatal("Libra never accelerated")
+	}
+	sp := metrics.Summarize(r.Speedups())
+	if sp.Max <= 0 {
+		t.Fatalf("no invocation was sped up: %v", sp)
+	}
+	// Safety: Libra's worst degradation stays small (paper: −2%).
+	if sp.Min < -0.15 {
+		t.Fatalf("Libra degraded an invocation by %.0f%%", -sp.Min*100)
+	}
+}
+
+func TestLibraBeatsDefaultAndFreyrP99(t *testing.T) {
+	set := trace.SingleSet(2)
+	def := runPreset(t, PresetDefault(SingleNode(), 2), set)
+	fre := runPreset(t, PresetFreyr(SingleNode(), 2), set)
+	lib := runPreset(t, PresetLibra(SingleNode(), 2), set)
+	p99 := func(r *Result) float64 { return metrics.Summarize(r.Latencies()).P99 }
+	if !(p99(lib) < p99(def)) {
+		t.Fatalf("Libra P99 %.2f not below Default %.2f", p99(lib), p99(def))
+	}
+	if !(p99(lib) < p99(fre)) {
+		t.Fatalf("Libra P99 %.2f not below Freyr %.2f", p99(lib), p99(fre))
+	}
+}
+
+func TestLibraUtilizationAboveDefault(t *testing.T) {
+	set := trace.SingleSet(3)
+	def := runPreset(t, PresetDefault(SingleNode(), 3), set)
+	lib := runPreset(t, PresetLibra(SingleNode(), 3), set)
+	if !(lib.AvgCPUUtil > def.AvgCPUUtil) {
+		t.Fatalf("Libra CPU util %.3f not above Default %.3f", lib.AvgCPUUtil, def.AvgCPUUtil)
+	}
+	if !(lib.CompletionTime < def.CompletionTime) {
+		t.Fatalf("Libra completion %.1f not below Default %.1f", lib.CompletionTime, def.CompletionTime)
+	}
+}
+
+func TestVariantsDegradeWithoutSafeguard(t *testing.T) {
+	set := trace.SingleSet(4)
+	ns := runPreset(t, PresetLibraNS(SingleNode(), 4), set)
+	lib := runPreset(t, PresetLibra(SingleNode(), 4), set)
+	minNS := metrics.Summarize(ns.Speedups()).Min
+	minLib := metrics.Summarize(lib.Speedups()).Min
+	if !(minNS <= minLib) {
+		t.Fatalf("Libra-NS worst speedup %.3f better than Libra %.3f", minNS, minLib)
+	}
+	if lib.Safeguarded == 0 {
+		t.Fatal("Libra never safeguarded on this workload")
+	}
+	if ns.Safeguarded != 0 {
+		t.Fatal("Libra-NS safeguarded despite the daemon being off")
+	}
+}
+
+func TestWarmupServedDuringHistogramWindow(t *testing.T) {
+	set := trace.SingleSet(5)
+	r := runPreset(t, PresetLibra(SingleNode(), 5), set)
+	// At least the size-unrelated apps must have gone through warm-up
+	// (max-allocation) invocations early on — visible as accelerated
+	// invocations among the first per function.
+	if r.Accelerated == 0 {
+		t.Fatal("no accelerated invocations at all")
+	}
+}
+
+func TestShardReservationAccountingBalances(t *testing.T) {
+	set := trace.SingleSet(6)
+	p := New(PresetLibra(MultiNode(), 6))
+	r := p.Run(set)
+	_ = r
+	for _, s := range p.shards {
+		for _, n := range p.nodes {
+			if !s.CommittedOn(n.ID()).IsZero() {
+				t.Fatalf("shard %d still holds commitments on node %d after drain", s.Index(), n.ID())
+			}
+		}
+	}
+	for _, n := range p.nodes {
+		if !n.Committed().IsZero() || n.Running() != 0 {
+			t.Fatalf("node %d not drained", n.ID())
+		}
+	}
+}
+
+func TestMultiNodeAllAlgorithmsComplete(t *testing.T) {
+	set := trace.Generate("m", function.Apps(), 120, 60, 7)
+	for _, algo := range []string{"Default", "RR", "JSQ", "MWS", "Libra"} {
+		cfg := WithAlgorithm(PresetLibra(MultiNode(), 7), algo)
+		r := runPreset(t, cfg, set)
+		if r.CompletionTime <= 0 {
+			t.Fatalf("%s: zero completion time", algo)
+		}
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	set := trace.SingleSet(8)
+	a := runPreset(t, PresetLibra(SingleNode(), 8), set)
+	b := runPreset(t, PresetLibra(SingleNode(), 8), set)
+	if a.CompletionTime != b.CompletionTime {
+		t.Fatalf("completion differs: %g vs %g", a.CompletionTime, b.CompletionTime)
+	}
+	la, lb := a.Latencies(), b.Latencies()
+	sa, sb := metrics.Summarize(la), metrics.Summarize(lb)
+	if sa != sb {
+		t.Fatalf("latency summaries differ:\n%v\n%v", sa, sb)
+	}
+}
+
+func TestSchedulingOverheadSubMillisecond(t *testing.T) {
+	set := trace.SingleSet(9)
+	r := runPreset(t, PresetLibra(SingleNode(), 9), set)
+	for _, o := range r.SchedOverheads {
+		if o >= 0.001 {
+			t.Fatalf("scheduling overhead %gs ≥ 1ms", o)
+		}
+	}
+}
+
+func TestBreakdownAccumulated(t *testing.T) {
+	set := trace.SingleSet(10)
+	r := runPreset(t, PresetLibra(SingleNode(), 10), set)
+	total := 0
+	for app, bd := range r.Breakdown {
+		total += bd.Count
+		if bd.Exec <= 0 {
+			t.Fatalf("%s: no execution time recorded", app)
+		}
+		if bd.Frontend <= 0 || bd.Scheduler < 0 {
+			t.Fatalf("%s: missing phase times %+v", app, bd)
+		}
+	}
+	if total != len(set.Invocations) {
+		t.Fatalf("breakdown covers %d invocations, want %d", total, len(set.Invocations))
+	}
+}
+
+func TestMoreShardsReduceBurstCompletion(t *testing.T) {
+	burst := trace.ConcurrentBurst(300, 11)
+	run := func(k int) float64 {
+		cfg := PresetLibra(Jetstream(20, k), 11)
+		r := runPreset(t, cfg, burst)
+		return r.CompletionTime
+	}
+	one, four := run(1), run(4)
+	if !(four < one) {
+		t.Fatalf("4 schedulers (%.1fs) not faster than 1 (%.1fs)", four, one)
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Nodes: 1, NodeCap: MultiNodeCap, Algorithm: "bogus"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	p := New(PresetLibra(SingleNode(), 12))
+	r := p.Run(trace.Set{Name: "empty"})
+	if len(r.Records) != 0 || r.CompletionTime != 0 {
+		t.Fatalf("empty trace produced %+v", r)
+	}
+}

@@ -1,0 +1,123 @@
+package platform
+
+import "libra/internal/resources"
+
+// Testbed capacities from §8.2.1.
+var (
+	// SingleNodeCap is the single-node cluster's worker: 72 cores, 72 GB.
+	SingleNodeCap = resources.Vector{CPU: resources.Cores(72), Mem: 72 * 1024}
+	// MultiNodeCap is one of the four multi-node workers: 32 cores, 32 GB.
+	MultiNodeCap = resources.Vector{CPU: resources.Cores(32), Mem: 32 * 1024}
+	// JetstreamCap is one Jetstream node: 24 cores, 24 GB.
+	JetstreamCap = resources.Vector{CPU: resources.Cores(24), Mem: 24 * 1024}
+)
+
+// Testbed pins the cluster geometry of a preset.
+type Testbed struct {
+	Nodes   int
+	NodeCap resources.Vector
+	// Schedulers is the sharding degree (§8.3 single-node runs use one
+	// scheduler; scalability experiments sweep 1–4).
+	Schedulers int
+}
+
+// SingleNode is the single-node testbed (§8.2.1).
+func SingleNode() Testbed { return Testbed{Nodes: 1, NodeCap: SingleNodeCap, Schedulers: 1} }
+
+// MultiNode is the four-worker testbed (§8.2.1).
+func MultiNode() Testbed { return Testbed{Nodes: 4, NodeCap: MultiNodeCap, Schedulers: 2} }
+
+// Jetstream is the 50-node scalability testbed (§8.2.1); nodes and
+// schedulers are varied by the experiment.
+func Jetstream(nodes, schedulers int) Testbed {
+	return Testbed{Nodes: nodes, NodeCap: JetstreamCap, Schedulers: schedulers}
+}
+
+func (tb Testbed) base(name string, seed int64) Config {
+	return Config{
+		Name:       name,
+		Nodes:      tb.Nodes,
+		NodeCap:    tb.NodeCap,
+		Schedulers: tb.Schedulers,
+		Seed:       seed,
+	}
+}
+
+// PresetDefault is baseline 1 of §8.3: stock OpenWhisk resource
+// management — fixed user-defined allocations, no harvesting — with the
+// hash scheduler.
+func PresetDefault(tb Testbed, seed int64) Config {
+	cfg := tb.base("Default", seed)
+	cfg.Algorithm = "Default"
+	return cfg
+}
+
+// PresetFreyr is baseline 2 of §8.3: the Freyr analogue — history-driven
+// estimator without input sizes, aggressive harvesting, timeliness-blind
+// pool, no in-flight safeguard.
+func PresetFreyr(tb Testbed, seed int64) Config {
+	cfg := tb.base("Freyr", seed)
+	cfg.Algorithm = "Default"
+	cfg.Harvest = true
+	cfg.Estimator = EstFreyr
+	cfg.AggressiveHarvest = true
+	cfg.TimelinessBlind = true
+	return cfg
+}
+
+// PresetLibra is the full system: profiler, safeguard, harvest pools and
+// the timeliness-aware scheduler.
+func PresetLibra(tb Testbed, seed int64) Config {
+	cfg := tb.base("Libra", seed)
+	cfg.Harvest = true
+	cfg.Estimator = EstProfiler
+	cfg.Safeguard = true
+	return cfg
+}
+
+// PresetLibraNS is Libra without the safeguard daemon (§8.3 variant 3).
+func PresetLibraNS(tb Testbed, seed int64) Config {
+	cfg := PresetLibra(tb, seed)
+	cfg.Name = "Libra-NS"
+	cfg.Safeguard = false
+	return cfg
+}
+
+// PresetLibraNP is Libra without the profiler (§8.3 variant 4): a
+// five-invocation moving-window maximum replaces the predictions.
+func PresetLibraNP(tb Testbed, seed int64) Config {
+	cfg := PresetLibra(tb, seed)
+	cfg.Name = "Libra-NP"
+	cfg.Estimator = EstWindow
+	return cfg
+}
+
+// PresetLibraNSP is Libra without safeguard and profiler (§8.3 variant 5).
+func PresetLibraNSP(tb Testbed, seed int64) Config {
+	cfg := PresetLibra(tb, seed)
+	cfg.Name = "Libra-NSP"
+	cfg.Estimator = EstWindow
+	cfg.Safeguard = false
+	return cfg
+}
+
+// SixPlatforms returns the §8.3 comparison set in the paper's order.
+func SixPlatforms(tb Testbed, seed int64) []Config {
+	return []Config{
+		PresetDefault(tb, seed),
+		PresetFreyr(tb, seed),
+		PresetLibra(tb, seed),
+		PresetLibraNS(tb, seed),
+		PresetLibraNP(tb, seed),
+		PresetLibraNSP(tb, seed),
+	}
+}
+
+// WithAlgorithm returns cfg with the scheduling algorithm replaced and
+// the name annotated — used by the §8.4 scheduling comparison, which
+// enables Libra's harvesting under every algorithm for fairness.
+func WithAlgorithm(cfg Config, algo string) Config {
+	cfg.Algorithm = algo
+	cfg.Name = algo
+	return cfg
+}

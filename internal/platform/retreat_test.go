@@ -1,0 +1,68 @@
+package platform
+
+import (
+	"testing"
+
+	"libra/internal/trace"
+)
+
+// The §5.1 OOM mitigation: after MemRetreatAfter safeguard triggers, a
+// function's memory is no longer harvested.
+func TestMemoryHarvestRetreat(t *testing.T) {
+	set := trace.SingleSet(4)
+
+	// With an immediate retreat (threshold 1 trigger), the number of
+	// safeguard events can only go down or stay equal versus a platform
+	// that never retreats: after the first trigger per function, its
+	// memory allocation is no longer reduced.
+	aggressive := PresetLibra(SingleNode(), 4)
+	aggressive.MemRetreatAfter = -1 // never retreat
+	rAggr := New(aggressive).Run(set)
+
+	cautious := PresetLibra(SingleNode(), 4)
+	cautious.MemRetreatAfter = 1
+	rCaut := New(cautious).Run(set)
+
+	if rCaut.Safeguarded > rAggr.Safeguarded {
+		t.Fatalf("retreat increased safeguard triggers: %d > %d",
+			rCaut.Safeguarded, rAggr.Safeguarded)
+	}
+	if len(rCaut.Records) != len(set.Invocations) {
+		t.Fatalf("retreat run lost invocations")
+	}
+}
+
+func TestMemRetreatDefault(t *testing.T) {
+	cfg := Config{Nodes: 1, NodeCap: SingleNodeCap}
+	cfg.defaults()
+	if cfg.MemRetreatAfter != 3 {
+		t.Fatalf("default MemRetreatAfter = %d, want 3", cfg.MemRetreatAfter)
+	}
+}
+
+// Single-axis harvesting (§9 comparison with OFC): memory-only must never
+// harvest CPU and vice versa.
+func TestSingleAxisHarvesting(t *testing.T) {
+	set := trace.SingleSet(6)
+	set.Invocations = set.Invocations[:80]
+
+	memOnly := PresetLibra(SingleNode(), 6)
+	memOnly.HarvestMemOnly = true
+	r := New(memOnly).Run(set)
+	for _, rec := range r.Records {
+		if rec.Inv.CPUReassignSec < -1e-9 {
+			t.Fatalf("memory-only harvested CPU from invocation %d (%.2f core-s)",
+				rec.Inv.ID, rec.Inv.CPUReassignSec)
+		}
+	}
+
+	cpuOnly := PresetLibra(SingleNode(), 6)
+	cpuOnly.HarvestCPUOnly = true
+	r2 := New(cpuOnly).Run(set)
+	for _, rec := range r2.Records {
+		if rec.Inv.MemReassignSec < -1e-9 {
+			t.Fatalf("CPU-only harvested memory from invocation %d (%.0f MB-s)",
+				rec.Inv.ID, rec.Inv.MemReassignSec)
+		}
+	}
+}

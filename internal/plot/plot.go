@@ -1,0 +1,234 @@
+// Package plot renders terminal figures — line charts, CDF curves, bar
+// charts and time-series strips — so cmd/libra-bench can show the *shape*
+// of every paper figure, not just its numbers. Pure text, no
+// dependencies; all charts are deterministic for a given input.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers are assigned to series in order.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Chart is a configurable ASCII line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 16)
+	// YMin/YMax fix the y-range; both zero means auto.
+	YMin, YMax float64
+	series     []Series
+}
+
+// Add appends a series. Series with no points are ignored at render time.
+func (c *Chart) Add(s Series) { c.series = append(c.series, s) }
+
+// Line builds a chart from series directly.
+func Line(title, xlabel, ylabel string, series ...Series) *Chart {
+	c := &Chart{Title: title, XLabel: xlabel, YLabel: ylabel}
+	for _, s := range series {
+		c.Add(s)
+	}
+	return c
+}
+
+func (c *Chart) dims() (w, h int) {
+	w, h = c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	return w, h
+}
+
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+			ok = true
+		}
+	}
+	if !ok {
+		return 0, 0, 0, 0, false
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax, true
+}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.dims()
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	if !ok {
+		fmt.Fprintf(w, "%s: (no data)\n", c.Title)
+		return
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for col := range grid[r] {
+			grid[r][col] = ' '
+		}
+	}
+	for si, s := range c.series {
+		mark := markers[si%len(markers)]
+		// Draw with linear interpolation between consecutive points so
+		// sparse series still read as lines.
+		for i := 0; i+1 < len(s.X); i++ {
+			x0, y0 := s.X[i], s.Y[i]
+			x1, y1 := s.X[i+1], s.Y[i+1]
+			steps := width
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / float64(steps)
+				c.set(grid, width, height, xmin, xmax, ymin, ymax, x0+(x1-x0)*f, y0+(y1-y0)*f, mark)
+			}
+		}
+		if len(s.X) == 1 {
+			c.set(grid, width, height, xmin, xmax, ymin, ymax, s.X[0], s.Y[0], mark)
+		}
+	}
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	yLo, yHi := formatTick(ymin), formatTick(ymax)
+	labelW := len(yHi)
+	if len(yLo) > labelW {
+		labelW = len(yLo)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelW)
+		if r == 0 {
+			label = pad(yHi, labelW)
+		}
+		if r == height-1 {
+			label = pad(yLo, labelW)
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%s +%s+\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %s%s%s\n", strings.Repeat(" ", labelW),
+		formatTick(xmin), strings.Repeat(" ", maxInt(1, width-len(formatTick(xmin))-len(formatTick(xmax)))), formatTick(xmax))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(w, "%s  x: %s, y: %s\n", strings.Repeat(" ", labelW), c.XLabel, c.YLabel)
+	}
+	// Legend.
+	var legend []string
+	for si, s := range c.series {
+		if len(s.X) == 0 {
+			continue
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(w, "%s  legend: %s\n", strings.Repeat(" ", labelW), strings.Join(legend, "   "))
+	}
+}
+
+func (c *Chart) set(grid [][]rune, width, height int, xmin, xmax, ymin, ymax, x, y float64, mark rune) {
+	col := int((x - xmin) / (xmax - xmin) * float64(width-1))
+	row := height - 1 - int((y-ymin)/(ymax-ymin)*float64(height-1))
+	if col < 0 || col >= width || row < 0 || row >= height {
+		return
+	}
+	if grid[row][col] != ' ' && grid[row][col] != mark {
+		grid[row][col] = '&' // overlap
+		return
+	}
+	grid[row][col] = mark
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Bars renders a horizontal bar chart with one row per (label, value).
+func Bars(w io.Writer, title, unit string, labels []string, values []float64) {
+	if len(labels) != len(values) {
+		panic("plot: labels/values length mismatch")
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	if len(values) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	maxV := math.Inf(-1)
+	labelW := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	const barW = 48
+	for i, v := range values {
+		n := int(v / maxV * barW)
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "%s |%s %.4g %s\n", pad(labels[i], labelW), strings.Repeat("=", n), v, unit)
+	}
+}

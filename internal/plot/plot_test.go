@@ -1,0 +1,163 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func renderString(c *Chart) string {
+	var buf bytes.Buffer
+	c.Render(&buf)
+	return buf.String()
+}
+
+func TestLineChartBasics(t *testing.T) {
+	c := Line("latency", "rpm", "p99",
+		Series{Name: "Libra", X: []float64{10, 20, 30}, Y: []float64{1, 2, 3}},
+		Series{Name: "Default", X: []float64{10, 20, 30}, Y: []float64{2, 4, 6}},
+	)
+	out := renderString(c)
+	for _, want := range []string{"latency", "Libra", "Default", "legend:", "x: rpm, y: p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart output missing %q:\n%s", want, out)
+		}
+	}
+	// Both series markers appear.
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Fatalf("series markers missing:\n%s", out)
+	}
+}
+
+func TestEmptyChart(t *testing.T) {
+	c := Line("empty", "x", "y")
+	out := renderString(c)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+	// A series with only NaNs is also empty.
+	c2 := Line("nan", "x", "y", Series{Name: "n", X: []float64{1}, Y: []float64{math.NaN()}})
+	if !strings.Contains(renderString(c2), "no data") {
+		t.Fatal("NaN-only series should render as no data")
+	}
+}
+
+func TestSinglePointSeries(t *testing.T) {
+	c := Line("pt", "x", "y", Series{Name: "p", X: []float64{5}, Y: []float64{7}})
+	out := renderString(c)
+	if !strings.ContainsRune(out, '*') {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestMonotoneLinePlacement(t *testing.T) {
+	// An increasing line must put its marker higher (earlier row) for
+	// larger x. Find marker columns per row.
+	c := Line("", "", "", Series{Name: "s", X: []float64{0, 100}, Y: []float64{0, 100}})
+	c.Width = 20
+	c.Height = 10
+	out := renderString(c)
+	lines := strings.Split(out, "\n")
+	prevCol := -1
+	for _, ln := range lines {
+		bar := strings.IndexRune(ln, '|')
+		if bar < 0 {
+			continue
+		}
+		col := strings.IndexRune(ln[bar+1:], '*')
+		if col < 0 {
+			continue
+		}
+		// Rows render top-down: columns must decrease as we go down.
+		if prevCol >= 0 && col >= prevCol {
+			t.Fatalf("line not monotone in the grid:\n%s", out)
+		}
+		prevCol = col
+	}
+}
+
+func TestFixedYRange(t *testing.T) {
+	c := Line("", "", "", Series{Name: "s", X: []float64{0, 1}, Y: []float64{0.4, 0.6}})
+	c.YMin, c.YMax = 0, 1
+	out := renderString(c)
+	if !strings.Contains(out, "1.0") || !strings.Contains(out, "0.00") {
+		t.Fatalf("fixed range ticks missing:\n%s", out)
+	}
+}
+
+// Property: rendering never panics and always terminates with bounded
+// output for arbitrary finite inputs.
+func TestPropertyRenderTotal(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		c := Line("t", "x", "y", Series{Name: "s", X: xs[:n], Y: ys[:n]})
+		var buf bytes.Buffer
+		c.Render(&buf)
+		return buf.Len() > 0 && buf.Len() < 1<<20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "util", "%", []string{"Default", "Libra"}, []float64{20, 60})
+	out := buf.String()
+	if !strings.Contains(out, "Default") || !strings.Contains(out, "Libra") {
+		t.Fatalf("bars missing labels:\n%s", out)
+	}
+	// Libra's bar must be longer.
+	var defLen, libLen int
+	for _, ln := range strings.Split(out, "\n") {
+		count := strings.Count(ln, "=")
+		if strings.Contains(ln, "Default") {
+			defLen = count
+		}
+		if strings.Contains(ln, "Libra") {
+			libLen = count
+		}
+	}
+	if libLen <= defLen {
+		t.Fatalf("bar lengths: libra %d vs default %d:\n%s", libLen, defLen, out)
+	}
+}
+
+func TestBarsEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "", "", nil, nil)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty bars should say no data")
+	}
+	buf.Reset()
+	Bars(&buf, "", "s", []string{"a"}, []float64{-5})
+	if !strings.Contains(buf.String(), "-5") {
+		t.Fatal("negative value row missing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Bars(&buf, "", "", []string{"a"}, nil)
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		2500000: "2.5M",
+		25000:   "25k",
+		250:     "250",
+		2.5:     "2.5",
+		0.25:    "0.25",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Fatalf("formatTick(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

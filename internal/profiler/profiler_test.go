@@ -1,0 +1,311 @@
+package profiler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"libra/internal/function"
+)
+
+func mustApp(t *testing.T, name string) *function.Spec {
+	t.Helper()
+	s, ok := function.ByName(name)
+	if !ok {
+		t.Fatalf("unknown app %s", name)
+	}
+	return s
+}
+
+func TestFirstInvocationServedWithUserResources(t *testing.T) {
+	p := New(Config{Seed: 1})
+	dh := mustApp(t, "DH")
+	in := function.Input{Size: 4000, Seed: 9}
+	pred, train := p.Predict(dh, in)
+	if pred.Source != SourceFirstSeen || pred.Reliable {
+		t.Fatalf("first prediction = %+v, want unreliable first-seen", pred)
+	}
+	if pred.Demand.CPUPeak != dh.UserAlloc.CPU || pred.Demand.MemPeak != dh.UserAlloc.Mem {
+		t.Fatalf("first prediction demand = %+v, want user alloc", pred.Demand)
+	}
+	if train != OfflineTrainOverhead {
+		t.Fatalf("train overhead = %g, want %g", train, OfflineTrainOverhead)
+	}
+	// Second call must not retrain.
+	_, train = p.Predict(dh, in)
+	if train != 0 {
+		t.Fatal("second prediction paid training overhead again")
+	}
+}
+
+func TestSizeRelatedAppsUseML(t *testing.T) {
+	p := New(Config{Seed: 2})
+	rng := rand.New(rand.NewSource(3))
+	for _, name := range []string{"UL", "TN", "CP", "DV", "DH"} {
+		app := mustApp(t, name)
+		p.Predict(app, app.SampleInput(rng))
+		rep, ok := p.Report(name)
+		if !ok {
+			t.Fatalf("%s: no report after first invocation", name)
+		}
+		if !rep.SizeRelated || !rep.UseML {
+			t.Errorf("%s: report %v — want size-related with ML", name, rep)
+		}
+		if rep.CPUAccuracy < 0.8 || rep.MemAccuracy < 0.8 || rep.DurationR2 < 0.9 {
+			t.Errorf("%s: weak metrics %v", name, rep)
+		}
+	}
+}
+
+func TestSizeUnrelatedAppsUseHistograms(t *testing.T) {
+	p := New(Config{Seed: 4})
+	rng := rand.New(rand.NewSource(5))
+	for _, name := range []string{"VP", "IR", "GP", "GM", "GB"} {
+		app := mustApp(t, name)
+		p.Predict(app, app.SampleInput(rng))
+		rep, _ := p.Report(name)
+		if rep.SizeRelated || rep.UseML {
+			t.Errorf("%s: report %v — want size-unrelated with histograms", name, rep)
+		}
+	}
+}
+
+func TestMLPredictionAccuracy(t *testing.T) {
+	p := New(Config{Seed: 6})
+	dh := mustApp(t, "DH")
+	rng := rand.New(rand.NewSource(7))
+	p.Predict(dh, dh.SampleInput(rng)) // trigger training
+	good := 0
+	n := 200
+	for i := 0; i < n; i++ {
+		in := dh.SampleInput(rng)
+		pred, _ := p.Predict(dh, in)
+		if pred.Source != SourceML || !pred.Reliable {
+			t.Fatalf("prediction source = %v", pred.Source)
+		}
+		actual := dh.Demand(in)
+		// Predicted CPU class ceiling should cover the actual peak most of
+		// the time and not exceed it by more than one class.
+		if pred.Demand.CPUPeak >= actual.CPUPeak &&
+			pred.Demand.CPUPeak <= actual.CPUPeak+2000 {
+			good++
+		}
+	}
+	if frac := float64(good) / float64(n); frac < 0.8 {
+		t.Fatalf("only %.0f%% of ML CPU predictions within one class of truth", frac*100)
+	}
+}
+
+func TestMLDurationPrediction(t *testing.T) {
+	p := New(Config{Seed: 8})
+	cp := mustApp(t, "CP")
+	rng := rand.New(rand.NewSource(9))
+	p.Predict(cp, cp.SampleInput(rng))
+	var relErrSum float64
+	n := 100
+	for i := 0; i < n; i++ {
+		in := cp.SampleInput(rng)
+		pred, _ := p.Predict(cp, in)
+		actual := cp.Demand(in)
+		relErrSum += math.Abs(pred.Demand.Duration-actual.Duration) / actual.Duration
+	}
+	if avg := relErrSum / float64(n); avg > 0.25 {
+		t.Fatalf("mean relative duration error = %.2f, want ≤0.25", avg)
+	}
+}
+
+func TestHistogramWarmupThenEstimates(t *testing.T) {
+	p := New(Config{Seed: 10, HistWindow: 5})
+	vp := mustApp(t, "VP")
+	rng := rand.New(rand.NewSource(11))
+	p.Predict(vp, vp.SampleInput(rng)) // first-seen + training
+	// During the warm-up window predictions ask for max allocation.
+	for i := 0; i < 5; i++ {
+		in := vp.SampleInput(rng)
+		pred, _ := p.Predict(vp, in)
+		if pred.Source != SourceWarmup || pred.Reliable {
+			t.Fatalf("warm-up prediction %d = %+v", i, pred)
+		}
+		if pred.Demand.CPUPeak != function.MaxAlloc.CPU {
+			t.Fatalf("warm-up should serve max allocation, got %v", pred.Demand.CPUPeak)
+		}
+		p.Observe(vp, in, vp.Demand(in))
+	}
+	in := vp.SampleInput(rng)
+	pred, _ := p.Predict(vp, in)
+	if pred.Source != SourceHistogram || !pred.Reliable {
+		t.Fatalf("post-warm-up prediction = %+v, want reliable histogram", pred)
+	}
+	if pred.Demand.CPUPeak <= 0 || pred.Demand.Duration <= 0 {
+		t.Fatalf("degenerate histogram estimate %+v", pred.Demand)
+	}
+}
+
+func TestHistogramEstimatesAreConservative(t *testing.T) {
+	p := New(Config{Seed: 12, HistWindow: 5})
+	gp := mustApp(t, "GP")
+	rng := rand.New(rand.NewSource(13))
+	p.Predict(gp, gp.SampleInput(rng))
+	var durs []float64
+	var maxCPU float64
+	for i := 0; i < 200; i++ {
+		in := gp.SampleInput(rng)
+		actual := gp.Demand(in)
+		p.Observe(gp, in, actual)
+		durs = append(durs, actual.Duration)
+		if c := float64(actual.CPUPeak); c > maxCPU {
+			maxCPU = c
+		}
+	}
+	pred, _ := p.Predict(gp, gp.SampleInput(rng))
+	// P99 CPU peak should be near the observed maximum (tail percentile).
+	if float64(pred.Demand.CPUPeak) < 0.7*maxCPU {
+		t.Fatalf("P99 CPU estimate %v far below observed max %.0f", pred.Demand.CPUPeak, maxCPU)
+	}
+	// P5 duration should be below the typical duration (head percentile).
+	var mean float64
+	for _, d := range durs {
+		mean += d
+	}
+	mean /= float64(len(durs))
+	if pred.Demand.Duration > mean {
+		t.Fatalf("P5 duration estimate %.2f above mean %.2f — not conservative", pred.Demand.Duration, mean)
+	}
+}
+
+func TestModeOverrides(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	vp := mustApp(t, "VP")
+	dh := mustApp(t, "DH")
+
+	ml := New(Config{Seed: 15, Mode: MLOnly})
+	ml.Predict(vp, vp.SampleInput(rng))
+	if rep, _ := ml.Report("VP"); !rep.UseML {
+		t.Fatal("MLOnly profiler did not force ML for VP")
+	}
+
+	hist := New(Config{Seed: 16, Mode: HistOnly})
+	hist.Predict(dh, dh.SampleInput(rng))
+	if rep, _ := hist.Report("DH"); rep.UseML {
+		t.Fatal("HistOnly profiler used ML for DH")
+	}
+}
+
+func TestObserveUnknownFunctionIsNoop(t *testing.T) {
+	p := New(Config{Seed: 17})
+	dh := mustApp(t, "DH")
+	p.Observe(dh, function.Input{Size: 1}, function.Demand{}) // must not panic
+	if _, ok := p.Report("DH"); ok {
+		t.Fatal("Observe created a profile")
+	}
+}
+
+func TestPredictionsCounter(t *testing.T) {
+	p := New(Config{Seed: 18})
+	dh := mustApp(t, "DH")
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 5; i++ {
+		p.Predict(dh, dh.SampleInput(rng))
+	}
+	if p.Predictions() != 5 {
+		t.Fatalf("Predictions = %d, want 5", p.Predictions())
+	}
+}
+
+func TestDuplicateDatasetShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	dh := mustApp(t, "DH")
+	X, cpuY, memY, durY := Duplicate(dh, function.Input{Size: 500, Seed: 1}, 100, 0.03, rng)
+	if len(X) != 100 || len(cpuY) != 100 || len(memY) != 100 || len(durY) != 100 {
+		t.Fatalf("dataset sizes = %d/%d/%d/%d, want 100 each", len(X), len(cpuY), len(memY), len(durY))
+	}
+	for i := range X {
+		if len(X[i]) != 2 {
+			t.Fatalf("feature dim = %d, want 2", len(X[i]))
+		}
+		if cpuY[i] < 0 || cpuY[i] >= function.NumCPUClasses {
+			t.Fatalf("cpu class %d out of range", cpuY[i])
+		}
+		if memY[i] < 0 || memY[i] >= function.NumMemClasses {
+			t.Fatalf("mem class %d out of range", memY[i])
+		}
+		if durY[i] <= 0 {
+			t.Fatalf("non-positive duration label")
+		}
+	}
+}
+
+func TestWindowEstimator(t *testing.T) {
+	w := NewWindowEstimator(3)
+	dh := mustApp(t, "DH")
+	in := function.Input{Size: 100}
+
+	pred, _ := w.Predict(dh, in)
+	if pred.Reliable {
+		t.Fatal("empty window should be unreliable")
+	}
+	if pred.Demand.CPUPeak != dh.UserAlloc.CPU {
+		t.Fatal("empty-window prediction should be the user allocation")
+	}
+
+	w.Observe(dh, in, function.Demand{CPUPeak: 1000, MemPeak: 100, Duration: 1})
+	w.Observe(dh, in, function.Demand{CPUPeak: 3000, MemPeak: 50, Duration: 4})
+	w.Observe(dh, in, function.Demand{CPUPeak: 2000, MemPeak: 300, Duration: 2})
+	pred, _ = w.Predict(dh, in)
+	want := function.Demand{CPUPeak: 3000, MemPeak: 300, Duration: 4}
+	if pred.Demand != want || !pred.Reliable {
+		t.Fatalf("window-max prediction = %+v, want %+v", pred.Demand, want)
+	}
+
+	// Window evicts: after 3 more observations the old max is gone.
+	for i := 0; i < 3; i++ {
+		w.Observe(dh, in, function.Demand{CPUPeak: 500, MemPeak: 64, Duration: 0.5})
+	}
+	pred, _ = w.Predict(dh, in)
+	if pred.Demand.CPUPeak != 500 {
+		t.Fatalf("window did not evict: %+v", pred.Demand)
+	}
+}
+
+func TestWindowEstimatorDefaultSize(t *testing.T) {
+	w := NewWindowEstimator(0)
+	if w.n != 5 {
+		t.Fatalf("default window = %d, want 5", w.n)
+	}
+}
+
+func TestProfilerDeterministicUnderSeed(t *testing.T) {
+	dh := mustApp(t, "DH")
+	mk := func() Prediction {
+		p := New(Config{Seed: 42})
+		rng := rand.New(rand.NewSource(43))
+		p.Predict(dh, dh.SampleInput(rng))
+		pred, _ := p.Predict(dh, function.Input{Size: 2500, Seed: 77})
+		return pred
+	}
+	a, b := mk(), mk()
+	if a.Demand != b.Demand {
+		t.Fatalf("same-seed profilers disagree: %+v vs %+v", a.Demand, b.Demand)
+	}
+}
+
+func BenchmarkPredictML(b *testing.B) {
+	p := New(Config{Seed: 1})
+	dh, _ := function.ByName("DH")
+	rng := rand.New(rand.NewSource(2))
+	p.Predict(dh, dh.SampleInput(rng))
+	in := function.Input{Size: 3000, Seed: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Predict(dh, in)
+	}
+}
+
+func BenchmarkOfflineProfile(b *testing.B) {
+	dh, _ := function.ByName("DH")
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < b.N; i++ {
+		p := New(Config{Seed: int64(i)})
+		p.Predict(dh, dh.SampleInput(rng))
+	}
+}

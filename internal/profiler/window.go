@@ -1,0 +1,79 @@
+package profiler
+
+import (
+	"sync"
+
+	"libra/internal/function"
+)
+
+// WindowEstimator is the profiler replacement used by the Libra-NP
+// variant (§8.3): no ML, no histograms — every function keeps a moving
+// window over its n latest invocations and the maximum CPU peak, maximum
+// memory peak and maximum execution time in the window become the
+// prediction for the next invocation.
+type WindowEstimator struct {
+	mu   sync.Mutex
+	n    int
+	hist map[string][]function.Demand
+}
+
+// NewWindowEstimator creates a WindowEstimator with window size n (the
+// paper's experiment uses n = 5).
+func NewWindowEstimator(n int) *WindowEstimator {
+	if n <= 0 {
+		n = 5
+	}
+	return &WindowEstimator{n: n, hist: make(map[string][]function.Demand)}
+}
+
+// Predict returns the window-max demand estimate. Until the window has at
+// least one observation the prediction is unreliable and the invocation
+// runs with its user allocation.
+func (w *WindowEstimator) Predict(spec *function.Spec, _ function.Input) (Prediction, float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	win := w.hist[spec.Name]
+	if len(win) == 0 {
+		return Prediction{
+			Demand:   function.Demand{CPUPeak: spec.UserAlloc.CPU, MemPeak: spec.UserAlloc.Mem},
+			Source:   SourceFirstSeen,
+			Reliable: false,
+		}, 0
+	}
+	var d function.Demand
+	for _, o := range win {
+		if o.CPUPeak > d.CPUPeak {
+			d.CPUPeak = o.CPUPeak
+		}
+		if o.MemPeak > d.MemPeak {
+			d.MemPeak = o.MemPeak
+		}
+		if o.Duration > d.Duration {
+			d.Duration = o.Duration
+		}
+	}
+	return Prediction{Demand: d, Source: SourceHistogram, Reliable: true}, 0
+}
+
+// Observe appends an outcome, evicting the oldest beyond the window.
+func (w *WindowEstimator) Observe(spec *function.Spec, _ function.Input, actual function.Demand) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	win := append(w.hist[spec.Name], actual)
+	if len(win) > w.n {
+		win = win[len(win)-w.n:]
+	}
+	w.hist[spec.Name] = win
+}
+
+// Estimator is the interface the platform uses for demand prediction —
+// satisfied by both Profiler (Libra) and WindowEstimator (Libra-NP).
+type Estimator interface {
+	Predict(spec *function.Spec, in function.Input) (Prediction, float64)
+	Observe(spec *function.Spec, in function.Input, actual function.Demand)
+}
+
+var (
+	_ Estimator = (*Profiler)(nil)
+	_ Estimator = (*WindowEstimator)(nil)
+)

@@ -1,0 +1,93 @@
+// Package resources defines the fine-grained resource quantities Libra
+// harvests and reassigns: CPU in millicores and memory in megabytes.
+// OpenWhisk couples CPU to memory; Libra decouples them (§7 "Frontend"),
+// so the two axes are carried as an explicit Vector everywhere.
+package resources
+
+import "fmt"
+
+// Millicores is CPU capacity in 1/1000ths of a core. Fine granularity is
+// the point of the harvest pool: "even slight over-harvesting easily
+// deteriorates function executions" (§3.2), so allocations are not forced
+// to whole cores.
+type Millicores int64
+
+// Cores converts whole cores to Millicores.
+func Cores(n float64) Millicores { return Millicores(n * 1000) }
+
+// Cores returns the value as fractional cores.
+func (m Millicores) Cores() float64 { return float64(m) / 1000 }
+
+func (m Millicores) String() string { return fmt.Sprintf("%.3g cores", m.Cores()) }
+
+// MegaBytes is memory capacity in MB.
+type MegaBytes int64
+
+func (m MegaBytes) String() string { return fmt.Sprintf("%d MB", int64(m)) }
+
+// Vector is a joint CPU+memory quantity.
+type Vector struct {
+	CPU Millicores
+	Mem MegaBytes
+}
+
+// Add returns v + o.
+func (v Vector) Add(o Vector) Vector { return Vector{v.CPU + o.CPU, v.Mem + o.Mem} }
+
+// Sub returns v - o.
+func (v Vector) Sub(o Vector) Vector { return Vector{v.CPU - o.CPU, v.Mem - o.Mem} }
+
+// Max returns the component-wise maximum.
+func (v Vector) Max(o Vector) Vector {
+	return Vector{maxMC(v.CPU, o.CPU), maxMB(v.Mem, o.Mem)}
+}
+
+// Min returns the component-wise minimum.
+func (v Vector) Min(o Vector) Vector {
+	return Vector{minMC(v.CPU, o.CPU), minMB(v.Mem, o.Mem)}
+}
+
+// Clamp returns v limited component-wise into [lo, hi].
+func (v Vector) Clamp(lo, hi Vector) Vector { return v.Max(lo).Min(hi) }
+
+// Fits reports whether v fits inside o on both axes.
+func (v Vector) Fits(o Vector) bool { return v.CPU <= o.CPU && v.Mem <= o.Mem }
+
+// IsZero reports whether both components are zero.
+func (v Vector) IsZero() bool { return v.CPU == 0 && v.Mem == 0 }
+
+// Nonnegative reports whether both components are ≥ 0. Resource accounting
+// invariants in the cluster and pool are asserted with this.
+func (v Vector) Nonnegative() bool { return v.CPU >= 0 && v.Mem >= 0 }
+
+// Scale returns v scaled by f, rounding toward zero.
+func (v Vector) Scale(f float64) Vector {
+	return Vector{Millicores(float64(v.CPU) * f), MegaBytes(float64(v.Mem) * f)}
+}
+
+func (v Vector) String() string { return fmt.Sprintf("(%v, %v)", v.CPU, v.Mem) }
+
+func maxMC(a, b Millicores) Millicores {
+	if a > b {
+		return a
+	}
+	return b
+}
+func minMC(a, b Millicores) Millicores {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxMB(a, b MegaBytes) MegaBytes {
+	if a > b {
+		return a
+	}
+	return b
+}
+func minMB(a, b MegaBytes) MegaBytes {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,110 @@
+package resources
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoresRoundTrip(t *testing.T) {
+	if Cores(2).Cores() != 2 {
+		t.Fatalf("Cores(2).Cores() = %g", Cores(2).Cores())
+	}
+	if Cores(0.5) != 500 {
+		t.Fatalf("Cores(0.5) = %d millicores, want 500", Cores(0.5))
+	}
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	a := Vector{CPU: 1000, Mem: 512}
+	b := Vector{CPU: 250, Mem: 128}
+	if got := a.Add(b); got != (Vector{1250, 640}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vector{750, 384}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Min(b); got != b {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := a.Max(b); got != a {
+		t.Fatalf("Max = %v", got)
+	}
+}
+
+func TestFits(t *testing.T) {
+	cap := Vector{CPU: 8000, Mem: 8192}
+	if !(Vector{8000, 8192}).Fits(cap) {
+		t.Fatal("equal vector should fit")
+	}
+	if (Vector{8001, 1}).Fits(cap) {
+		t.Fatal("CPU overflow should not fit")
+	}
+	if (Vector{1, 8193}).Fits(cap) {
+		t.Fatal("Mem overflow should not fit")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	lo := Vector{CPU: 100, Mem: 64}
+	hi := Vector{CPU: 8000, Mem: 1024}
+	if got := (Vector{50, 2000}).Clamp(lo, hi); got != (Vector{100, 1024}) {
+		t.Fatalf("Clamp = %v", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	v := Vector{CPU: 1000, Mem: 1000}
+	if got := v.Scale(0.5); got != (Vector{500, 500}) {
+		t.Fatalf("Scale(0.5) = %v", got)
+	}
+	if got := v.Scale(0); !got.IsZero() {
+		t.Fatalf("Scale(0) = %v", got)
+	}
+}
+
+func TestPropertyAddSubInverse(t *testing.T) {
+	f := func(ac, am, bc, bm int32) bool {
+		a := Vector{Millicores(ac), MegaBytes(am)}
+		b := Vector{Millicores(bc), MegaBytes(bm)}
+		return a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMinMaxBound(t *testing.T) {
+	f := func(ac, am, bc, bm int32) bool {
+		a := Vector{Millicores(ac), MegaBytes(am)}
+		b := Vector{Millicores(bc), MegaBytes(bm)}
+		mn, mx := a.Min(b), a.Max(b)
+		return mn.Fits(mx) && mn.Fits(a.Max(b)) && mn.Add(mx) == a.Add(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyClampWithinBounds(t *testing.T) {
+	f := func(vc, vm uint16, lc, lm uint8) bool {
+		lo := Vector{Millicores(lc), MegaBytes(lm)}
+		hi := lo.Add(Vector{1000, 1000})
+		got := Vector{Millicores(vc), MegaBytes(vm)}.Clamp(lo, hi)
+		return lo.Fits(got) && got.Fits(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if s := Cores(2).String(); s != "2 cores" {
+		t.Fatalf("Millicores.String() = %q", s)
+	}
+	if s := MegaBytes(256).String(); s != "256 MB" {
+		t.Fatalf("MegaBytes.String() = %q", s)
+	}
+	if s := (Vector{2000, 256}).String(); s != "(2 cores, 256 MB)" {
+		t.Fatalf("Vector.String() = %q", s)
+	}
+}

@@ -1,0 +1,55 @@
+// Package safeguard holds the policy math of Libra's safeguard mechanism
+// (§5.2): how much headroom a harvested invocation's own allocation must
+// keep relative to the safeguard threshold, and when the per-container
+// daemon must trigger the preemptive release.
+//
+// The mechanics (monitoring the container, withdrawing pooled units,
+// stripping borrowers) live in the cluster package; this package is the
+// pure policy so the platform and the execution engine agree on it.
+package safeguard
+
+import (
+	"libra/internal/function"
+	"libra/internal/resources"
+)
+
+// DefaultThreshold is the paper's default safeguard threshold (§8.2.3):
+// usage beyond 80 % of the (reduced) allocation triggers the preemptive
+// release.
+const DefaultThreshold = 0.8
+
+// DefaultMonitorWindow is the safeguard daemon's monitor window (§5.2).
+const DefaultMonitorWindow = 0.1
+
+// Margin is the fixed headroom Libra keeps above the predicted peak when
+// harvesting: the allocation is 1/DefaultThreshold × the prediction, so a
+// *correct* prediction leaves usage exactly at the default trigger line
+// and the safeguard fires only on actual mispredictions. The margin is
+// deliberately NOT coupled to the configured threshold — the threshold
+// sweeps of Fig 14 vary only the trigger, as in the paper.
+const Margin = 1 / DefaultThreshold
+
+// PlanOwnAllocation computes the allocation an invocation keeps for
+// itself when Libra harvests its predicted-idle remainder: the predicted
+// peak inflated by the fixed Margin, clamped into
+// [minimum floor, user reservation]; memory never drops below the
+// per-function OOM floor (§5.1 "Mitigating OOM").
+func PlanOwnAllocation(pred function.Demand, user resources.Vector) resources.Vector {
+	own := resources.Vector{
+		CPU: resources.Millicores(float64(pred.CPUPeak) * Margin),
+		Mem: resources.MegaBytes(float64(pred.MemPeak) * Margin),
+	}
+	floor := resources.Vector{CPU: 100, Mem: function.MinMem}
+	return own.Clamp(floor, user)
+}
+
+// ShouldTrigger reports whether the daemon must fire for an invocation
+// whose true usage presses against its reduced allocation. Usage can
+// never exceed the allocation (the container is capped), so the
+// comparison is strict: at threshold 1.0 the safeguard never fires.
+// Only axes that actually had resources harvested are monitored.
+func ShouldTrigger(usage, own, user resources.Vector, threshold float64) bool {
+	overCPU := float64(usage.CPU) > threshold*float64(own.CPU) && own.CPU < user.CPU
+	overMem := float64(usage.Mem) > threshold*float64(own.Mem) && own.Mem < user.Mem
+	return overCPU || overMem
+}

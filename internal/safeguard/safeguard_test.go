@@ -1,0 +1,108 @@
+package safeguard
+
+import (
+	"testing"
+	"testing/quick"
+
+	"libra/internal/function"
+	"libra/internal/resources"
+)
+
+func TestPlanOwnAllocationHeadroom(t *testing.T) {
+	pred := function.Demand{CPUPeak: 2000, MemPeak: 256}
+	user := resources.Vector{CPU: 6000, Mem: 768}
+	own := PlanOwnAllocation(pred, user)
+	// 1/0.8 = 1.25 margin.
+	if own.CPU != 2500 || own.Mem != 320 {
+		t.Fatalf("own = %v, want (2500, 320)", own)
+	}
+	// A correct prediction must sit strictly below the trigger line.
+	usage := resources.Vector{CPU: pred.CPUPeak, Mem: pred.MemPeak}
+	if ShouldTrigger(usage, own, user, 0.8) {
+		t.Fatal("correct prediction with headroom triggered the safeguard")
+	}
+}
+
+func TestPlanOwnAllocationClampsToUser(t *testing.T) {
+	pred := function.Demand{CPUPeak: 7000, MemPeak: 900}
+	user := resources.Vector{CPU: 6000, Mem: 768}
+	own := PlanOwnAllocation(pred, user)
+	if own != user {
+		t.Fatalf("own = %v, want clamped to user %v", own, user)
+	}
+}
+
+func TestPlanOwnAllocationFloors(t *testing.T) {
+	pred := function.Demand{CPUPeak: 1, MemPeak: 1}
+	user := resources.Vector{CPU: 6000, Mem: 768}
+	own := PlanOwnAllocation(pred, user)
+	if own.CPU < 100 || own.Mem < function.MinMem {
+		t.Fatalf("own = %v below floors", own)
+	}
+}
+
+func TestPlanOwnAllocationUsesFixedMargin(t *testing.T) {
+	// The plan is independent of the safeguard threshold: Fig 14 sweeps
+	// only the trigger line.
+	pred := function.Demand{CPUPeak: 800, MemPeak: 128}
+	user := resources.Vector{CPU: 6000, Mem: 768}
+	own := PlanOwnAllocation(pred, user)
+	if own.CPU != resources.Millicores(float64(pred.CPUPeak)*Margin) {
+		t.Fatalf("own = %v, want fixed %gx margin", own, Margin)
+	}
+}
+
+func TestShouldTriggerOnMisprediction(t *testing.T) {
+	user := resources.Vector{CPU: 6000, Mem: 768}
+	own := resources.Vector{CPU: 1250, Mem: 768} // CPU harvested, mem not
+	// Actual demand 6000 -> usage capped at own = 1250 > 0.8*1250? 1250 > 1000 yes.
+	usage := resources.Vector{CPU: 1250, Mem: 128}
+	if !ShouldTrigger(usage, own, user, 0.8) {
+		t.Fatal("obvious CPU misprediction did not trigger")
+	}
+	// Memory axis is NOT monitored when nothing was harvested from it:
+	// usage.Mem == own.Mem == user.Mem must not trigger.
+	usage2 := resources.Vector{CPU: 100, Mem: 768}
+	if ShouldTrigger(usage2, own.Max(resources.Vector{CPU: 6000}), user, 0.8) {
+		t.Fatal("unharvested invocation triggered")
+	}
+}
+
+func TestThresholdOneNeverTriggers(t *testing.T) {
+	user := resources.Vector{CPU: 6000, Mem: 768}
+	own := resources.Vector{CPU: 1000, Mem: 128}
+	usage := own // usage can never exceed the allocation
+	if ShouldTrigger(usage, own, user, 1.0) {
+		t.Fatal("threshold 1.0 triggered although usage cannot exceed allocation")
+	}
+}
+
+// Property: PlanOwnAllocation always fits in the user reservation and
+// respects the floors, for any prediction and threshold.
+func TestPropertyPlanWithinBounds(t *testing.T) {
+	f := func(cpu uint16, mem uint16) bool {
+		pred := function.Demand{
+			CPUPeak: resources.Millicores(cpu),
+			MemPeak: resources.MegaBytes(mem),
+		}
+		user := resources.Vector{CPU: 6000, Mem: 768}
+		own := PlanOwnAllocation(pred, user)
+		return own.Fits(user) && own.CPU >= 100 && own.Mem >= function.MinMem
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the planned allocation is monotone in the prediction.
+func TestPropertyPlanMonotoneInPrediction(t *testing.T) {
+	f := func(cpu uint16, extra uint8) bool {
+		user := resources.Vector{CPU: 8000, Mem: 1024}
+		a := PlanOwnAllocation(function.Demand{CPUPeak: resources.Millicores(cpu % 6000), MemPeak: 256}, user)
+		b := PlanOwnAllocation(function.Demand{CPUPeak: resources.Millicores(cpu%6000) + resources.Millicores(extra), MemPeak: 256}, user)
+		return b.CPU >= a.CPU
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package scheduler
+
+import (
+	"sort"
+
+	"libra/internal/cluster"
+	"libra/internal/resources"
+)
+
+// Batched implements the extension the paper's "Limitations" section
+// points at: Libra's greedy scheduler serves invocations one by one to
+// meet sub-second latency, which "may result in sub-optimal objectives".
+// Batched collects the requests that arrive within a small window and
+// assigns the whole batch at once, giving invocations with the largest
+// acceleration potential first pick of the best-covered nodes — a
+// bounded step toward the optimal assignment at the cost of up to one
+// window of added decision latency.
+//
+// It is not part of the paper's evaluated system; it exists to quantify
+// the greedy-vs-batched trade-off (BenchmarkAblationBatchedScheduler).
+type Batched struct {
+	// Alpha is the demand-coverage weight (default 0.9).
+	Alpha float64
+	inner Libra
+
+	pending []Request
+}
+
+// Name implements Algorithm.
+func (*Batched) Name() string { return "Batched" }
+
+// Select implements Algorithm for compatibility with the one-by-one
+// interface: a single request degenerates to the greedy choice.
+func (b *Batched) Select(req Request, nodes []*cluster.Node, admit func(*cluster.Node, resources.Vector) bool) *cluster.Node {
+	b.inner.Alpha = b.Alpha
+	return b.inner.Select(req, nodes, admit)
+}
+
+// Enqueue adds a request to the current batch.
+func (b *Batched) Enqueue(req Request) { b.pending = append(b.pending, req) }
+
+// PendingLen returns the batch size.
+func (b *Batched) PendingLen() int { return len(b.pending) }
+
+// Assignment pairs a batched request with its node (nil = unplaced).
+type Assignment struct {
+	Req  Request
+	Node *cluster.Node
+}
+
+// Flush assigns the whole batch: requests are ordered by descending
+// acceleration potential (extra-demand × predicted duration, the
+// resource-time they could absorb) and matched greedily against node
+// coverage, so the invocations that benefit most from placement choose
+// first. Admission is re-checked per assignment through admit, which
+// must account for the earlier assignments in the batch (the shard's
+// Admit already does).
+func (b *Batched) Flush(nodes []*cluster.Node, admit func(*cluster.Node, resources.Vector) bool, commit func(Request, *cluster.Node) bool) []Assignment {
+	batch := b.pending
+	b.pending = nil
+	sort.SliceStable(batch, func(i, j int) bool {
+		return potential(batch[i]) > potential(batch[j])
+	})
+	b.inner.Alpha = b.Alpha
+	out := make([]Assignment, 0, len(batch))
+	for _, req := range batch {
+		n := b.inner.Select(req, nodes, admit)
+		if n != nil && commit != nil && !commit(req, n) {
+			n = nil
+		}
+		out = append(out, Assignment{Req: req, Node: n})
+	}
+	return out
+}
+
+// potential scores how much resource-time a request could absorb.
+func potential(r Request) float64 {
+	return (float64(r.Extra.CPU) + float64(r.Extra.Mem)) * r.PredDuration
+}

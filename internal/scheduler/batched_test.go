@@ -1,0 +1,77 @@
+package scheduler
+
+import (
+	"testing"
+
+	"libra/internal/cluster"
+	"libra/internal/function"
+	"libra/internal/harvest"
+	"libra/internal/resources"
+)
+
+func batchedReq(t *testing.T, id int64, app string, extra resources.Millicores, dur float64) Request {
+	t.Helper()
+	spec, ok := function.ByName(app)
+	if !ok {
+		t.Fatalf("unknown app %s", app)
+	}
+	return Request{
+		Inv:          &cluster.Invocation{ID: harvest.ID(id), App: spec, UserAlloc: spec.UserAlloc},
+		Extra:        resources.Vector{CPU: extra},
+		PredDuration: dur,
+	}
+}
+
+func TestBatchedSingleRequestMatchesGreedy(t *testing.T) {
+	_, nodes := newNodes(3)
+	nodes[1].CPUPool.Put(0, 7, 4000, 100)
+	r := req(t, "VP", resources.Cores(4), 10)
+	greedy := (&Libra{}).Select(r, nodes, admitAll)
+	batched := (&Batched{}).Select(r, nodes, admitAll)
+	if greedy != batched {
+		t.Fatal("single-request Batched differs from greedy Libra")
+	}
+}
+
+func TestBatchedFlushPrioritizesLargestPotential(t *testing.T) {
+	_, nodes := newNodes(2)
+	// Only node 0 has a rich pool; node 1 is empty.
+	nodes[0].CPUPool.Put(0, 7, 8000, 100)
+
+	b := &Batched{}
+	small := batchedReq(t, 1, "VP", resources.Cores(1), 1)  // potential 1000
+	large := batchedReq(t, 2, "VP", resources.Cores(4), 30) // potential 120000
+	b.Enqueue(small)
+	b.Enqueue(large)
+	if b.PendingLen() != 2 {
+		t.Fatalf("pending = %d", b.PendingLen())
+	}
+
+	var order []int64
+	as := b.Flush(nodes, admitAll, func(r Request, n *cluster.Node) bool {
+		order = append(order, int64(r.Inv.ID))
+		return true
+	})
+	if len(as) != 2 || b.PendingLen() != 0 {
+		t.Fatalf("flush returned %d assignments, pending %d", len(as), b.PendingLen())
+	}
+	if order[0] != 2 {
+		t.Fatalf("assignment order = %v, want the large request first", order)
+	}
+	// The large request gets the pool-rich node.
+	for _, a := range as {
+		if int64(a.Req.Inv.ID) == 2 && (a.Node == nil || a.Node.ID() != 0) {
+			t.Fatalf("large request placed on %v, want node 0", a.Node)
+		}
+	}
+}
+
+func TestBatchedFlushRespectsCommitRejection(t *testing.T) {
+	_, nodes := newNodes(1)
+	b := &Batched{}
+	b.Enqueue(batchedReq(t, 1, "VP", resources.Cores(2), 5))
+	as := b.Flush(nodes, admitAll, func(Request, *cluster.Node) bool { return false })
+	if as[0].Node != nil {
+		t.Fatal("rejected commit still produced a placement")
+	}
+}

@@ -1,0 +1,281 @@
+// Package scheduler implements Libra's timeliness-aware function
+// scheduling (§6): the demand-coverage metric, the greedy node-selection
+// algorithm, the four baseline algorithms of §8.4 (OpenWhisk hash
+// default, Round Robin, Join-the-Shortest-Queue, Min-Worker-Set), and the
+// per-scheduler capacity shards of the decentralized sharding design
+// (§6.4).
+package scheduler
+
+import (
+	"hash/fnv"
+
+	"libra/internal/cluster"
+	"libra/internal/harvest"
+	"libra/internal/resources"
+)
+
+// Coverage computes the demand-coverage ratio (§6.2, Fig 5) of one
+// resource axis: how much of an invocation's extra demand of `want` units
+// over the window [start, end] the pool snapshot can satisfy, as a
+// fraction of want × (end−start) resource-time. Entries are stacked
+// greedily, longest expiry first (the pool's own priority order), each
+// contributing its overlap with the window. The result is clamped to
+// [0, 1].
+func Coverage(entries []harvest.Entry, want int64, start, end float64) float64 {
+	if want <= 0 {
+		return 1
+	}
+	if end <= start {
+		return 0
+	}
+	denom := float64(want) * (end - start)
+	var covered float64
+	remaining := want
+	for _, e := range entries {
+		if remaining <= 0 {
+			break
+		}
+		expiry := e.Expiry
+		if expiry <= start {
+			continue
+		}
+		if expiry > end {
+			expiry = end
+		}
+		take := e.Vol
+		if take > remaining {
+			take = remaining
+		}
+		covered += float64(take) * (expiry - start)
+		remaining -= take
+	}
+	c := covered / denom
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// WeightedCoverage combines the CPU and memory coverage ratios with the
+// weight α: D = α·Dc + (1−α)·Dm. The paper sets α = 0.9 — harvested idle
+// CPU cores are more precious than memory (§6.2, §8.8).
+func WeightedCoverage(dc, dm, alpha float64) float64 {
+	return alpha*dc + (1-alpha)*dm
+}
+
+// Request is one scheduling decision input.
+type Request struct {
+	Inv *cluster.Invocation
+	// Extra is the predicted demand beyond the user reservation
+	// (zero on both axes for non-accelerable invocations).
+	Extra resources.Vector
+	// PredDuration is the predicted execution time, defining the
+	// coverage window.
+	PredDuration float64
+	Now          float64
+}
+
+// Accelerable reports whether the invocation can benefit from extra
+// resources (§6.3).
+func (r *Request) Accelerable() bool { return r.Extra.CPU > 0 || r.Extra.Mem > 0 }
+
+// Algorithm selects a worker node for an invocation. Implementations must
+// only return nodes that can admit the invocation's user reservation
+// (possibly within the calling scheduler's capacity shard); nil means no
+// node fits and the invocation must wait.
+type Algorithm interface {
+	Name() string
+	Select(req Request, nodes []*cluster.Node, admit func(*cluster.Node, resources.Vector) bool) *cluster.Node
+}
+
+// hashOf gives a stable per-function hash for placement.
+func hashOf(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// HashDefault is OpenWhisk's default placement: a unique hash per
+// function pins its invocations to one node, re-probing cyclically when
+// the home node lacks capacity (§6.3, §8.4 baseline 1). Pinning reuses
+// warm containers and thus reduces cold starts.
+type HashDefault struct{}
+
+// Name implements Algorithm.
+func (HashDefault) Name() string { return "Default" }
+
+// Select implements Algorithm.
+func (HashDefault) Select(req Request, nodes []*cluster.Node, admit func(*cluster.Node, resources.Vector) bool) *cluster.Node {
+	if len(nodes) == 0 {
+		return nil
+	}
+	home := int(hashOf(req.Inv.App.Name) % uint64(len(nodes)))
+	for i := 0; i < len(nodes); i++ {
+		n := nodes[(home+i)%len(nodes)]
+		if admit(n, req.Inv.Reservation()) {
+			return n
+		}
+	}
+	return nil
+}
+
+// RoundRobin distributes invocations cyclically (§8.4 baseline 2).
+type RoundRobin struct{ next int }
+
+// Name implements Algorithm.
+func (*RoundRobin) Name() string { return "RR" }
+
+// Select implements Algorithm.
+func (r *RoundRobin) Select(req Request, nodes []*cluster.Node, admit func(*cluster.Node, resources.Vector) bool) *cluster.Node {
+	for i := 0; i < len(nodes); i++ {
+		n := nodes[(r.next+i)%len(nodes)]
+		if admit(n, req.Inv.Reservation()) {
+			r.next = (r.next + i + 1) % len(nodes)
+			return n
+		}
+	}
+	return nil
+}
+
+// JSQ sends the invocation to the node with the fewest in-flight
+// invocations (§8.4 baseline 3).
+type JSQ struct{}
+
+// Name implements Algorithm.
+func (JSQ) Name() string { return "JSQ" }
+
+// Select implements Algorithm.
+func (JSQ) Select(req Request, nodes []*cluster.Node, admit func(*cluster.Node, resources.Vector) bool) *cluster.Node {
+	var best *cluster.Node
+	bestQ := int(^uint(0) >> 1)
+	for _, n := range nodes {
+		if !admit(n, req.Inv.Reservation()) {
+			continue
+		}
+		if q := n.Running(); q < bestQ {
+			best, bestQ = n, q
+		}
+	}
+	return best
+}
+
+// MWS (Min-Worker-Set) schedules to the node with the least resource
+// pressure — the smallest committed-to-capacity fraction (§8.4 baseline
+// 4, after Zhang et al.).
+type MWS struct{}
+
+// Name implements Algorithm.
+func (MWS) Name() string { return "MWS" }
+
+// Select implements Algorithm.
+func (MWS) Select(req Request, nodes []*cluster.Node, admit func(*cluster.Node, resources.Vector) bool) *cluster.Node {
+	var best *cluster.Node
+	bestP := 2.0
+	for _, n := range nodes {
+		if !admit(n, req.Inv.Reservation()) {
+			continue
+		}
+		if p := pressure(n); p < bestP {
+			best, bestP = n, p
+		}
+	}
+	return best
+}
+
+func pressure(n *cluster.Node) float64 {
+	c, cap := n.Committed(), n.Capacity()
+	pc := float64(c.CPU) / float64(cap.CPU)
+	pm := float64(c.Mem) / float64(cap.Mem)
+	if pc > pm {
+		return pc
+	}
+	return pm
+}
+
+// Libra is the timeliness-aware greedy algorithm (§6.3): non-accelerable
+// invocations take the hash path (cold-start locality); accelerable
+// invocations go to the admissible node with the maximum weighted demand
+// coverage.
+type Libra struct {
+	// Alpha is the demand-coverage weight (default 0.9).
+	Alpha float64
+	// VolumeOnly disables the timeliness dimension: coverage counts pool
+	// volume regardless of expiry. Used by the ablation bench.
+	VolumeOnly bool
+	// Status returns the (CPU, memory) pool snapshots used for coverage.
+	// In the real system this is the pool status piggybacked on the
+	// node's periodic health pings (§6.4), so it may be slightly stale;
+	// nil reads the pools live.
+	Status func(n *cluster.Node) (cpu, mem []harvest.Entry)
+	hash   HashDefault
+}
+
+// Name implements Algorithm.
+func (*Libra) Name() string { return "Libra" }
+
+// Select implements Algorithm.
+func (l *Libra) Select(req Request, nodes []*cluster.Node, admit func(*cluster.Node, resources.Vector) bool) *cluster.Node {
+	alpha := l.Alpha
+	if alpha == 0 {
+		alpha = 0.9
+	}
+	if !req.Accelerable() {
+		return l.hash.Select(req, nodes, admit)
+	}
+	start := req.Now
+	end := req.Now + req.PredDuration
+	var best *cluster.Node
+	bestD := -1.0
+	for _, n := range nodes {
+		if !admit(n, req.Inv.Reservation()) {
+			continue
+		}
+		var cpuEntries, memEntries []harvest.Entry
+		if l.Status != nil {
+			cpuEntries, memEntries = l.Status(n)
+		} else {
+			cpuEntries = n.CPUPool.Entries()
+			memEntries = n.MemPool.Entries()
+		}
+		if l.VolumeOnly {
+			cpuEntries = flattenExpiry(cpuEntries, end)
+			memEntries = flattenExpiry(memEntries, end)
+		}
+		dc := Coverage(cpuEntries, int64(req.Extra.CPU), start, end)
+		dm := Coverage(memEntries, int64(req.Extra.Mem), start, end)
+		if d := WeightedCoverage(dc, dm, alpha); d > bestD {
+			best, bestD = n, d
+		}
+	}
+	return best
+}
+
+func flattenExpiry(es []harvest.Entry, end float64) []harvest.Entry {
+	out := make([]harvest.Entry, len(es))
+	for i, e := range es {
+		e.Expiry = end
+		out[i] = e
+	}
+	return out
+}
+
+// ByName constructs one of the five algorithms of §8.4 by its display
+// name; the bool reports whether the name is known.
+func ByName(name string) (Algorithm, bool) {
+	switch name {
+	case "Default":
+		return HashDefault{}, true
+	case "RR":
+		return &RoundRobin{}, true
+	case "JSQ":
+		return JSQ{}, true
+	case "MWS":
+		return MWS{}, true
+	case "Libra":
+		return &Libra{}, true
+	}
+	return nil, false
+}
+
+// Names lists the five algorithms in the paper's comparison order.
+func Names() []string { return []string{"Default", "RR", "JSQ", "MWS", "Libra"} }

@@ -1,0 +1,396 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"libra/internal/cluster"
+	"libra/internal/function"
+	"libra/internal/harvest"
+	"libra/internal/resources"
+	"libra/internal/sim"
+)
+
+func newNodes(n int) (*sim.Engine, []*cluster.Node) {
+	eng := sim.NewEngine()
+	nodes := make([]*cluster.Node, n)
+	for i := range nodes {
+		nodes[i] = cluster.NewNode(eng, i, resources.Vector{CPU: resources.Cores(32), Mem: 32768})
+	}
+	return eng, nodes
+}
+
+func admitAll(n *cluster.Node, u resources.Vector) bool { return n.CanAdmit(u) }
+
+func req(t *testing.T, app string, extraCPU resources.Millicores, dur float64) Request {
+	t.Helper()
+	spec, ok := function.ByName(app)
+	if !ok {
+		t.Fatalf("unknown app %s", app)
+	}
+	return Request{
+		Inv:          &cluster.Invocation{ID: 1, App: spec, UserAlloc: spec.UserAlloc},
+		Extra:        resources.Vector{CPU: extraCPU},
+		PredDuration: dur,
+	}
+}
+
+func TestCoverageFullWindow(t *testing.T) {
+	// One entry covering the whole window with exactly the wanted volume.
+	es := []harvest.Entry{{Source: 1, Vol: 2, Expiry: 10}}
+	if c := Coverage(es, 2, 0, 10); c != 1 {
+		t.Fatalf("Coverage = %g, want 1", c)
+	}
+}
+
+func TestCoveragePartialTimeliness(t *testing.T) {
+	// Fig 5-style: demand 2 units over [3, 7]; entry d (1 unit) lives to
+	// t=5, entry e (2 units) lives past 7 but only 1 is needed beyond d.
+	es := []harvest.Entry{
+		{Source: 5, Vol: 2, Expiry: 9}, // e — longest first (pool order)
+		{Source: 4, Vol: 1, Expiry: 5}, // d
+	}
+	// Greedy takes both of e's units for the whole window (2×4), skips d.
+	if c := Coverage(es, 2, 3, 7); c != 1 {
+		t.Fatalf("Coverage = %g, want 1", c)
+	}
+	// Want 3 units: 2 from e (full window) + 1 from d (until t=5):
+	// covered = 2*4 + 1*2 = 10 of 3*4 = 12.
+	want := 10.0 / 12.0
+	if c := Coverage(es, 3, 3, 7); math.Abs(c-want) > 1e-12 {
+		t.Fatalf("Coverage = %g, want %g", c, want)
+	}
+}
+
+func TestCoverageExpiredEntriesIgnored(t *testing.T) {
+	es := []harvest.Entry{{Source: 1, Vol: 5, Expiry: 2}}
+	if c := Coverage(es, 5, 3, 7); c != 0 {
+		t.Fatalf("Coverage with expired entry = %g, want 0", c)
+	}
+}
+
+func TestCoverageZeroWantIsFull(t *testing.T) {
+	if c := Coverage(nil, 0, 0, 5); c != 1 {
+		t.Fatalf("Coverage(want=0) = %g, want 1", c)
+	}
+}
+
+func TestCoverageDegenerateWindow(t *testing.T) {
+	es := []harvest.Entry{{Source: 1, Vol: 5, Expiry: 10}}
+	if c := Coverage(es, 2, 5, 5); c != 0 {
+		t.Fatalf("Coverage on empty window = %g, want 0", c)
+	}
+}
+
+// Property: coverage is in [0,1] and monotone in pool volume.
+func TestPropertyCoverageBoundsAndMonotone(t *testing.T) {
+	f := func(vol uint8, want uint8, extra uint8) bool {
+		es := []harvest.Entry{{Source: 1, Vol: int64(vol), Expiry: 8}}
+		bigger := []harvest.Entry{{Source: 1, Vol: int64(vol) + int64(extra), Expiry: 8}}
+		w := int64(want%10) + 1
+		c1 := Coverage(es, w, 0, 10)
+		c2 := Coverage(bigger, w, 0, 10)
+		return c1 >= 0 && c1 <= 1 && c2 >= c1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: coverage is monotone in expiry (longer-lived units cover
+// no less).
+func TestPropertyCoverageMonotoneInExpiry(t *testing.T) {
+	f := func(e1 uint8, bump uint8) bool {
+		a := []harvest.Entry{{Source: 1, Vol: 3, Expiry: float64(e1)}}
+		b := []harvest.Entry{{Source: 1, Vol: 3, Expiry: float64(e1) + float64(bump)}}
+		return Coverage(b, 3, 2, 20) >= Coverage(a, 3, 2, 20)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedCoverage(t *testing.T) {
+	if d := WeightedCoverage(1, 0, 0.9); math.Abs(d-0.9) > 1e-12 {
+		t.Fatalf("WeightedCoverage = %g", d)
+	}
+	if d := WeightedCoverage(0.5, 0.5, 0.3); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("WeightedCoverage = %g", d)
+	}
+}
+
+func TestHashDefaultPinsFunction(t *testing.T) {
+	_, nodes := newNodes(4)
+	var h HashDefault
+	r := req(t, "DH", 0, 1)
+	first := h.Select(r, nodes, admitAll)
+	for i := 0; i < 5; i++ {
+		if got := h.Select(r, nodes, admitAll); got != first {
+			t.Fatal("hash placement not stable for the same function")
+		}
+	}
+	// A different function generally lands elsewhere (holds for DH/VP
+	// with 4 nodes and FNV — fixed expectation, not a tautology).
+	r2 := req(t, "VP", 0, 1)
+	if h.Select(r2, nodes, admitAll) == first {
+		t.Log("VP hashed to the same node as DH — acceptable but worth knowing")
+	}
+}
+
+func TestHashDefaultProbesWhenFull(t *testing.T) {
+	eng, nodes := newNodes(2)
+	_ = eng
+	var h HashDefault
+	r := req(t, "DH", 0, 1)
+	home := h.Select(r, nodes, admitAll)
+	// Fill the home node completely.
+	filled := home
+	admit := func(n *cluster.Node, u resources.Vector) bool { return n != filled }
+	got := h.Select(r, nodes, admit)
+	if got == nil || got == filled {
+		t.Fatalf("hash did not probe past the full home node")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	_, nodes := newNodes(3)
+	rr := &RoundRobin{}
+	r := req(t, "DH", 0, 1)
+	seen := map[int]int{}
+	for i := 0; i < 6; i++ {
+		n := rr.Select(r, nodes, admitAll)
+		seen[n.ID()]++
+	}
+	for id, c := range seen {
+		if c != 2 {
+			t.Fatalf("node %d selected %d times, want 2 (cyclic)", id, c)
+		}
+	}
+}
+
+func TestJSQPicksShortestQueue(t *testing.T) {
+	eng, nodes := newNodes(3)
+	// Put 2 invocations on node 0, 1 on node 1, 0 on node 2.
+	dh, _ := function.ByName("DH")
+	start := func(n *cluster.Node, id int64) {
+		inv := &cluster.Invocation{
+			ID: harvest.ID(id), App: dh, UserAlloc: dh.UserAlloc,
+			Actual: function.Demand{CPUPeak: 1000, MemPeak: 128, Duration: 100},
+		}
+		n.Start(inv, cluster.StartOptions{OwnAlloc: inv.UserAlloc})
+	}
+	start(nodes[0], 1)
+	start(nodes[0], 2)
+	start(nodes[1], 3)
+	eng.RunUntil(1)
+	got := JSQ{}.Select(req(t, "VP", 0, 1), nodes, admitAll)
+	if got.ID() != 2 {
+		t.Fatalf("JSQ picked node %d, want 2", got.ID())
+	}
+}
+
+func TestMWSPicksLeastPressure(t *testing.T) {
+	eng, nodes := newNodes(3)
+	dh, _ := function.ByName("DH")
+	inv := &cluster.Invocation{
+		ID: 1, App: dh, UserAlloc: resources.Vector{CPU: resources.Cores(20), Mem: 1024},
+		Actual: function.Demand{CPUPeak: 1000, MemPeak: 128, Duration: 100},
+	}
+	nodes[0].Start(inv, cluster.StartOptions{OwnAlloc: resources.Vector{CPU: 1000, Mem: 128}})
+	eng.RunUntil(0.5)
+	got := MWS{}.Select(req(t, "VP", 0, 1), nodes, admitAll)
+	if got.ID() == 0 {
+		t.Fatal("MWS picked the pressured node")
+	}
+}
+
+func TestLibraNonAccelerableUsesHash(t *testing.T) {
+	_, nodes := newNodes(4)
+	l := &Libra{}
+	r := req(t, "DH", 0, 1) // no extra demand
+	var h HashDefault
+	if l.Select(r, nodes, admitAll) != h.Select(r, nodes, admitAll) {
+		t.Fatal("non-accelerable invocation did not take the hash path")
+	}
+}
+
+func TestLibraPicksMaxCoverageNode(t *testing.T) {
+	_, nodes := newNodes(3)
+	// Node 1 has a rich long-lived pool; node 2 a short-lived one.
+	nodes[1].CPUPool.Put(0, 7, 4000, 100)
+	nodes[2].CPUPool.Put(0, 8, 4000, 0.5)
+	r := req(t, "VP", resources.Cores(4), 10)
+	r.Now = 0
+	l := &Libra{}
+	got := l.Select(r, nodes, admitAll)
+	if got.ID() != 1 {
+		t.Fatalf("Libra picked node %d, want 1 (max coverage)", got.ID())
+	}
+}
+
+func TestLibraTimelinessVsVolumeOnly(t *testing.T) {
+	// Volume-only coverage is blind to expiry: given a big short-lived
+	// pool vs a smaller long-lived one, it picks the big pool; the
+	// timeliness-aware version picks the long-lived one.
+	_, nodes := newNodes(2)
+	nodes[0].CPUPool.Put(0, 7, 8000, 0.5) // huge but expires immediately
+	nodes[1].CPUPool.Put(0, 8, 2000, 50)  // smaller but lives long
+	r := req(t, "VP", resources.Cores(2), 10)
+	aware := &Libra{}
+	if got := aware.Select(r, nodes, admitAll); got.ID() != 1 {
+		t.Fatalf("timeliness-aware Libra picked node %d, want 1", got.ID())
+	}
+	blind := &Libra{VolumeOnly: true}
+	if got := blind.Select(r, nodes, admitAll); got.ID() != 0 {
+		t.Fatalf("volume-only Libra picked node %d, want 0", got.ID())
+	}
+}
+
+func TestLibraSkipsNonAdmissibleNodes(t *testing.T) {
+	_, nodes := newNodes(2)
+	nodes[0].CPUPool.Put(0, 7, 8000, 100)
+	admit := func(n *cluster.Node, u resources.Vector) bool { return n.ID() == 1 }
+	r := req(t, "VP", resources.Cores(2), 10)
+	l := &Libra{}
+	if got := l.Select(r, nodes, admitAll); got.ID() != 0 {
+		t.Fatal("sanity: with all nodes admissible node 0 wins")
+	}
+	if got := l.Select(r, nodes, admit); got.ID() != 1 {
+		t.Fatal("Libra selected a node that cannot admit the reservation")
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	for _, name := range Names() {
+		a, ok := ByName(name)
+		if !ok || a.Name() != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, a, ok)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName accepted an unknown algorithm")
+	}
+}
+
+func TestShardsPartitionCapacityExactly(t *testing.T) {
+	_, nodes := newNodes(3)
+	for _, k := range []int{1, 2, 3, 4, 7} {
+		shards := NewShards(k, nodes, func() Algorithm { return HashDefault{} })
+		for _, n := range nodes {
+			var sum resources.Vector
+			for _, s := range shards {
+				sum = sum.Add(s.ShareOn(n.ID()))
+			}
+			if sum != n.Capacity() {
+				t.Fatalf("k=%d node %d: shares sum to %v, want %v", k, n.ID(), sum, n.Capacity())
+			}
+		}
+	}
+}
+
+func TestShardAdmissionIsIndependent(t *testing.T) {
+	_, nodes := newNodes(1)
+	shards := NewShards(2, nodes, func() Algorithm { return HashDefault{} })
+	dh, _ := function.ByName("DH")
+	r := Request{Inv: &cluster.Invocation{ID: 1, App: dh, UserAlloc: resources.Vector{CPU: resources.Cores(16), Mem: 16000}}}
+	// Each shard owns 16 cores of the 32-core node; the first admission
+	// fills shard 0 completely, but shard 1 is untouched.
+	if n := shards[0].Select(r, nodes); n == nil {
+		t.Fatal("shard 0 rejected an invocation that fits its share")
+	}
+	r2 := Request{Inv: &cluster.Invocation{ID: 2, App: dh, UserAlloc: resources.Vector{CPU: resources.Cores(16), Mem: 16000}}}
+	if n := shards[0].Select(r2, nodes); n != nil {
+		t.Fatal("shard 0 admitted beyond its share")
+	}
+	if n := shards[1].Select(r2, nodes); n == nil {
+		t.Fatal("shard 1 was affected by shard 0's commitments")
+	}
+}
+
+func TestShardRelease(t *testing.T) {
+	_, nodes := newNodes(1)
+	shards := NewShards(2, nodes, func() Algorithm { return HashDefault{} })
+	dh, _ := function.ByName("DH")
+	u := resources.Vector{CPU: resources.Cores(16), Mem: 16000}
+	r := Request{Inv: &cluster.Invocation{ID: 1, App: dh, UserAlloc: u}}
+	n := shards[0].Select(r, nodes)
+	if n == nil {
+		t.Fatal("setup failed")
+	}
+	shards[0].Release(n.ID(), u)
+	if !shards[0].CommittedOn(n.ID()).IsZero() {
+		t.Fatal("release did not clear the commitment")
+	}
+	// Over-release must panic: it is an accounting bug.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	shards[0].Release(n.ID(), u)
+}
+
+func TestShardRespectsPhysicalCapacity(t *testing.T) {
+	// Even if a shard's own slice has room, the node's physical free
+	// capacity binds (another shard may have filled the node).
+	eng, nodes := newNodes(1)
+	dh, _ := function.ByName("DH")
+	// Physically fill the node outside the shard's accounting.
+	inv := &cluster.Invocation{
+		ID: 99, App: dh, UserAlloc: resources.Vector{CPU: resources.Cores(30), Mem: 30000},
+		Actual: function.Demand{CPUPeak: 1000, MemPeak: 128, Duration: 100},
+	}
+	nodes[0].Start(inv, cluster.StartOptions{OwnAlloc: resources.Vector{CPU: 1000, Mem: 128}})
+	eng.RunUntil(0.1)
+	shards := NewShards(2, nodes, func() Algorithm { return HashDefault{} })
+	r := Request{Inv: &cluster.Invocation{ID: 1, App: dh, UserAlloc: resources.Vector{CPU: resources.Cores(4), Mem: 4096}}}
+	if n := shards[0].Select(r, nodes); n != nil {
+		t.Fatal("shard admitted beyond the node's physical capacity")
+	}
+	eng.Run()
+}
+
+func TestNewShardsPanicsOnZero(t *testing.T) {
+	_, nodes := newNodes(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewShards(0) did not panic")
+		}
+	}()
+	NewShards(0, nodes, func() Algorithm { return HashDefault{} })
+}
+
+func BenchmarkLibraSelect(b *testing.B) {
+	eng := sim.NewEngine()
+	nodes := make([]*cluster.Node, 50)
+	for i := range nodes {
+		nodes[i] = cluster.NewNode(eng, i, resources.Vector{CPU: resources.Cores(24), Mem: 24576})
+		for s := 0; s < 8; s++ {
+			nodes[i].CPUPool.Put(0, harvest.ID(i*100+s), 500, float64(s+1))
+			nodes[i].MemPool.Put(0, harvest.ID(i*100+s), 64, float64(s+1))
+		}
+	}
+	vp, _ := function.ByName("VP")
+	r := Request{
+		Inv:          &cluster.Invocation{ID: 1, App: vp, UserAlloc: vp.UserAlloc},
+		Extra:        resources.Vector{CPU: resources.Cores(4), Mem: 256},
+		PredDuration: 5,
+	}
+	l := &Libra{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Select(r, nodes, admitAll)
+	}
+}
+
+func BenchmarkCoverage(b *testing.B) {
+	es := make([]harvest.Entry, 32)
+	for i := range es {
+		es[i] = harvest.Entry{Source: harvest.ID(i), Vol: 200, Expiry: float64(32 - i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Coverage(es, 3000, 0, 10)
+	}
+}

@@ -1,0 +1,110 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"libra/internal/cluster"
+	"libra/internal/resources"
+)
+
+// Shard is one decentralized scheduler's private slice of the cluster
+// (§6.4): every node's capacity is divided evenly among the schedulers,
+// and each scheduler admits invocations only against its own slice, so no
+// state is shared or synchronized between schedulers. Coverage, by
+// contrast, is computed on the *whole-node* pool snapshot — "every
+// scheduler can observe the same demand coverage for a node as a whole".
+type Shard struct {
+	index     int
+	count     int
+	algorithm Algorithm
+	share     map[int]resources.Vector // per-node capacity slice
+	committed map[int]resources.Vector // per-node admitted reservations
+
+	// BusyUntil is the virtual time until which this scheduler is
+	// occupied handling earlier invocations; the platform uses it to
+	// model decision queueing (strong/weak scaling, Fig 12).
+	BusyUntil float64
+
+	decisions int64
+}
+
+// NewShards divides the nodes' capacity among k schedulers running the
+// given algorithm factory (each shard gets its own algorithm instance so
+// stateful algorithms like round-robin stay independent).
+func NewShards(k int, nodes []*cluster.Node, algo func() Algorithm) []*Shard {
+	if k <= 0 {
+		panic("scheduler: shard count must be positive")
+	}
+	shards := make([]*Shard, k)
+	for i := range shards {
+		s := &Shard{
+			index:     i,
+			count:     k,
+			algorithm: algo(),
+			share:     make(map[int]resources.Vector, len(nodes)),
+			committed: make(map[int]resources.Vector, len(nodes)),
+		}
+		for _, n := range nodes {
+			cap := n.Capacity()
+			base := resources.Vector{
+				CPU: cap.CPU / resources.Millicores(k),
+				Mem: cap.Mem / resources.MegaBytes(k),
+			}
+			// Distribute the division remainder to the low-index shards so
+			// the slices sum exactly to the node capacity.
+			if rem := cap.CPU % resources.Millicores(k); resources.Millicores(i) < rem {
+				base.CPU++
+			}
+			if rem := cap.Mem % resources.MegaBytes(k); resources.MegaBytes(i) < rem {
+				base.Mem++
+			}
+			s.share[n.ID()] = base
+		}
+		shards[i] = s
+	}
+	return shards
+}
+
+// Index returns the shard's position among its peers.
+func (s *Shard) Index() int { return s.index }
+
+// Decisions returns how many placements this shard made.
+func (s *Shard) Decisions() int64 { return s.decisions }
+
+// Admit reports whether the user reservation fits in this shard's slice
+// of the node AND in the node's physical free capacity.
+func (s *Shard) Admit(n *cluster.Node, user resources.Vector) bool {
+	if !n.CanAdmit(user) {
+		return false
+	}
+	return s.committed[n.ID()].Add(user).Fits(s.share[n.ID()])
+}
+
+// Select runs the shard's algorithm over the nodes under the shard's
+// admission rule and records the commitment. It returns nil when no node
+// fits in the shard.
+func (s *Shard) Select(req Request, nodes []*cluster.Node) *cluster.Node {
+	n := s.algorithm.Select(req, nodes, s.Admit)
+	if n == nil {
+		return nil
+	}
+	s.committed[n.ID()] = s.committed[n.ID()].Add(req.Inv.Reservation())
+	s.decisions++
+	return n
+}
+
+// Release returns an invocation's reservation to the shard when it
+// completes.
+func (s *Shard) Release(nodeID int, user resources.Vector) {
+	c := s.committed[nodeID].Sub(user)
+	if !c.Nonnegative() {
+		panic(fmt.Sprintf("scheduler: shard %d released more than committed on node %d", s.index, nodeID))
+	}
+	s.committed[nodeID] = c
+}
+
+// CommittedOn returns the shard's admitted reservations on a node.
+func (s *Shard) CommittedOn(nodeID int) resources.Vector { return s.committed[nodeID] }
+
+// ShareOn returns the shard's capacity slice of a node.
+func (s *Shard) ShareOn(nodeID int) resources.Vector { return s.share[nodeID] }

@@ -1,0 +1,221 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with a virtual clock. It is the substrate on which the serverless
+// cluster, the harvest pools and the schedulers run: every latency the
+// experiments report is virtual time accumulated by events scheduled here.
+//
+// The engine is single-goroutine by design. Determinism matters more than
+// parallel speed for reproducing the paper's figures: two events scheduled
+// for the same instant fire in scheduling order (a monotone sequence number
+// breaks ties), so a run is a pure function of (workload, seed).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. It is returned by Schedule/At so callers
+// can cancel it — cancellation is how the cluster models re-rating an
+// in-flight execution: the stale completion event is cancelled and a new
+// one is scheduled at the recomputed finish time.
+type Event struct {
+	at       float64
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Time returns the virtual time at which the event fires (or would have
+// fired, if cancelled).
+func (e *Event) Time() float64 { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now    float64
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	maxLen int
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not been popped yet).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule queues fn to run after delay seconds of virtual time.
+// A negative delay is treated as zero (fires at the current instant, after
+// all callbacks already queued for this instant).
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At queues fn to run at absolute virtual time t. Scheduling into the past
+// panics: that is always a logic bug in the caller, and silently clamping
+// would corrupt causality in the experiments.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if math.IsNaN(t) {
+		panic("sim: scheduling event at NaN time")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (t=%g, now=%g)", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	if len(e.queue) > e.maxLen {
+		e.maxLen = len(e.queue)
+	}
+	return ev
+}
+
+// Cancel marks ev so it will not fire. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 && ev.index < len(e.queue) && e.queue[ev.index] == ev {
+		heap.Remove(&e.queue, ev.index)
+		ev.index = -1
+	}
+}
+
+// Step pops and runs the next event. It returns false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with fire time ≤ t, then advances the clock to
+// exactly t (even if no event fired there).
+func (e *Engine) RunUntil(t float64) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		if e.queue[0].canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}
+
+// MaxQueueLen reports the high-water mark of the event queue, useful when
+// sizing scalability experiments.
+func (e *Engine) MaxQueueLen() int { return e.maxLen }
+
+// Ticker fires a callback on a fixed virtual-time period until stopped.
+// It is the building block for periodic behaviours: utilization sampling,
+// health pings, safeguard monitor windows.
+type Ticker struct {
+	eng     *Engine
+	period  float64
+	fn      func()
+	stopped bool
+}
+
+// Every schedules fn to run every period seconds, starting one period
+// from now. It panics on a non-positive period (that would loop the
+// clock in place).
+func (e *Engine) Every(period float64, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: Every period must be positive")
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.eng.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop halts the ticker; pending fires become no-ops. A stopped ticker
+// keeps the event queue drainable.
+func (t *Ticker) Stop() { t.stopped = true }

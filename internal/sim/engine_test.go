@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %g, want 3", e.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	// Double-cancel and nil-cancel must be no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	var ev *Event
+	e.Schedule(1, func() { e.Cancel(ev) })
+	ev = e.Schedule(2, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("event cancelled at t=1 still fired at t=2")
+	}
+}
+
+func TestRescheduleCompletionPattern(t *testing.T) {
+	// The cluster's re-rating pattern: cancel a completion event and
+	// schedule a new one, repeatedly.
+	e := NewEngine()
+	done := 0.0
+	ev := e.Schedule(10, func() { done = e.Now() })
+	e.Schedule(2, func() {
+		e.Cancel(ev)
+		ev = e.Schedule(3, func() { done = e.Now() })
+	})
+	e.Run()
+	if done != 5 {
+		t.Fatalf("completion at %g, want 5", done)
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(past) did not panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := NewEngine()
+	at := -1.0
+	e.Schedule(2, func() {
+		e.Schedule(-5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 2 {
+		t.Fatalf("negative-delay event fired at %g, want 2", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, d := range []float64{1, 2, 3, 4} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 1,2 only", fired)
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("Now() = %g, want 2.5", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %v after Run, want all 4", fired)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Fatalf("Now() = %g, want 42", e.Now())
+	}
+}
+
+func TestFiredAndPendingCounters(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if e.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", e.Fired())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run, want 0", e.Pending())
+	}
+}
+
+// Property: events fire in nondecreasing time order regardless of the
+// insertion order, including interleaved cancellations.
+func TestPropertyMonotoneFiring(t *testing.T) {
+	f := func(delays []float64, cancelMask []bool) bool {
+		e := NewEngine()
+		var fireTimes []float64
+		var evs []*Event
+		for _, d := range delays {
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e6 {
+				d = 1e6
+			}
+			evs = append(evs, e.Schedule(d, func() {
+				fireTimes = append(fireTimes, e.Now())
+			}))
+		}
+		for i, c := range cancelMask {
+			if c && i < len(evs) {
+				e.Cancel(evs[i])
+			}
+		}
+		e.Run()
+		return sort.Float64sAreSorted(fireTimes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with n scheduled events and k distinct cancels, exactly n-k fire.
+func TestPropertyCancelCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 100; iter++ {
+		e := NewEngine()
+		n := 1 + rng.Intn(200)
+		fired := 0
+		evs := make([]*Event, n)
+		for i := range evs {
+			evs[i] = e.Schedule(rng.Float64()*100, func() { fired++ })
+		}
+		k := rng.Intn(n + 1)
+		perm := rng.Perm(n)
+		for _, idx := range perm[:k] {
+			e.Cancel(evs[idx])
+		}
+		e.Run()
+		if fired != n-k {
+			t.Fatalf("n=%d k=%d fired=%d, want %d", n, k, fired, n-k)
+		}
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(float64(j%97), func() {})
+		}
+		e.Run()
+	}
+}
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	e := NewEngine()
+	var fires []float64
+	tk := e.Every(2, func() { fires = append(fires, e.Now()) })
+	e.RunUntil(7)
+	tk.Stop()
+	e.Run()
+	want := []float64{2, 4, 6}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestTickerStopFromWithinCallback(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tk *Ticker
+	tk = e.Every(1, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run() // must drain: stopped ticker does not rearm
+	if n != 3 {
+		t.Fatalf("ticker fired %d times, want 3", n)
+	}
+}
+
+func TestEveryPanicsOnNonPositivePeriod(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	e.Every(0, func() {})
+}

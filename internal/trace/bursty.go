@@ -1,0 +1,74 @@
+package trace
+
+import "math/rand"
+
+// BurstConfig parametrizes a Markov-modulated Poisson arrival process:
+// the trace alternates between a base phase and a burst phase in which
+// the arrival rate is multiplied by BurstFactor. Production serverless
+// arrivals are bursty (the paper stresses "bursty and highly concurrent
+// function invocations", §6.1); this generator lets experiments stress
+// exactly that regime.
+type BurstConfig struct {
+	// BaseRPM is the base-phase arrival rate (requests/minute).
+	BaseRPM float64
+	// BurstFactor multiplies the rate during bursts (e.g. 10).
+	BurstFactor float64
+	// MeanBase / MeanBurst are the exponential mean durations of the two
+	// phases in seconds.
+	MeanBase  float64
+	MeanBurst float64
+}
+
+func (c *BurstConfig) validate() {
+	if c.BaseRPM <= 0 || c.BurstFactor < 1 || c.MeanBase <= 0 || c.MeanBurst <= 0 {
+		panic("trace: invalid BurstConfig")
+	}
+}
+
+// GenerateBursty builds an n-invocation trace under the two-phase MMPP.
+// Deterministic in seed; apps are drawn from the mix.
+func GenerateBursty(name string, mix *Mix, n int, cfg BurstConfig, seed int64) Set {
+	cfg.validate()
+	rng := rand.New(rand.NewSource(seed))
+	set := Set{Name: name, RPM: cfg.BaseRPM, Invocations: make([]Invocation, 0, n)}
+
+	t := 0.0
+	inBurst := false
+	phaseEnd := rng.ExpFloat64() * cfg.MeanBase
+	for i := 0; i < n; i++ {
+		rate := cfg.BaseRPM / 60
+		if inBurst {
+			rate *= cfg.BurstFactor
+		}
+		dt := rng.ExpFloat64() / rate
+		// Cross phase boundaries: the residual arrival budget rescales
+		// with the new phase's rate (memoryless phase switch).
+		for t+dt > phaseEnd {
+			remaining := (t + dt - phaseEnd) * rate
+			t = phaseEnd
+			inBurst = !inBurst
+			mean := cfg.MeanBase
+			rate = cfg.BaseRPM / 60
+			if inBurst {
+				mean = cfg.MeanBurst
+				rate *= cfg.BurstFactor
+			}
+			phaseEnd = t + rng.ExpFloat64()*mean
+			dt = remaining / rate
+		}
+		t += dt
+		app := mix.Pick(rng)
+		set.Invocations = append(set.Invocations, Invocation{
+			ID:      int64(i),
+			App:     app.Name,
+			Arrival: t,
+			Input:   app.SampleInput(rng),
+		})
+	}
+	return set
+}
+
+// DefaultBurst is a 10× burst profile: calm for ~60s, bursting for ~10s.
+func DefaultBurst(baseRPM float64) BurstConfig {
+	return BurstConfig{BaseRPM: baseRPM, BurstFactor: 10, MeanBase: 60, MeanBurst: 10}
+}

@@ -1,0 +1,31 @@
+package trace
+
+import (
+	"testing"
+)
+
+// FuzzDecode: Decode must never panic and must only accept traces that
+// re-encode losslessly.
+func FuzzDecode(f *testing.F) {
+	seed, _ := Encode(SingleSet(1))
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","invocations":[{"app":"DH","arrival":1}]}`))
+	f.Add([]byte(`{"name":"x","invocations":[{"app":"??","arrival":1}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted traces are valid: sorted, known apps, and re-encodable.
+		if _, err := Encode(s); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		for i := 1; i < len(s.Invocations); i++ {
+			if s.Invocations[i].Arrival < s.Invocations[i-1].Arrival {
+				t.Fatal("accepted trace not sorted")
+			}
+		}
+	})
+}

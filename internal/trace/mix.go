@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"libra/internal/function"
+)
+
+// Mix assigns invocation-share weights to applications. The Azure
+// Functions study shows heavily skewed popularity: a small fraction of
+// functions receives most invocations. The default experiments use a
+// uniform mix (matching the paper's evenly-divided setup); Zipf mixes
+// let users replay more production-like skew.
+type Mix struct {
+	apps    []*function.Spec
+	weights []float64
+	cum     []float64
+}
+
+// UniformMix gives every app the same share.
+func UniformMix(apps []*function.Spec) *Mix {
+	w := make([]float64, len(apps))
+	for i := range w {
+		w[i] = 1
+	}
+	return NewMix(apps, w)
+}
+
+// ZipfMix weights the i-th app proportionally to 1/(i+1)^s — the
+// heavy-head popularity profile of production FaaS platforms. s = 0 is
+// uniform; s ≈ 1 is strongly skewed.
+func ZipfMix(apps []*function.Spec, s float64) *Mix {
+	w := make([]float64, len(apps))
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return NewMix(apps, w)
+}
+
+// NewMix builds a mix from explicit nonnegative weights. It panics on
+// length mismatch, empty apps, or a zero total weight.
+func NewMix(apps []*function.Spec, weights []float64) *Mix {
+	if len(apps) == 0 {
+		panic("trace: mix needs at least one app")
+	}
+	if len(apps) != len(weights) {
+		panic("trace: mix apps/weights length mismatch")
+	}
+	m := &Mix{apps: apps, weights: weights, cum: make([]float64, len(weights))}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("trace: negative mix weight")
+		}
+		total += w
+		m.cum[i] = total
+	}
+	if total == 0 {
+		panic("trace: mix weights sum to zero")
+	}
+	return m
+}
+
+// Pick samples one application.
+func (m *Mix) Pick(rng *rand.Rand) *function.Spec {
+	x := rng.Float64() * m.cum[len(m.cum)-1]
+	i := sort.SearchFloat64s(m.cum, x)
+	if i >= len(m.apps) {
+		i = len(m.apps) - 1
+	}
+	return m.apps[i]
+}
+
+// Share returns app i's fraction of the mix.
+func (m *Mix) Share(i int) float64 {
+	return m.weights[i] / m.cum[len(m.cum)-1]
+}
+
+// GenerateMix builds a Poisson trace like Generate but sampling apps from
+// the mix instead of uniformly.
+func GenerateMix(name string, mix *Mix, n int, rpm float64, seed int64) Set {
+	if rpm <= 0 {
+		panic("trace: RPM must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mean := 60 / rpm
+	t := 0.0
+	set := Set{Name: name, RPM: rpm, Invocations: make([]Invocation, 0, n)}
+	for i := 0; i < n; i++ {
+		t += rng.ExpFloat64() * mean
+		app := mix.Pick(rng)
+		set.Invocations = append(set.Invocations, Invocation{
+			ID:      int64(i),
+			App:     app.Name,
+			Arrival: t,
+			Input:   app.SampleInput(rng),
+		})
+	}
+	return set
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"libra/internal/function"
+)
+
+func TestUniformMixShares(t *testing.T) {
+	m := UniformMix(function.Apps())
+	for i := range function.Apps() {
+		if math.Abs(m.Share(i)-0.1) > 1e-12 {
+			t.Fatalf("share(%d) = %g, want 0.1", i, m.Share(i))
+		}
+	}
+}
+
+func TestZipfMixSkew(t *testing.T) {
+	m := ZipfMix(function.Apps(), 1)
+	if !(m.Share(0) > m.Share(9)) {
+		t.Fatal("Zipf mix not skewed toward the head")
+	}
+	// s=0 degenerates to uniform.
+	u := ZipfMix(function.Apps(), 0)
+	if math.Abs(u.Share(0)-u.Share(9)) > 1e-12 {
+		t.Fatal("Zipf s=0 not uniform")
+	}
+}
+
+func TestMixPickMatchesShares(t *testing.T) {
+	apps := function.Apps()[:3]
+	m := NewMix(apps, []float64{6, 3, 1})
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	n := 20000
+	for i := 0; i < n; i++ {
+		counts[m.Pick(rng).Name]++
+	}
+	for i, app := range apps {
+		got := float64(counts[app.Name]) / float64(n)
+		if math.Abs(got-m.Share(i)) > 0.02 {
+			t.Fatalf("%s empirical share %.3f, want %.3f", app.Name, got, m.Share(i))
+		}
+	}
+}
+
+func TestNewMixValidation(t *testing.T) {
+	apps := function.Apps()[:2]
+	for _, fn := range []func(){
+		func() { NewMix(nil, nil) },
+		func() { NewMix(apps, []float64{1}) },
+		func() { NewMix(apps, []float64{-1, 2}) },
+		func() { NewMix(apps, []float64{0, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid mix accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGenerateMix(t *testing.T) {
+	m := ZipfMix(function.Apps(), 1)
+	s := GenerateMix("zipf", m, 2000, 120, 2)
+	if len(s.Invocations) != 2000 {
+		t.Fatalf("size = %d", len(s.Invocations))
+	}
+	counts := s.CountByApp()
+	head := counts[function.Apps()[0].Name]
+	tail := counts[function.Apps()[9].Name]
+	if head <= 2*tail {
+		t.Fatalf("head app %d invocations vs tail %d — skew missing", head, tail)
+	}
+}
+
+// Property: Pick always returns one of the mix's apps, and shares sum
+// to 1.
+func TestPropertyMixConsistent(t *testing.T) {
+	f := func(raw []uint8) bool {
+		apps := function.Apps()
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > len(apps) {
+			raw = raw[:len(apps)]
+		}
+		weights := make([]float64, len(raw))
+		total := 0.0
+		for i, r := range raw {
+			weights[i] = float64(r) + 1
+			total += weights[i]
+		}
+		m := NewMix(apps[:len(raw)], weights)
+		sum := 0.0
+		for i := range raw {
+			sum += m.Share(i)
+		}
+		rng := rand.New(rand.NewSource(7))
+		picked := m.Pick(rng)
+		found := false
+		for _, a := range apps[:len(raw)] {
+			if a == picked {
+				found = true
+			}
+		}
+		return found && math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateBursty(t *testing.T) {
+	mix := UniformMix(function.Apps())
+	set := GenerateBursty("bursty", mix, 3000, DefaultBurst(60), 5)
+	if len(set.Invocations) != 3000 {
+		t.Fatalf("size = %d", len(set.Invocations))
+	}
+	for i := 1; i < len(set.Invocations); i++ {
+		if set.Invocations[i].Arrival < set.Invocations[i-1].Arrival {
+			t.Fatal("bursty trace not sorted")
+		}
+	}
+	// Burstiness: the squared coefficient of variation of inter-arrival
+	// times must clearly exceed 1 (a plain Poisson process has CV² = 1).
+	var gaps []float64
+	for i := 1; i < len(set.Invocations); i++ {
+		gaps = append(gaps, set.Invocations[i].Arrival-set.Invocations[i-1].Arrival)
+	}
+	var mean, m2 float64
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	for _, g := range gaps {
+		m2 += (g - mean) * (g - mean)
+	}
+	cv2 := m2 / float64(len(gaps)) / (mean * mean)
+	if cv2 < 1.5 {
+		t.Fatalf("CV² = %.2f, want clearly >1 (bursty)", cv2)
+	}
+	// Same seed → same trace.
+	again := GenerateBursty("bursty", mix, 3000, DefaultBurst(60), 5)
+	if set.Invocations[1000] != again.Invocations[1000] {
+		t.Fatal("bursty generation not deterministic")
+	}
+}
+
+func TestGenerateBurstyValidation(t *testing.T) {
+	mix := UniformMix(function.Apps())
+	for _, cfg := range []BurstConfig{
+		{BaseRPM: 0, BurstFactor: 10, MeanBase: 60, MeanBurst: 10},
+		{BaseRPM: 60, BurstFactor: 0.5, MeanBase: 60, MeanBurst: 10},
+		{BaseRPM: 60, BurstFactor: 10, MeanBase: 0, MeanBurst: 10},
+	} {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("invalid config %+v accepted", cfg)
+				}
+			}()
+			GenerateBursty("x", mix, 1, cfg, 1)
+		}()
+	}
+}

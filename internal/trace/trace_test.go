@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"libra/internal/function"
+)
+
+func TestSingleSet(t *testing.T) {
+	s := SingleSet(1)
+	if len(s.Invocations) != 165 {
+		t.Fatalf("single set has %d invocations, want 165", len(s.Invocations))
+	}
+	if !sort.SliceIsSorted(s.Invocations, func(i, j int) bool {
+		return s.Invocations[i].Arrival < s.Invocations[j].Arrival
+	}) {
+		t.Fatal("single set not sorted by arrival")
+	}
+	// Deterministic under seed.
+	s2 := SingleSet(1)
+	if s.Invocations[100] != s2.Invocations[100] {
+		t.Fatal("SingleSet not deterministic under fixed seed")
+	}
+	s3 := SingleSet(2)
+	if s.Invocations[100] == s3.Invocations[100] {
+		t.Fatal("different seeds gave identical invocations")
+	}
+}
+
+func TestMultiSets(t *testing.T) {
+	sets := MultiSets(1)
+	if len(sets) != 10 {
+		t.Fatalf("MultiSets = %d sets, want 10", len(sets))
+	}
+	total := 0
+	for i, s := range sets {
+		total += len(s.Invocations)
+		if s.RPM != MultiRPMs[i] {
+			t.Fatalf("set %d RPM = %g, want %g", i, s.RPM, MultiRPMs[i])
+		}
+		if len(s.Invocations) != int(MultiRPMs[i]) {
+			t.Fatalf("set %d has %d invocations, want %d (one minute at its RPM)",
+				i, len(s.Invocations), int(MultiRPMs[i]))
+		}
+	}
+	if total != 1050 {
+		t.Fatalf("total multi invocations = %d, want 1050", total)
+	}
+}
+
+func TestGenerateRate(t *testing.T) {
+	// Mean arrival rate should be near nominal RPM for a long trace.
+	s := Generate("rate-test", function.Apps(), 5000, 120, 42)
+	dur := s.Duration()
+	gotRPM := float64(len(s.Invocations)-1) / dur * 60
+	if math.Abs(gotRPM-120) > 12 {
+		t.Fatalf("empirical RPM = %g, want ≈120", gotRPM)
+	}
+}
+
+func TestGenerateAppMix(t *testing.T) {
+	s := Generate("mix-test", function.Apps(), 5000, 60, 7)
+	counts := s.CountByApp()
+	if len(counts) != 10 {
+		t.Fatalf("app mix covers %d apps, want 10", len(counts))
+	}
+	for app, n := range counts {
+		if n < 350 || n > 650 {
+			t.Errorf("app %s count %d far from uniform 500", app, n)
+		}
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Generate("x", function.Apps(), 1, 0, 1) },
+		func() { Generate("x", nil, 1, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("Generate with bad args did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConcurrentBurst(t *testing.T) {
+	s := ConcurrentBurst(1000, 3)
+	if len(s.Invocations) != 1000 {
+		t.Fatalf("burst size = %d", len(s.Invocations))
+	}
+	for _, inv := range s.Invocations {
+		if inv.Arrival != 0 {
+			t.Fatal("burst invocations must all arrive at t=0")
+		}
+	}
+	counts := s.CountByApp()
+	for app, n := range counts {
+		if n != 100 {
+			t.Fatalf("burst app %s count = %d, want 100 (evenly divided)", app, n)
+		}
+	}
+}
+
+func TestFilteredSet(t *testing.T) {
+	s := FilteredSet("related", function.SizeRelatedApps(), 5)
+	for _, inv := range s.Invocations {
+		app, _ := function.ByName(inv.App)
+		if app.Class != function.SizeRelated {
+			t.Fatalf("filtered set contains %s (%v)", inv.App, app.Class)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := SingleSet(9)
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || len(got.Invocations) != len(s.Invocations) {
+		t.Fatal("round trip lost data")
+	}
+	if got.Invocations[42] != s.Invocations[42] {
+		t.Fatal("round trip changed an invocation")
+	}
+}
+
+func TestDecodeRejectsBadTraces(t *testing.T) {
+	if _, err := Decode([]byte("{")); err == nil {
+		t.Fatal("Decode accepted malformed JSON")
+	}
+	if _, err := Decode([]byte(`{"name":"x","invocations":[{"app":"DH","arrival":5},{"app":"DH","arrival":1}]}`)); err == nil {
+		t.Fatal("Decode accepted unsorted trace")
+	}
+	if _, err := Decode([]byte(`{"name":"x","invocations":[{"app":"WAT","arrival":1}]}`)); err == nil {
+		t.Fatal("Decode accepted unknown app")
+	}
+}
+
+// Property: Generate produces sorted arrivals and n records for any seed.
+func TestPropertyGenerateSortedAndSized(t *testing.T) {
+	f := func(seed int64, nRaw uint8, rpmRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		rpm := float64(rpmRaw%200) + 10
+		s := Generate("p", function.Apps(), n, rpm, seed)
+		if len(s.Invocations) != n {
+			return false
+		}
+		return sort.SliceIsSorted(s.Invocations, func(i, j int) bool {
+			return s.Invocations[i].Arrival < s.Invocations[j].Arrival
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationEmpty(t *testing.T) {
+	var s Set
+	if s.Duration() != 0 {
+		t.Fatal("empty set duration should be 0")
+	}
+}
