@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race bench quick report examples clean
+.PHONY: all build test race check fmt-check vet bench quick report examples clean
 
-all: build test
+# Default verify path: formatting, vet, build, tests — then the race
+# detector over the whole module (the parallel experiment harness must
+# stay data-race-free).
+all: check race
 
 build:
 	$(GO) build ./...
@@ -12,8 +15,19 @@ build:
 test:
 	$(GO) test ./...
 
+# Race builds run the full suite ~10× slower; raise the per-package
+# timeout so single-core machines don't trip go test's 10m default.
 race:
-	$(GO) test -race ./internal/harvest ./internal/profiler ./internal/freyr
+	$(GO) test -race -timeout 45m ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt-check vet build test
 
 bench:
 	$(GO) test -bench=. -benchmem

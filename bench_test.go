@@ -10,6 +10,7 @@
 package libra_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -23,12 +24,15 @@ import (
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
-	e, ok := experiments.ByID(id)
-	if !ok {
-		b.Fatalf("unknown experiment %s", id)
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		r := e.Run(experiments.Options{Seed: 42, Quick: true})
+		r, err := e.Run(context.Background(), experiments.Options{Seed: 42, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
 		r.Render(io.Discard)
 	}
 }
@@ -59,7 +63,7 @@ func BenchmarkOverheadReport(b *testing.B) { benchExperiment(b, "overheads") }
 
 func runP99(b *testing.B, cfg platform.Config, set trace.Set) float64 {
 	b.Helper()
-	r := platform.New(cfg).Run(set)
+	r := platform.MustNew(cfg).Run(set)
 	return metrics.Summarize(r.Latencies()).P99
 }
 
@@ -94,12 +98,12 @@ func BenchmarkAblationHashLocality(b *testing.B) {
 	var hashCold, rrCold int
 	for i := 0; i < b.N; i++ {
 		cfg := platform.PresetLibra(platform.MultiNode(), 42)
-		p := platform.New(cfg)
+		p := platform.MustNew(cfg)
 		r := p.Run(set)
 		hash = metrics.Summarize(r.Latencies()).P99
 		hashCold = r.ColdStarts
 		cfg2 := platform.WithAlgorithm(platform.PresetLibra(platform.MultiNode(), 42), "RR")
-		p2 := platform.New(cfg2)
+		p2 := platform.MustNew(cfg2)
 		r2 := p2.Run(set)
 		rr = metrics.Summarize(r2.Latencies()).P99
 		rrCold = r2.ColdStarts
@@ -121,9 +125,9 @@ func BenchmarkAblationPoolPriority(b *testing.B) {
 		for _, seed := range []int64{42, 43, 44} {
 			set := trace.SingleSet(seed)
 			cfg := platform.PresetLibra(platform.SingleNode(), seed)
-			prio += meanAcceleratedSpeedup(platform.New(cfg).Run(set)) / 3
+			prio += meanAcceleratedSpeedup(platform.MustNew(cfg).Run(set)) / 3
 			cfg.PoolLendOrder = harvest.FIFO
-			fifo += meanAcceleratedSpeedup(platform.New(cfg).Run(set)) / 3
+			fifo += meanAcceleratedSpeedup(platform.MustNew(cfg).Run(set)) / 3
 		}
 	}
 	b.ReportMetric(prio, "accel-speedup-priority")
@@ -151,9 +155,9 @@ func BenchmarkAblationSafeguard(b *testing.B) {
 	set := trace.SingleSet(42)
 	var with, without float64
 	for i := 0; i < b.N; i++ {
-		r := platform.New(platform.PresetLibra(platform.SingleNode(), 42)).Run(set)
+		r := platform.MustNew(platform.PresetLibra(platform.SingleNode(), 42)).Run(set)
 		with = metrics.Summarize(r.Speedups()).Min
-		r2 := platform.New(platform.PresetLibraNS(platform.SingleNode(), 42)).Run(set)
+		r2 := platform.MustNew(platform.PresetLibraNS(platform.SingleNode(), 42)).Run(set)
 		without = metrics.Summarize(r2.Speedups()).Min
 	}
 	b.ReportMetric(with, "worst-speedup-safeguard")
@@ -172,12 +176,12 @@ func BenchmarkAblationJointVsSingleAxis(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		cfg := platform.PresetLibra(platform.SingleNode(), 42)
-		joint = mean(platform.New(cfg).Run(set))
+		joint = mean(platform.MustNew(cfg).Run(set))
 		cfg.HarvestMemOnly = true
-		memOnly = mean(platform.New(cfg).Run(set))
+		memOnly = mean(platform.MustNew(cfg).Run(set))
 		cfg.HarvestMemOnly = false
 		cfg.HarvestCPUOnly = true
-		cpuOnly = mean(platform.New(cfg).Run(set))
+		cpuOnly = mean(platform.MustNew(cfg).Run(set))
 	}
 	b.ReportMetric(joint, "mean-speedup-joint")
 	b.ReportMetric(cpuOnly, "mean-speedup-cpu-only")
@@ -190,7 +194,7 @@ func BenchmarkPlatformSingleNodeLibra(b *testing.B) {
 	set := trace.SingleSet(42)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		platform.New(platform.PresetLibra(platform.SingleNode(), 42)).Run(set)
+		platform.MustNew(platform.PresetLibra(platform.SingleNode(), 42)).Run(set)
 	}
 }
 
@@ -198,7 +202,7 @@ func BenchmarkPlatformMultiNodeLibra(b *testing.B) {
 	set := trace.MultiSet(300, 42)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		platform.New(platform.PresetLibra(platform.MultiNode(), 42)).Run(set)
+		platform.MustNew(platform.PresetLibra(platform.MultiNode(), 42)).Run(set)
 	}
 }
 
@@ -206,7 +210,7 @@ func BenchmarkPlatformJetstreamBurst(b *testing.B) {
 	set := trace.ConcurrentBurst(500, 42)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		platform.New(platform.PresetLibra(platform.Jetstream(50, 4), 42)).Run(set)
+		platform.MustNew(platform.PresetLibra(platform.Jetstream(50, 4), 42)).Run(set)
 	}
 }
 

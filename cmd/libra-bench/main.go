@@ -7,12 +7,20 @@
 //	libra-bench -exp fig6    # run one experiment
 //	libra-bench -quick       # trimmed sweeps for a fast pass
 //	libra-bench -seed 7 -reps 5
+//	libra-bench -parallel 8  # bound the worker pool (default GOMAXPROCS)
+//
+// Each experiment fans its independent (config × repetition) units over
+// a worker pool; the rendered output is byte-identical for every
+// -parallel value. Ctrl-C cancels between units.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"libra/internal/experiments"
@@ -20,11 +28,13 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "run a single experiment by id (e.g. fig6)")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		quick = flag.Bool("quick", false, "trimmed sweeps and single repetitions")
-		seed  = flag.Int64("seed", 42, "random seed")
-		reps  = flag.Int("reps", 0, "repetitions per configuration (0 = default 3)")
+		exp      = flag.String("exp", "", "run a single experiment by id (e.g. fig6)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		quick    = flag.Bool("quick", false, "trimmed sweeps and single repetitions")
+		seed     = flag.Int64("seed", 42, "random seed")
+		reps     = flag.Int("reps", 0, "repetitions per configuration (0 = default 3)")
+		parallel = flag.Int("parallel", 0, "worker pool size for experiment units (0 = GOMAXPROCS, 1 = serial)")
+		progress = flag.Bool("progress", true, "report per-unit completion on stderr")
 	)
 	flag.Parse()
 
@@ -35,12 +45,15 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Seed: *seed, Reps: *reps, Quick: *quick}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := experiments.Options{Seed: *seed, Reps: *reps, Quick: *quick, Parallel: *parallel}
 	run := experiments.All()
 	if *exp != "" {
-		e, ok := experiments.ByID(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "libra-bench: unknown experiment %q (try -list)\n", *exp)
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "libra-bench: %v (try -list)\n", err)
 			os.Exit(1)
 		}
 		run = []experiments.Experiment{e}
@@ -49,7 +62,25 @@ func main() {
 	for _, e := range run {
 		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
 		start := time.Now()
-		e.Run(opts).Render(os.Stdout)
+		o := opts
+		if *progress {
+			id := e.ID
+			o.Progress = func(ev experiments.ProgressEvent) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d units", id, ev.Completed, ev.Total)
+				if ev.Completed == ev.Total {
+					fmt.Fprint(os.Stderr, "\r                              \r")
+				}
+			}
+		}
+		r, err := e.Run(ctx, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "\nlibra-bench: %s: %v\n", e.ID, err)
+			if errors.Is(err, context.Canceled) {
+				os.Exit(130)
+			}
+			os.Exit(1)
+		}
+		r.Render(os.Stdout)
 		fmt.Printf("--- %s finished in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 }

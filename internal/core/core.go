@@ -149,7 +149,11 @@ func Run(cfg Config, workload trace.Set) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := platform.New(pc).Run(workload)
+	p, err := platform.New(pc)
+	if err != nil {
+		return nil, err
+	}
+	r := p.Run(workload)
 	lat := metrics.Summarize(r.Latencies())
 	sp := metrics.Summarize(r.Speedups())
 	return &Report{

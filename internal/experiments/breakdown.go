@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -33,15 +34,19 @@ func (r Fig15Row) Total() float64 {
 type Fig15Result struct{ Rows []Fig15Row }
 
 // Fig15Breakdown regenerates Fig 15 in the multi-node setting.
-func Fig15Breakdown(o Options) Renderer {
+func Fig15Breakdown(ctx context.Context, o Options) (Renderer, error) {
 	o.defaults()
 	cfg := platform.PresetLibra(platform.MultiNode(), o.Seed)
 	mk := func(seed int64) trace.Set {
 		return trace.Generate("breakdown", function.Apps(), 200, 60, seed)
 	}
+	results, err := sweepResults(ctx, o, []cell{{cfg: cfg, mkSet: mk}})
+	if err != nil {
+		return nil, err
+	}
 	agg := map[string]*Fig15Row{}
 	counts := map[string]int{}
-	repeatedRun(cfg, mk, o.Seed, o.Reps, func(r *platform.Result) {
+	for _, r := range results[0] {
 		for app, bd := range r.Breakdown {
 			row, ok := agg[app]
 			if !ok {
@@ -56,7 +61,7 @@ func Fig15Breakdown(o Options) Renderer {
 			row.Exec += bd.Exec
 			counts[app] += bd.Count
 		}
-	})
+	}
 	res := &Fig15Result{}
 	for app, row := range agg {
 		n := float64(counts[app])
@@ -68,7 +73,7 @@ func Fig15Breakdown(o Options) Renderer {
 		})
 	}
 	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].App < res.Rows[j].App })
-	return res
+	return res, nil
 }
 
 // Render implements Renderer.
@@ -98,10 +103,13 @@ type OverheadResult struct {
 }
 
 // OverheadReport regenerates the §8.10 component-overhead measurements.
-func OverheadReport(o Options) Renderer {
+func OverheadReport(ctx context.Context, o Options) (Renderer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	o.defaults()
 	cfg := platform.PresetLibra(platform.MultiNode(), o.Seed)
-	p := platform.New(cfg)
+	p := platform.MustNew(cfg)
 	r := p.Run(trace.Generate("overheads", function.Apps(), 300, 120, o.Seed))
 	res := &OverheadResult{Invocations: len(r.Records), Trainings: r.Trainings}
 	res.TrainingSeconds = float64(r.Trainings) * profiler.OfflineTrainOverhead
@@ -118,7 +126,7 @@ func OverheadReport(o Options) Renderer {
 		res.PoolOps += st.Put + st.Got
 		res.HarvestedCoreSec += float64(st.Put) / 1000
 	}
-	return res
+	return res, nil
 }
 
 // Render implements Renderer.

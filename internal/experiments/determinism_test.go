@@ -2,23 +2,101 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
+
+func renderWith(t *testing.T, id string, o Options) []byte {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run(context.Background(), o)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	return buf.Bytes()
+}
 
 // The reproduction's headline operational claim: the same seed renders
 // byte-identical experiment output. Guarded here for a representative
 // subset (full-suite determinism would double test time).
 func TestDeterministicRendering(t *testing.T) {
 	for _, id := range []string{"fig1", "fig6", "fig14"} {
-		e, ok := ByID(id)
-		if !ok {
-			t.Fatalf("missing experiment %s", id)
-		}
-		var a, b bytes.Buffer
-		e.Run(Options{Seed: 7, Quick: true}).Render(&a)
-		e.Run(Options{Seed: 7, Quick: true}).Render(&b)
-		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		a := renderWith(t, id, Options{Seed: 7, Quick: true})
+		b := renderWith(t, id, Options{Seed: 7, Quick: true})
+		if !bytes.Equal(a, b) {
 			t.Fatalf("%s: same-seed renders differ", id)
+		}
+	}
+}
+
+// The parallel runner's contract: fanning units over a worker pool
+// changes wall-clock only — for the same seed, the render is
+// byte-identical to the serial path. Each unit derives its own seed from
+// its index, so completion order cannot leak into the merge.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, id := range []string{"fig6", "fig9", "fig12", "table2"} {
+		serial := renderWith(t, id, Options{Seed: 7, Quick: true, Parallel: 1})
+		parallel := renderWith(t, id, Options{Seed: 7, Quick: true, Parallel: 4})
+		if !bytes.Equal(serial, parallel) {
+			t.Fatalf("%s: parallel render differs from serial", id)
+		}
+	}
+}
+
+// Progress fires once per unit with monotonic counts, under both the
+// serial and the pooled path.
+func TestProgressReporting(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		var events []ProgressEvent
+		o := Options{Seed: 7, Quick: true, Parallel: par,
+			Progress: func(ev ProgressEvent) { events = append(events, ev) }}
+		e, err := ByID("fig6")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(context.Background(), o); err != nil {
+			t.Fatal(err)
+		}
+		if len(events) == 0 {
+			t.Fatalf("parallel=%d: no progress events", par)
+		}
+		for i, ev := range events {
+			if ev.Completed < 1 || ev.Completed > ev.Total {
+				t.Fatalf("parallel=%d: bad event %+v", par, ev)
+			}
+			if i > 0 && events[i-1].Total == ev.Total && ev.Completed != events[i-1].Completed+1 {
+				t.Fatalf("parallel=%d: non-monotonic completions %+v → %+v", par, events[i-1], ev)
+			}
+		}
+		// fig6 runs one fan-out of six platforms × one rep (quick).
+		last := events[len(events)-1]
+		if last.Completed != last.Total || last.Total != 6 {
+			t.Fatalf("parallel=%d: final event %+v, want 6/6", par, last)
+		}
+	}
+}
+
+// A cancelled context stops the fan-out between units and surfaces the
+// context error instead of a partial result.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, id := range []string{"fig1", "fig6", "table2", "overheads"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Run(ctx, Options{Seed: 7, Quick: true})
+		if err != context.Canceled {
+			t.Fatalf("%s: err = %v, want context.Canceled", id, err)
+		}
+		if r != nil {
+			t.Fatalf("%s: got partial renderer %T on cancellation", id, r)
 		}
 	}
 }

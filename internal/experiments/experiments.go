@@ -4,6 +4,12 @@
 // series the paper reports. The registry at the bottom powers
 // cmd/libra-bench and the root bench_test.go.
 //
+// Every experiment decomposes into independent (config × repetition ×
+// sweep-cell) units — each a pure function of its derived seed — which
+// the harness fans out over a bounded worker pool (Options.Parallel).
+// Results merge in unit order, so renders are byte-identical for the
+// same seed regardless of parallelism.
+//
 // Absolute numbers differ from the paper's physical testbeds (our
 // substrate is a simulator — see DESIGN.md §1); the shapes — who wins, by
 // roughly what factor, where crossovers fall — are the reproduction
@@ -11,8 +17,12 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"text/tabwriter"
 
 	"libra/internal/platform"
@@ -28,6 +38,21 @@ type Options struct {
 	Reps int
 	// Quick trims repetitions and sweep densities for fast test runs.
 	Quick bool
+	// Parallel bounds the worker pool that fans out an experiment's
+	// independent units. 0 selects GOMAXPROCS; 1 runs serially. The
+	// rendered output is identical for every value.
+	Parallel int
+	// Progress, when non-nil, is called after each completed unit of the
+	// current fan-out. Calls are serialized; keep the callback fast.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent reports one completed unit of a running fan-out.
+type ProgressEvent struct {
+	// Completed counts finished units of the current fan-out; Total is
+	// its unit count. An experiment may run several fan-outs in
+	// sequence, each restarting the count.
+	Completed, Total int
 }
 
 func (o *Options) defaults() {
@@ -46,7 +71,10 @@ func (o *Options) defaults() {
 type Experiment struct {
 	ID    string // e.g. "fig6"
 	Title string
-	Run   func(Options) Renderer
+	// Run regenerates the experiment. Cancellation is checked between
+	// units: a cancelled context abandons unstarted units and returns
+	// the context's error.
+	Run func(ctx context.Context, opts Options) (Renderer, error)
 }
 
 // Renderer renders an experiment's result as the paper-style rows.
@@ -54,16 +82,56 @@ type Renderer interface {
 	Render(w io.Writer)
 }
 
-var registry []Experiment
+// ErrNotFound is wrapped by ByID for unknown experiment IDs.
+var ErrNotFound = errors.New("experiment not found")
 
-func register(id, title string, run func(Options) Renderer) {
-	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Experiment{}
+)
+
+// Register adds an experiment to the registry. It rejects empty IDs,
+// nil Run functions, and IDs already registered.
+func Register(e Experiment) error {
+	if e.ID == "" {
+		return errors.New("experiments: Register needs a non-empty ID")
+	}
+	if e.Run == nil {
+		return fmt.Errorf("experiments: Register(%q) needs a Run function", e.ID)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[e.ID]; dup {
+		return fmt.Errorf("experiments: duplicate experiment ID %q", e.ID)
+	}
+	registry[e.ID] = e
+	return nil
 }
 
-// All returns every registered experiment in paper order.
+// register is the init-time path: a failed registration is a programming
+// error, so it panics.
+func register(id, title string, run func(context.Context, Options) (Renderer, error)) {
+	if err := Register(Experiment{ID: id, Title: title, Run: run}); err != nil {
+		panic(err)
+	}
+}
+
+// All returns every registered experiment sorted by ID in paper order
+// (IDs outside the paper's sequence sort after it, alphabetically).
 func All() []Experiment {
-	out := append([]Experiment(nil), registry...)
-	sort.SliceStable(out, func(i, j int) bool { return order(out[i].ID) < order(out[j].ID) })
+	regMu.RLock()
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	regMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		oi, oj := order(out[i].ID), order(out[j].ID)
+		if oi != oj {
+			return oi < oj
+		}
+		return out[i].ID < out[j].ID
+	})
 	return out
 }
 
@@ -79,14 +147,16 @@ func order(id string) int {
 	return 99
 }
 
-// ByID finds an experiment.
-func ByID(id string) (Experiment, bool) {
-	for _, e := range registry {
-		if e.ID == id {
-			return e, true
-		}
+// ByID finds an experiment; unknown IDs yield an error wrapping
+// ErrNotFound.
+func ByID(id string) (Experiment, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
-	return Experiment{}, false
+	return e, nil
 }
 
 // ---- shared helpers ----
@@ -94,20 +164,7 @@ func ByID(id string) (Experiment, bool) {
 // runPlatform runs one platform config over a set, averaged metrics are
 // the caller's business; this returns the raw result.
 func runPlatform(cfg platform.Config, set trace.Set) *platform.Result {
-	return platform.New(cfg).Run(set)
-}
-
-// repeatedRun executes the same configuration over `reps` seeds and calls
-// collect with each result. Seeds derive from base so repetitions differ
-// in both trace and platform randomness, as in the paper's five-run
-// averages.
-func repeatedRun(cfg platform.Config, mkSet func(seed int64) trace.Set, base int64, reps int, collect func(*platform.Result)) {
-	for r := 0; r < reps; r++ {
-		seed := base + int64(r)*101
-		c := cfg
-		c.Seed = seed
-		collect(runPlatform(c, mkSet(seed)))
-	}
+	return platform.MustNew(cfg).Run(set)
 }
 
 func tw(w io.Writer) *tabwriter.Writer {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -9,6 +10,16 @@ import (
 )
 
 func quick() Options { return Options{Seed: 42, Quick: true} }
+
+// mustRun executes an experiment function with the quick options.
+func mustRun(t *testing.T, f func(context.Context, Options) (Renderer, error)) Renderer {
+	t.Helper()
+	r, err := f(context.Background(), quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
 
 func render(t *testing.T, r Renderer) string {
 	t.Helper()
@@ -34,17 +45,17 @@ func TestRegistryComplete(t *testing.T) {
 		if all[i].ID != id {
 			t.Fatalf("registry order %v, want %v at %d", all[i].ID, id, i)
 		}
-		if _, ok := ByID(id); !ok {
-			t.Fatalf("ByID(%q) missing", id)
+		if _, err := ByID(id); err != nil {
+			t.Fatalf("ByID(%q): %v", id, err)
 		}
 	}
-	if _, ok := ByID("nope"); ok {
+	if _, err := ByID("nope"); err == nil {
 		t.Fatal("ByID accepted unknown id")
 	}
 }
 
 func TestFig1Shapes(t *testing.T) {
-	r := Fig1Motivation(quick()).(*Fig1Result)
+	r := mustRun(t, Fig1Motivation).(*Fig1Result)
 	if len(r.Cases) != 3 {
 		t.Fatalf("%d cases, want 3", len(r.Cases))
 	}
@@ -82,7 +93,7 @@ func TestFig1Shapes(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
-	out := render(t, Table1Apps(quick()))
+	out := render(t, mustRun(t, Table1Apps))
 	for _, app := range function.Names() {
 		if !strings.Contains(out, app) {
 			t.Fatalf("Table 1 missing app %s", app)
@@ -91,7 +102,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFig6Shapes(t *testing.T) {
-	r := Fig6CDF(quick()).(*Fig6Result)
+	r := mustRun(t, Fig6CDF).(*Fig6Result)
 	if len(r.Platforms) != 6 {
 		t.Fatalf("%d platforms, want 6", len(r.Platforms))
 	}
@@ -128,7 +139,7 @@ func TestFig6Shapes(t *testing.T) {
 }
 
 func TestFig7Shapes(t *testing.T) {
-	r := Fig7Utilization(quick()).(*Fig7Result)
+	r := mustRun(t, Fig7Utilization).(*Fig7Result)
 	if r.CPUUtilVsDefault <= 1 {
 		t.Errorf("Libra CPU util multiple vs Default = %.2f, want >1", r.CPUUtilVsDefault)
 	}
@@ -145,7 +156,7 @@ func TestFig7Shapes(t *testing.T) {
 }
 
 func TestFig8Shapes(t *testing.T) {
-	r := Fig8Scatter(quick()).(*Fig8Result)
+	r := mustRun(t, Fig8Scatter).(*Fig8Result)
 	cats := map[string]map[string]int{}
 	for _, p := range r.Points {
 		if cats[p.Platform] == nil {
@@ -168,7 +179,10 @@ func TestFig8Shapes(t *testing.T) {
 }
 
 func TestFig9to11Shapes(t *testing.T) {
-	r := schedulingSweep(quick())
+	r, err := schedulingSweep(context.Background(), quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Libra achieves the lowest P99 at the highest RPM, and its idle
 	// core×sec stays at or below the baselines' at high load.
 	last := len(r.RPMs) - 1
@@ -194,7 +208,7 @@ func TestFig9to11Shapes(t *testing.T) {
 }
 
 func TestFig12Shapes(t *testing.T) {
-	r := Fig12Scalability(quick()).(*Fig12Result)
+	r := mustRun(t, Fig12Scalability).(*Fig12Result)
 	// Strong scaling: at the largest node count, 4 schedulers beat 1.
 	var one, four float64
 	maxNodes := 0
@@ -227,7 +241,7 @@ func TestFig12Shapes(t *testing.T) {
 }
 
 func TestTable2Shapes(t *testing.T) {
-	r := Table2Models(quick()).(*Table2Result)
+	r := mustRun(t, Table2Models).(*Table2Result)
 	if len(r.Rows) != 10 {
 		t.Fatalf("%d rows, want 10", len(r.Rows))
 	}
@@ -250,7 +264,7 @@ func TestTable2Shapes(t *testing.T) {
 }
 
 func TestFig13Shapes(t *testing.T) {
-	r := Fig13ModelAblation(quick()).(*Fig13Result)
+	r := mustRun(t, Fig13ModelAblation).(*Fig13Result)
 	if len(r.ModelAblation) != 3 || len(r.Related) != 3 || len(r.Unrelated) != 3 {
 		t.Fatal("missing series")
 	}
@@ -266,7 +280,7 @@ func TestFig13Shapes(t *testing.T) {
 }
 
 func TestFig14Shapes(t *testing.T) {
-	r := Fig14SafeguardSensitivity(quick()).(*Fig14Result)
+	r := mustRun(t, Fig14SafeguardSensitivity).(*Fig14Result)
 	// Safeguarded ratio is nonincreasing in the threshold (allowing small
 	// sampling noise), and hits ~0 at threshold 1.0.
 	first, last := r.Points[0], r.Points[len(r.Points)-1]
@@ -281,7 +295,7 @@ func TestFig14Shapes(t *testing.T) {
 }
 
 func TestFig15Shapes(t *testing.T) {
-	r := Fig15Breakdown(quick()).(*Fig15Result)
+	r := mustRun(t, Fig15Breakdown).(*Fig15Result)
 	if len(r.Rows) != 10 {
 		t.Fatalf("%d rows, want 10", len(r.Rows))
 	}
@@ -296,7 +310,7 @@ func TestFig15Shapes(t *testing.T) {
 }
 
 func TestFig16Shapes(t *testing.T) {
-	r := Fig16CoverageWeight(quick()).(*Fig16Result)
+	r := mustRun(t, Fig16CoverageWeight).(*Fig16Result)
 	if len(r.Points) < 3 {
 		t.Fatal("too few points")
 	}
@@ -304,7 +318,7 @@ func TestFig16Shapes(t *testing.T) {
 }
 
 func TestOverheadReport(t *testing.T) {
-	r := OverheadReport(quick()).(*OverheadResult)
+	r := mustRun(t, OverheadReport).(*OverheadResult)
 	if r.Invocations == 0 || r.PoolOps == 0 {
 		t.Fatalf("degenerate overhead report %+v", r)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -36,13 +37,26 @@ type Fig6Result struct {
 	P99ReductionVsFreyr   float64
 }
 
-func runSixPlatforms(o Options) []PlatformSeries {
-	var out []PlatformSeries
+func sixPlatformCells(o Options) []cell {
+	var cells []cell
 	for _, cfg := range platform.SixPlatforms(platform.SingleNode(), o.Seed) {
+		cells = append(cells, cell{cfg: cfg, mkSet: trace.SingleSet})
+	}
+	return cells
+}
+
+func runSixPlatforms(ctx context.Context, o Options) ([]PlatformSeries, error) {
+	cells := sixPlatformCells(o)
+	results, err := sweepResults(ctx, o, cells)
+	if err != nil {
+		return nil, err
+	}
+	var out []PlatformSeries
+	for ci, reps := range results {
 		var lats, sps []float64
 		var completion, cpuU, memU float64
 		var sg, hv, ac int
-		repeatedRun(cfg, trace.SingleSet, o.Seed, o.Reps, func(r *platform.Result) {
+		for _, r := range reps {
 			lats = append(lats, r.Latencies()...)
 			sps = append(sps, r.Speedups()...)
 			completion += r.CompletionTime
@@ -51,10 +65,10 @@ func runSixPlatforms(o Options) []PlatformSeries {
 			sg += r.Safeguarded
 			hv += r.Harvested
 			ac += r.Accelerated
-		})
+		}
 		n := float64(o.Reps)
 		out = append(out, PlatformSeries{
-			Name:        cfg.Name,
+			Name:        cells[ci].cfg.Name,
 			LatencyCDF:  metrics.CDF(lats, 40),
 			SpeedupCDF:  metrics.CDF(sps, 40),
 			Latency:     metrics.Summarize(lats),
@@ -67,13 +81,17 @@ func runSixPlatforms(o Options) []PlatformSeries {
 			Accelerated: ac,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // Fig6CDF regenerates Fig 6 (single-node cluster, *single* trace set).
-func Fig6CDF(o Options) Renderer {
+func Fig6CDF(ctx context.Context, o Options) (Renderer, error) {
 	o.defaults()
-	res := &Fig6Result{Platforms: runSixPlatforms(o)}
+	platforms, err := runSixPlatforms(ctx, o)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Platforms: platforms}
 	byName := map[string]*PlatformSeries{}
 	for i := range res.Platforms {
 		byName[res.Platforms[i].Name] = &res.Platforms[i]
@@ -82,7 +100,7 @@ func Fig6CDF(o Options) Renderer {
 		res.P99ReductionVsDefault = 1 - l.Latency.P99/d.Latency.P99
 		res.P99ReductionVsFreyr = 1 - l.Latency.P99/f.Latency.P99
 	}
-	return res
+	return res, nil
 }
 
 // Render implements Renderer.
@@ -138,15 +156,21 @@ type Fig7Result struct {
 }
 
 // Fig7Utilization regenerates the Fig 7 CPU/memory timelines.
-func Fig7Utilization(o Options) Renderer {
+func Fig7Utilization(ctx context.Context, o Options) (Renderer, error) {
 	o.defaults()
-	res := &Fig7Result{Timelines: map[string][]metrics.UtilizationSample{}}
-	for _, cfg := range platform.SixPlatforms(platform.SingleNode(), o.Seed) {
-		cfg.Seed = o.Seed
-		r := runPlatform(cfg, trace.SingleSet(o.Seed))
-		res.Timelines[cfg.Name] = r.Samples
+	cells := sixPlatformCells(o)
+	timelines, err := singleRuns(ctx, o, cells)
+	if err != nil {
+		return nil, err
 	}
-	res.Platforms = runSixPlatforms(o)
+	res := &Fig7Result{Timelines: map[string][]metrics.UtilizationSample{}}
+	for i, r := range timelines {
+		res.Timelines[cells[i].cfg.Name] = r.Samples
+	}
+	res.Platforms, err = runSixPlatforms(ctx, o)
+	if err != nil {
+		return nil, err
+	}
 	get := func(name string) *PlatformSeries {
 		for i := range res.Platforms {
 			if res.Platforms[i].Name == name {
@@ -162,7 +186,7 @@ func Fig7Utilization(o Options) Renderer {
 	res.MemUtilVsFreyr = l.AvgMemUtil / f.AvgMemUtil
 	res.CompletionVsDefault = 1 - l.Completion/d.Completion
 	res.CompletionVsFreyr = 1 - l.Completion/f.Completion
-	return res
+	return res, nil
 }
 
 // Render implements Renderer.
@@ -208,12 +232,15 @@ type Fig8Result struct{ Points []Fig8Point }
 
 // Fig8Scatter regenerates Fig 8: per-invocation (core×sec, MB×sec) vs
 // speedup for all six platforms.
-func Fig8Scatter(o Options) Renderer {
+func Fig8Scatter(ctx context.Context, o Options) (Renderer, error) {
 	o.defaults()
+	cells := sixPlatformCells(o)
+	runs, err := singleRuns(ctx, o, cells)
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig8Result{}
-	for _, cfg := range platform.SixPlatforms(platform.SingleNode(), o.Seed) {
-		cfg.Seed = o.Seed
-		r := runPlatform(cfg, trace.SingleSet(o.Seed))
+	for i, r := range runs {
 		for _, rec := range r.Records {
 			cat := "default"
 			switch {
@@ -225,7 +252,7 @@ func Fig8Scatter(o Options) Renderer {
 				cat = "harvest"
 			}
 			res.Points = append(res.Points, Fig8Point{
-				Platform: cfg.Name,
+				Platform: cells[i].cfg.Name,
 				App:      rec.Inv.App.Name,
 				CoreSec:  rec.Inv.CPUReassignSec,
 				MBSec:    rec.Inv.MemReassignSec,
@@ -234,7 +261,7 @@ func Fig8Scatter(o Options) Renderer {
 			})
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Render implements Renderer.

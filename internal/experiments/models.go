@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -32,16 +33,20 @@ type Table2Result struct {
 	AvgUnrelated map[string][3]float64
 }
 
-// Table2Models regenerates Table 2.
-func Table2Models(o Options) Renderer {
+// Table2Models regenerates Table 2. Each function is one fan-out unit
+// with its own rand stream derived from (Seed, app index), so the rows
+// are independent of execution order.
+func Table2Models(ctx context.Context, o Options) (Renderer, error) {
 	o.defaults()
 	res := &Table2Result{
 		Models:       []string{"LR", "SVM", "NN", "RF"},
 		AvgRelated:   map[string][3]float64{},
 		AvgUnrelated: map[string][3]float64{},
 	}
-	rng := rand.New(rand.NewSource(o.Seed))
-	for _, app := range function.Apps() {
+	apps := function.Apps()
+	rows, err := fanOut(ctx, o, len(apps), func(i int) Table2Row {
+		app := apps[i]
+		rng := rand.New(rand.NewSource(o.Seed + 1000003*int64(i)))
 		in := app.SampleInput(rng)
 		X, cpuY, memY, durY := profiler.Duplicate(app, in, 100, 0.03, rng)
 		train, test := mlkit.TrainTestSplit(len(X), 0.7, rng)
@@ -81,13 +86,17 @@ func Table2Models(o Options) Renderer {
 			r2 := mlkit.EvaluateRegressor(reg, X, durY, train, test)
 			row.Metrics[model] = [3]float64{accCPU, accMem, r2}
 		}
-		res.Rows = append(res.Rows, row)
+		return row
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	for _, model := range res.Models {
 		res.AvgRelated[model] = classAvg(res.Rows, model, function.SizeRelated)
 		res.AvgUnrelated[model] = classAvg(res.Rows, model, function.SizeUnrelated)
 	}
-	return res
+	return res, nil
 }
 
 func classAvg(rows []Table2Row, model string, c function.Class) [3]float64 {
@@ -164,11 +173,12 @@ type Fig13Result struct {
 
 // Fig13ModelAblation regenerates Fig 13 (§8.6 model ablation + §8.7
 // input-size sensitivity).
-func Fig13ModelAblation(o Options) Renderer {
+func Fig13ModelAblation(ctx context.Context, o Options) (Renderer, error) {
 	o.defaults()
 	res := &Fig13Result{}
 
 	// (a) model ablation on the hybrid single set.
+	var ablation []cell
 	for _, v := range []struct {
 		label string
 		mode  profiler.Mode
@@ -176,35 +186,50 @@ func Fig13ModelAblation(o Options) Renderer {
 		cfg := platform.PresetLibra(platform.SingleNode(), o.Seed)
 		cfg.Name = v.label
 		cfg.ProfilerMode = v.mode
+		ablation = append(ablation, cell{cfg: cfg, mkSet: trace.SingleSet})
+	}
+	results, err := sweepResults(ctx, o, ablation)
+	if err != nil {
+		return nil, err
+	}
+	for ci, reps := range results {
 		var sps []float64
-		repeatedRun(cfg, trace.SingleSet, o.Seed, o.Reps, func(r *platform.Result) {
+		for _, r := range reps {
 			sps = append(sps, r.Speedups()...)
-		})
+		}
 		res.ModelAblation = append(res.ModelAblation, Fig13Series{
-			Label: v.label, Speedup: metrics.Summarize(sps), CDF: metrics.CDF(sps, 40),
+			Label: ablation[ci].cfg.Name, Speedup: metrics.Summarize(sps), CDF: metrics.CDF(sps, 40),
 		})
 	}
 
 	// (b)/(c) input-size-related and unrelated workloads.
-	run := func(apps []*function.Spec, name string) ([]Fig13Series, float64) {
-		var series []Fig13Series
-		var defP99, libP99 float64
+	run := func(apps []*function.Spec, name string) ([]Fig13Series, float64, error) {
+		mk := func(seed int64) trace.Set { return trace.FilteredSet(name, apps, seed) }
+		var cells []cell
 		for _, cfg := range []platform.Config{
 			platform.PresetDefault(platform.SingleNode(), o.Seed),
 			platform.PresetFreyr(platform.SingleNode(), o.Seed),
 			platform.PresetLibra(platform.SingleNode(), o.Seed),
 		} {
-			mk := func(seed int64) trace.Set { return trace.FilteredSet(name, apps, seed) }
+			cells = append(cells, cell{cfg: cfg, mkSet: mk})
+		}
+		results, err := sweepResults(ctx, o, cells)
+		if err != nil {
+			return nil, 0, err
+		}
+		var series []Fig13Series
+		var defP99, libP99 float64
+		for ci, reps := range results {
 			var sps, lats []float64
-			repeatedRun(cfg, mk, o.Seed, o.Reps, func(r *platform.Result) {
+			for _, r := range reps {
 				sps = append(sps, r.Speedups()...)
 				lats = append(lats, r.Latencies()...)
-			})
+			}
 			series = append(series, Fig13Series{
-				Label: cfg.Name, Speedup: metrics.Summarize(sps), CDF: metrics.CDF(sps, 40),
+				Label: cells[ci].cfg.Name, Speedup: metrics.Summarize(sps), CDF: metrics.CDF(sps, 40),
 			})
 			p99 := metrics.Summarize(lats).P99
-			switch cfg.Name {
+			switch cells[ci].cfg.Name {
 			case "Default":
 				defP99 = p99
 			case "Libra":
@@ -215,11 +240,15 @@ func Fig13ModelAblation(o Options) Renderer {
 		if defP99 > 0 {
 			gain = 1 - libP99/defP99
 		}
-		return series, gain
+		return series, gain, nil
 	}
-	res.Related, res.RelatedGain = run(function.SizeRelatedApps(), "related")
-	res.Unrelated, res.UnrelatedGain = run(function.SizeUnrelatedApps(), "unrelated")
-	return res
+	if res.Related, res.RelatedGain, err = run(function.SizeRelatedApps(), "related"); err != nil {
+		return nil, err
+	}
+	if res.Unrelated, res.UnrelatedGain, err = run(function.SizeUnrelatedApps(), "unrelated"); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Render implements Renderer.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -38,7 +39,10 @@ type Fig1Result struct{ Cases []Fig1Case }
 // 100 / 4K / 10K and VP with three different videos, first under default
 // fixed allocations, then with DH's idle resources harvested to
 // accelerate VP.
-func Fig1Motivation(o Options) Renderer {
+func Fig1Motivation(ctx context.Context, o Options) (Renderer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	o.defaults()
 	dh, _ := function.ByName("DH")
 	vp, _ := function.ByName("VP")
@@ -88,7 +92,7 @@ func Fig1Motivation(o Options) Renderer {
 		}
 		res.Cases = append(res.Cases, fc)
 	}
-	return res
+	return res, nil
 }
 
 // Render implements Renderer.
@@ -108,8 +112,11 @@ func (r *Fig1Result) Render(w io.Writer) {
 type Table1Result struct{ Apps []*function.Spec }
 
 // Table1Apps reproduces Table 1.
-func Table1Apps(Options) Renderer {
-	return &Table1Result{Apps: function.Apps()}
+func Table1Apps(ctx context.Context, _ Options) (Renderer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Table1Result{Apps: function.Apps()}, nil
 }
 
 // Render implements Renderer.

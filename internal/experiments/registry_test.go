@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+)
+
+func noopRun(context.Context, Options) (Renderer, error) { return nil, nil }
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	if err := Register(Experiment{ID: "fig6", Title: "dup", Run: noopRun}); err == nil {
+		t.Fatal("Register accepted a duplicate ID")
+	}
+	// The original registration must survive the rejected attempt.
+	e, err := ByID("fig6")
+	if err != nil || e.Title == "dup" {
+		t.Fatalf("registry corrupted by rejected duplicate: %+v, %v", e, err)
+	}
+}
+
+func TestRegisterRejectsInvalid(t *testing.T) {
+	if err := Register(Experiment{Title: "no id", Run: noopRun}); err == nil {
+		t.Fatal("Register accepted an empty ID")
+	}
+	if err := Register(Experiment{ID: "norun"}); err == nil {
+		t.Fatal("Register accepted a nil Run")
+	}
+	if _, err := ByID("norun"); err == nil {
+		t.Fatal("invalid registration reached the registry")
+	}
+}
+
+func TestByIDNotFound(t *testing.T) {
+	_, err := ByID("fig99")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ByID(fig99) err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestAllSortedAndStable(t *testing.T) {
+	all := All()
+	if !sort.SliceIsSorted(all, func(i, j int) bool {
+		oi, oj := order(all[i].ID), order(all[j].ID)
+		if oi != oj {
+			return oi < oj
+		}
+		return all[i].ID < all[j].ID
+	}) {
+		t.Fatal("All() not sorted in paper-then-ID order")
+	}
+	// Two calls must agree (map iteration order must not leak out).
+	again := All()
+	for i := range all {
+		if all[i].ID != again[i].ID {
+			t.Fatalf("All() order unstable at %d: %s vs %s", i, all[i].ID, again[i].ID)
+		}
+	}
+}

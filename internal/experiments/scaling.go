@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -29,7 +30,7 @@ type Fig12Result struct {
 // Fig12Scalability regenerates Fig 12: the decentralized sharding
 // schedulers on the 50-node Jetstream cluster, with Libra's harvesting
 // and timeliness-aware scheduling enabled.
-func Fig12Scalability(o Options) Renderer {
+func Fig12Scalability(ctx context.Context, o Options) (Renderer, error) {
 	o.defaults()
 	nodesSweep := []int{10, 20, 30, 40, 50}
 	schedSweep := []int{1, 2, 4}
@@ -43,47 +44,61 @@ func Fig12Scalability(o Options) Renderer {
 	if o.Quick {
 		strongN = 300
 	}
+	// The three sweeps flatten into one unit list: every (geometry,
+	// invocation-count) point is an independent single run at the base
+	// seed.
+	type point struct {
+		nodes, scheds, invs int
+		delay               bool // Fig 12c: record mean decision overhead
+	}
+	var pts []point
 	for _, nodes := range nodesSweep {
 		for _, k := range schedSweep {
-			cfg := platform.PresetLibra(platform.Jetstream(nodes, k), o.Seed)
-			r := runPlatform(cfg, trace.ConcurrentBurst(strongN, o.Seed))
-			res.Strong = append(res.Strong, ScalePoint{
-				Nodes: nodes, Schedulers: k, Invocations: strongN,
-				Completion: r.CompletionTime,
-			})
+			pts = append(pts, point{nodes, k, strongN, false})
 		}
 	}
+	weakStart := len(pts)
 	for _, nodes := range nodesSweep {
 		for _, k := range schedSweep {
-			n := 20 * nodes
-			cfg := platform.PresetLibra(platform.Jetstream(nodes, k), o.Seed)
-			r := runPlatform(cfg, trace.ConcurrentBurst(n, o.Seed))
-			res.Weak = append(res.Weak, ScalePoint{
-				Nodes: nodes, Schedulers: k, Invocations: n,
-				Completion: r.CompletionTime,
-			})
+			pts = append(pts, point{nodes, k, 20 * nodes, false})
 		}
 	}
+	delayStart := len(pts)
 	invSweep := []int{200, 400, 600, 800, 1000}
 	if o.Quick {
 		invSweep = []int{200, 1000}
 	}
 	for _, n := range invSweep {
-		cfg := platform.PresetLibra(platform.Jetstream(50, 4), o.Seed)
-		r := runPlatform(cfg, trace.ConcurrentBurst(n, o.Seed))
-		var mean float64
-		for _, d := range r.SchedOverheads {
-			mean += d
-		}
-		if len(r.SchedOverheads) > 0 {
-			mean /= float64(len(r.SchedOverheads))
-		}
-		res.Delay = append(res.Delay, ScalePoint{
-			Nodes: 50, Schedulers: 4, Invocations: n,
-			Completion: r.CompletionTime, SchedDelay: mean,
-		})
+		pts = append(pts, point{50, 4, n, true})
 	}
-	return res
+
+	scaled, err := fanOut(ctx, o, len(pts), func(i int) ScalePoint {
+		pt := pts[i]
+		cfg := platform.PresetLibra(platform.Jetstream(pt.nodes, pt.scheds), o.Seed)
+		r := runPlatform(cfg, trace.ConcurrentBurst(pt.invs, o.Seed))
+		sp := ScalePoint{
+			Nodes: pt.nodes, Schedulers: pt.scheds, Invocations: pt.invs,
+			Completion: r.CompletionTime,
+		}
+		if pt.delay {
+			var mean float64
+			for _, d := range r.SchedOverheads {
+				mean += d
+			}
+			if len(r.SchedOverheads) > 0 {
+				mean /= float64(len(r.SchedOverheads))
+			}
+			sp.SchedDelay = mean
+		}
+		return sp
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Strong = scaled[:weakStart]
+	res.Weak = scaled[weakStart:delayStart]
+	res.Delay = scaled[delayStart:]
+	return res, nil
 }
 
 // Render implements Renderer.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -35,70 +36,88 @@ type SchedResult struct {
 	Algos []string
 }
 
-func schedulingSweep(o Options) *SchedResult {
+func schedulingSweep(ctx context.Context, o Options) (*SchedResult, error) {
 	o.defaults()
 	rpms := trace.MultiRPMs
 	if o.Quick {
 		rpms = []float64{30, 120, 300}
 	}
 	res := &SchedResult{RPMs: rpms, Algos: scheduler.Names()}
+	var cells []cell
 	for _, algo := range res.Algos {
 		for i, rpm := range rpms {
-			rpm := rpm
-			cfg := platform.WithAlgorithm(platform.PresetLibra(platform.MultiNode(), o.Seed), algo)
-			var cell SchedCell
-			cell.Algorithm = algo
-			cell.RPM = rpm
-			mk := func(seed int64) trace.Set {
-				return trace.MultiSet(rpm, seed+int64(i)*7919)
-			}
-			var lats []float64
-			repeatedRun(cfg, mk, o.Seed, o.Reps, func(r *platform.Result) {
-				lats = append(lats, r.Latencies()...)
-				cell.Completion += r.CompletionTime
-				cell.CPUIdle += r.CPUIdleIntegral / 1000 // millicore-s → core-s
-				cell.MemIdle += r.MemIdleIntegral
-				cell.AvgCPUUtil += r.AvgCPUUtil
-				cell.AvgMemUtil += r.AvgMemUtil
-				if r.PeakCPUUtil > cell.PeakCPUUtil {
-					cell.PeakCPUUtil = r.PeakCPUUtil
-				}
-				if r.PeakMemUtil > cell.PeakMemUtil {
-					cell.PeakMemUtil = r.PeakMemUtil
-				}
+			i, rpm := i, rpm
+			cells = append(cells, cell{
+				cfg: platform.WithAlgorithm(platform.PresetLibra(platform.MultiNode(), o.Seed), algo),
+				mkSet: func(seed int64) trace.Set {
+					return trace.MultiSet(rpm, seed+int64(i)*7919)
+				},
 			})
-			n := float64(o.Reps)
-			cell.P99Latency = metrics.Summarize(lats).P99
-			cell.Completion /= n
-			cell.CPUIdle /= n
-			cell.MemIdle /= n
-			cell.AvgCPUUtil /= n
-			cell.AvgMemUtil /= n
-			res.Cells = append(res.Cells, cell)
 		}
 	}
-	return res
+	results, err := sweepResults(ctx, o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for ci, reps := range results {
+		var c SchedCell
+		c.Algorithm = res.Algos[ci/len(rpms)]
+		c.RPM = rpms[ci%len(rpms)]
+		var lats []float64
+		for _, r := range reps {
+			lats = append(lats, r.Latencies()...)
+			c.Completion += r.CompletionTime
+			c.CPUIdle += r.CPUIdleIntegral / 1000 // millicore-s → core-s
+			c.MemIdle += r.MemIdleIntegral
+			c.AvgCPUUtil += r.AvgCPUUtil
+			c.AvgMemUtil += r.AvgMemUtil
+			if r.PeakCPUUtil > c.PeakCPUUtil {
+				c.PeakCPUUtil = r.PeakCPUUtil
+			}
+			if r.PeakMemUtil > c.PeakMemUtil {
+				c.PeakMemUtil = r.PeakMemUtil
+			}
+		}
+		n := float64(o.Reps)
+		c.P99Latency = metrics.Summarize(lats).P99
+		c.Completion /= n
+		c.CPUIdle /= n
+		c.MemIdle /= n
+		c.AvgCPUUtil /= n
+		c.AvgMemUtil /= n
+		res.Cells = append(res.Cells, c)
+	}
+	return res, nil
 }
 
 // Fig9SchedulingP99 regenerates Fig 9: P99 end-to-end latency of the five
 // algorithms across the RPM sweep.
-func Fig9SchedulingP99(o Options) Renderer {
-	r := schedulingSweep(o)
-	return &fig9View{r}
+func Fig9SchedulingP99(ctx context.Context, o Options) (Renderer, error) {
+	r, err := schedulingSweep(ctx, o)
+	if err != nil {
+		return nil, err
+	}
+	return &fig9View{r}, nil
 }
 
 // Fig10IdleTime regenerates Fig 10: workload completion time and the idle
 // (core×sec / MB×sec) products of harvested resources.
-func Fig10IdleTime(o Options) Renderer {
-	r := schedulingSweep(o)
-	return &fig10View{r}
+func Fig10IdleTime(ctx context.Context, o Options) (Renderer, error) {
+	r, err := schedulingSweep(ctx, o)
+	if err != nil {
+		return nil, err
+	}
+	return &fig10View{r}, nil
 }
 
 // Fig11AvgPeakUtil regenerates Fig 11: average and peak CPU/memory
 // utilization of the five algorithms.
-func Fig11AvgPeakUtil(o Options) Renderer {
-	r := schedulingSweep(o)
-	return &fig11View{r}
+func Fig11AvgPeakUtil(ctx context.Context, o Options) (Renderer, error) {
+	r, err := schedulingSweep(ctx, o)
+	if err != nil {
+		return nil, err
+	}
+	return &fig11View{r}, nil
 }
 
 type fig9View struct{ *SchedResult }

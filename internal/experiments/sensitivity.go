@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -24,30 +25,38 @@ type Fig14Result struct{ Points []Fig14Point }
 
 // Fig14SafeguardSensitivity regenerates Fig 14 on the single-node
 // cluster with the *single* trace set, sweeping the threshold 0.1 → 1.0.
-func Fig14SafeguardSensitivity(o Options) Renderer {
+func Fig14SafeguardSensitivity(ctx context.Context, o Options) (Renderer, error) {
 	o.defaults()
 	ths := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 	if o.Quick {
 		ths = []float64{0.2, 0.5, 0.8, 1.0}
 	}
-	res := &Fig14Result{}
+	var cells []cell
 	for _, th := range ths {
 		cfg := platform.PresetLibra(platform.SingleNode(), o.Seed)
 		cfg.Threshold = th
+		cells = append(cells, cell{cfg: cfg, mkSet: trace.SingleSet})
+	}
+	results, err := sweepResults(ctx, o, cells)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig14Result{}
+	for ci, reps := range results {
 		var lats []float64
 		var sg, total int
-		repeatedRun(cfg, trace.SingleSet, o.Seed, o.Reps, func(r *platform.Result) {
+		for _, r := range reps {
 			lats = append(lats, r.Latencies()...)
 			sg += r.Safeguarded
 			total += len(r.Records)
-		})
+		}
 		res.Points = append(res.Points, Fig14Point{
-			Threshold:        th,
+			Threshold:        ths[ci],
 			SafeguardedRatio: float64(sg) / float64(total),
 			P99Latency:       metrics.Summarize(lats).P99,
 		})
 	}
-	return res
+	return res, nil
 }
 
 // Render implements Renderer.
@@ -86,35 +95,43 @@ type Fig16Point struct {
 type Fig16Result struct{ Points []Fig16Point }
 
 // Fig16CoverageWeight regenerates Fig 16.
-func Fig16CoverageWeight(o Options) Renderer {
+func Fig16CoverageWeight(ctx context.Context, o Options) (Renderer, error) {
 	o.defaults()
 	weights := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 	if o.Quick {
 		weights = []float64{0.1, 0.5, 0.9}
 	}
-	res := &Fig16Result{}
+	mk := func(seed int64) trace.Set {
+		return trace.MultiSet(120, seed)
+	}
+	var cells []cell
 	for _, wgt := range weights {
 		cfg := platform.PresetLibra(platform.MultiNode(), o.Seed)
 		cfg.CoverageAlpha = wgt
-		mk := func(seed int64) trace.Set {
-			return trace.MultiSet(120, seed)
-		}
+		cells = append(cells, cell{cfg: cfg, mkSet: mk})
+	}
+	results, err := sweepResults(ctx, o, cells)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig16Result{}
+	for ci, reps := range results {
 		var lats []float64
 		var cpuIdle, memIdle float64
-		repeatedRun(cfg, mk, o.Seed, o.Reps, func(r *platform.Result) {
+		for _, r := range reps {
 			lats = append(lats, r.Latencies()...)
 			cpuIdle += r.CPUIdleIntegral / 1000
 			memIdle += r.MemIdleIntegral
-		})
+		}
 		n := float64(o.Reps)
 		res.Points = append(res.Points, Fig16Point{
-			Weight:     wgt,
+			Weight:     weights[ci],
 			CPUIdle:    cpuIdle / n,
 			MemIdle:    memIdle / n,
 			P99Latency: metrics.Summarize(lats).P99,
 		})
 	}
-	return res
+	return res, nil
 }
 
 // Render implements Renderer.

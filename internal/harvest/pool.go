@@ -62,6 +62,17 @@ const (
 	FIFO
 )
 
+// String names the lending order for logs and errors.
+func (o LendOrder) String() string {
+	switch o {
+	case LongestExpiryFirst:
+		return "LongestExpiryFirst"
+	case FIFO:
+		return "FIFO"
+	}
+	return fmt.Sprintf("LendOrder(%d)", int(o))
+}
+
 // Pool is a harvest resource pool for a single resource type.
 type Pool struct {
 	// Order is the lending order; the zero value is the paper's

@@ -291,3 +291,15 @@ func BenchmarkPutGetRelease(b *testing.B) {
 		p.ReleaseSource(float64(i)+1, src)
 	}
 }
+
+func TestLendOrderString(t *testing.T) {
+	for order, want := range map[LendOrder]string{
+		LongestExpiryFirst: "LongestExpiryFirst",
+		FIFO:               "FIFO",
+		LendOrder(7):       "LendOrder(7)",
+	} {
+		if got := order.String(); got != want {
+			t.Errorf("LendOrder(%d).String() = %q, want %q", int(order), got, want)
+		}
+	}
+}

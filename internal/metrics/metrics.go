@@ -25,14 +25,13 @@ func Speedup(tUser, tLibra float64) float64 {
 
 // Summary holds order statistics of a sample.
 type Summary struct {
-	Count          int
-	Mean           float64
-	Min, Max       float64
-	P50, P95, P99  float64
-	P01            float64
-	Sum            float64
-	StdDev         float64
-	negativeCached bool
+	Count         int
+	Mean          float64
+	Min, Max      float64
+	P50, P95, P99 float64
+	P01           float64
+	Sum           float64
+	StdDev        float64
 }
 
 // Summarize computes a Summary. An empty input yields the zero Summary.

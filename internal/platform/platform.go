@@ -9,6 +9,7 @@ package platform
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"libra/internal/cluster"
 	"libra/internal/freyr"
@@ -36,6 +37,21 @@ const (
 	// EstFreyr is the Freyr-analogue history estimator.
 	EstFreyr
 )
+
+// String names the estimator kind for logs and errors.
+func (k EstimatorKind) String() string {
+	switch k {
+	case EstNone:
+		return "None"
+	case EstProfiler:
+		return "Profiler"
+	case EstWindow:
+		return "Window"
+	case EstFreyr:
+		return "Freyr"
+	}
+	return fmt.Sprintf("EstimatorKind(%d)", int(k))
+}
 
 // Overhead constants in virtual seconds. The front-end and pool-operation
 // costs are from the latency breakdown discussion (§8.9: Libra components
@@ -107,6 +123,26 @@ type Config struct {
 	// SampleInterval for utilization tracking (default 1s).
 	SampleInterval float64
 	Seed           int64
+}
+
+// Validate reports why the config cannot build a platform: it rejects a
+// non-positive node count, a zero per-node capacity, and an algorithm
+// name outside scheduler.Names(). An empty Algorithm is valid — the
+// constructor defaults it to "Libra".
+func (c *Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("platform: config %q needs Nodes > 0 (got %d)", c.Name, c.Nodes)
+	}
+	if c.NodeCap.IsZero() {
+		return fmt.Errorf("platform: config %q needs a non-zero NodeCap", c.Name)
+	}
+	if c.Algorithm != "" {
+		if _, ok := scheduler.ByName(c.Algorithm); !ok {
+			return fmt.Errorf("platform: config %q names unknown algorithm %q (known: %s)",
+				c.Name, c.Algorithm, strings.Join(scheduler.Names(), ", "))
+		}
+	}
+	return nil
 }
 
 func (c *Config) defaults() {
@@ -227,15 +263,13 @@ type queued struct {
 	shard *scheduler.Shard
 }
 
-// New builds a platform from cfg.
-func New(cfg Config) *Platform {
+// New builds a platform from cfg, or reports why the config is invalid
+// (see Config.Validate).
+func New(cfg Config) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.defaults()
-	if cfg.Nodes <= 0 || cfg.NodeCap.IsZero() {
-		panic("platform: Nodes and NodeCap are required")
-	}
-	if _, ok := scheduler.ByName(cfg.Algorithm); !ok {
-		panic(fmt.Sprintf("platform: unknown algorithm %q", cfg.Algorithm))
-	}
 	p := &Platform{
 		cfg:      cfg,
 		eng:      sim.NewEngine(),
@@ -278,6 +312,16 @@ func New(cfg Config) *Platform {
 		p.est = profiler.NewWindowEstimator(5)
 	case EstFreyr:
 		p.est = freyr.New()
+	}
+	return p, nil
+}
+
+// MustNew builds a platform from cfg and panics on an invalid config —
+// for the presets and tests, whose configs are correct by construction.
+func MustNew(cfg Config) *Platform {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return p
 }

@@ -11,7 +11,7 @@ import (
 
 func runPreset(t *testing.T, cfg Config, set trace.Set) *Result {
 	t.Helper()
-	p := New(cfg)
+	p := MustNew(cfg)
 	r := p.Run(set)
 	if len(r.Records) != len(set.Invocations) {
 		t.Fatalf("%s: %d records for %d invocations", cfg.Name, len(r.Records), len(set.Invocations))
@@ -118,7 +118,7 @@ func TestWarmupServedDuringHistogramWindow(t *testing.T) {
 
 func TestShardReservationAccountingBalances(t *testing.T) {
 	set := trace.SingleSet(6)
-	p := New(PresetLibra(MultiNode(), 6))
+	p := MustNew(PresetLibra(MultiNode(), 6))
 	r := p.Run(set)
 	_ = r
 	for _, s := range p.shards {
@@ -202,23 +202,54 @@ func TestMoreShardsReduceBurstCompletion(t *testing.T) {
 }
 
 func TestNewValidatesConfig(t *testing.T) {
-	for _, cfg := range []Config{
+	bad := []Config{
 		{},
+		{Nodes: -1, NodeCap: MultiNodeCap},
+		{Nodes: 1},
 		{Nodes: 1, NodeCap: MultiNodeCap, Algorithm: "bogus"},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", cfg)
+		}
+		if p, err := New(cfg); err == nil || p != nil {
+			t.Errorf("New(%+v) = (%v, %v), want error", cfg, p, err)
+		}
+	}
+	good := Config{Nodes: 1, NodeCap: MultiNodeCap}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate(%+v) = %v, want nil (empty Algorithm defaults)", good, err)
+	}
+	if _, err := New(good); err != nil {
+		t.Fatalf("New(%+v) = %v, want ok", good, err)
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(Config{}) did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestEstimatorKindString(t *testing.T) {
+	for kind, want := range map[EstimatorKind]string{
+		EstNone:           "None",
+		EstProfiler:       "Profiler",
+		EstWindow:         "Window",
+		EstFreyr:          "Freyr",
+		EstimatorKind(42): "EstimatorKind(42)",
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("New(%+v) did not panic", cfg)
-				}
-			}()
-			New(cfg)
-		}()
+		if got := kind.String(); got != want {
+			t.Errorf("EstimatorKind(%d).String() = %q, want %q", int(kind), got, want)
+		}
 	}
 }
 
 func TestEmptyTrace(t *testing.T) {
-	p := New(PresetLibra(SingleNode(), 12))
+	p := MustNew(PresetLibra(SingleNode(), 12))
 	r := p.Run(trace.Set{Name: "empty"})
 	if len(r.Records) != 0 || r.CompletionTime != 0 {
 		t.Fatalf("empty trace produced %+v", r)
