@@ -57,6 +57,33 @@ type Invocation struct {
 	// Reassignment integrals for Fig 8: ∫(alloc − user) dt per axis.
 	CPUReassignSec float64 // core-seconds (may be negative)
 	MemReassignSec float64 // MB-seconds (may be negative)
+
+	// Fault-injection bookkeeping (zero when no fault layer is active).
+	Failures  int     // times this invocation was aborted (node crash or OOM kill)
+	FirstFail float64 // virtual time of the first abort (meaningful when Failures > 0)
+	Straggler bool    // execution duration was inflated by fault injection
+}
+
+// FailureKind classifies why an in-flight invocation was aborted.
+type FailureKind int
+
+const (
+	// FailCrash: the invocation's node died with it in flight.
+	FailCrash FailureKind = iota
+	// FailOOM: the invocation's true memory demand overran its reduced
+	// allocation while the harvested remainder was out on loan.
+	FailOOM
+)
+
+// String names the failure kind for reports.
+func (k FailureKind) String() string {
+	switch k {
+	case FailCrash:
+		return "crash"
+	case FailOOM:
+		return "oom"
+	}
+	return fmt.Sprintf("FailureKind(%d)", int(k))
 }
 
 // ResponseLatency is the end-to-end response time (§8.1).
@@ -96,6 +123,11 @@ type StartOptions struct {
 	// MonitorWindow is the safeguard's monitor window in seconds
 	// (default 0.1, §5.2).
 	MonitorWindow float64
+	// OOMDelay, when positive, arms the OOM-kill fault model: that many
+	// seconds after code start, if the invocation's true memory peak
+	// overruns its current allocation while memory harvested from it is
+	// out on loan, the kernel kills it (OnFailure fires with FailOOM).
+	OOMDelay float64
 }
 
 // exec is the runtime state of one invocation on a node.
@@ -113,8 +145,10 @@ type exec struct {
 	remaining  float64 // work left, in rate-1 seconds
 	rate       float64
 	lastUpdate float64
+	initEv     *sim.Event // pending container-init completion
 	doneEv     *sim.Event
 	sgEv       *sim.Event
+	oomEv      *sim.Event
 	started    bool // code execution began (past cold start)
 }
 
@@ -143,8 +177,15 @@ type Node struct {
 	coldStarts    int
 	completions   int
 
+	down bool // crashed and not yet repaired
+
 	// OnComplete, if set, is called when an invocation finishes.
 	OnComplete func(*Invocation)
+	// OnFailure, if set, is called when an in-flight invocation is
+	// aborted by a fault (OOM kill; node crashes report their aborted
+	// invocations through Crash's return value instead, so the caller
+	// controls the recovery order).
+	OnFailure func(*Invocation, FailureKind)
 }
 
 // DefaultWarmTTL is how long an idle warm container is kept before
@@ -218,9 +259,16 @@ func (n *Node) pruneWarm(app string) {
 }
 
 // CanAdmit reports whether a user reservation fits in the free capacity.
+// A crashed node admits nothing until it recovers.
 func (n *Node) CanAdmit(user resources.Vector) bool {
+	if n.down {
+		return false
+	}
 	return n.committed.Add(user).Fits(n.cap)
 }
+
+// Down reports whether the node is crashed and awaiting repair.
+func (n *Node) Down() bool { return n.down }
 
 // UsageNow returns the resources invocations are actually keeping busy.
 func (n *Node) UsageNow() resources.Vector {
@@ -272,6 +320,9 @@ func (n *Node) UsageIntegrals() (usageCPU, usageMem, allocCPU, allocMem float64)
 // completion. It panics if the reservation does not fit — the scheduler
 // must have checked CanAdmit.
 func (n *Node) Start(inv *Invocation, opts StartOptions) {
+	if n.down {
+		panic(fmt.Sprintf("cluster: node %d is down; scheduler placed invocation %d on it", n.id, inv.ID))
+	}
 	reserve := inv.Reservation()
 	if !n.CanAdmit(reserve) {
 		panic(fmt.Sprintf("cluster: node %d over-committed for invocation %d", n.id, inv.ID))
@@ -324,7 +375,7 @@ func (n *Node) Start(inv *Invocation, opts StartOptions) {
 		inv.Harvested = true
 	}
 
-	n.eng.Schedule(delay, func() { n.beginExecution(e, opts) })
+	e.initEv = n.eng.Schedule(delay, func() { n.beginExecution(e, opts) })
 	n.replenish()
 }
 
@@ -376,6 +427,7 @@ func (n *Node) replenish() {
 func (n *Node) beginExecution(e *exec, opts StartOptions) {
 	now := n.eng.Now()
 	n.accumulate() // close the cold-start interval before usage changes
+	e.initEv = nil
 	e.inv.ExecStart = now
 	e.started = true
 
@@ -420,6 +472,37 @@ func (n *Node) beginExecution(e *exec, opts StartOptions) {
 			win = 0.1
 		}
 		e.sgEv = n.eng.Schedule(win, func() { n.safeguardCheck(e, opts.SafeguardThreshold) })
+	}
+
+	// OOM-kill fault model: the invocation reaches its memory peak
+	// OOMDelay after code start. If the peak overruns the allocation and
+	// the harvested remainder is on loan, the units cannot come back in
+	// time and the kernel kills the container (the hazard §5.1's retreat
+	// and §5.2's safeguard exist to mitigate — the safeguard restores the
+	// allocation at the monitor window, disarming this check).
+	if opts.OOMDelay > 0 && e.own.Mem < e.inv.UserAlloc.Mem {
+		e.oomEv = n.eng.Schedule(opts.OOMDelay, func() { n.oomCheck(e) })
+	}
+}
+
+// oomCheck fires at the invocation's memory-peak instant when the OOM
+// fault model is armed.
+func (n *Node) oomCheck(e *exec) {
+	if _, ok := n.running[e.inv.ID]; !ok {
+		return // already completed or aborted
+	}
+	if e.inv.Actual.MemPeak <= e.alloc().Mem {
+		return // allocation covers the peak (safeguard restored, or never overran)
+	}
+	if n.MemPool.LentBy(e.inv.ID) == 0 {
+		// Pooled units were never lent (or were already revoked): the node
+		// returns them instantly, so no kill — the slow-progress penalty of
+		// function.Rate models the pressure instead.
+		return
+	}
+	n.abort(e)
+	if n.OnFailure != nil {
+		n.OnFailure(e.inv, FailOOM)
 	}
 }
 
@@ -605,6 +688,9 @@ func (n *Node) complete(e *exec) {
 	if e.sgEv != nil {
 		n.eng.Cancel(e.sgEv)
 	}
+	if e.oomEv != nil {
+		n.eng.Cancel(e.oomEv)
+	}
 	e.inv.End = now
 	delete(n.running, e.inv.ID)
 	n.committed = n.committed.Sub(e.inv.Reservation())
@@ -648,4 +734,101 @@ func (n *Node) complete(e *exec) {
 	if n.OnComplete != nil {
 		n.OnComplete(e.inv)
 	}
+}
+
+// cancelEvents disarms every pending event of an exec so an aborted
+// invocation cannot fire a stale completion, safeguard or OOM check.
+func (n *Node) cancelEvents(e *exec) {
+	for _, ev := range []*sim.Event{e.initEv, e.doneEv, e.sgEv, e.oomEv} {
+		if ev != nil {
+			n.eng.Cancel(ev)
+		}
+	}
+	e.initEv, e.doneEv, e.sgEv, e.oomEv = nil, nil, nil, nil
+}
+
+// abort removes one failed in-flight invocation from a live node: its
+// events are disarmed, its reservation and bonus return, everything
+// harvested from it is preemptively released (stripping borrowers in
+// realtime), and everything it borrowed re-enters the pool. The container
+// is destroyed, not parked warm — a retry pays a fresh cold start.
+func (n *Node) abort(e *exec) {
+	now := n.eng.Now()
+	n.accumulate()
+	e.progress(now)
+	n.cancelEvents(e)
+	delete(n.running, e.inv.ID)
+	n.committed = n.committed.Sub(e.inv.Reservation())
+	if !e.bonus.IsZero() {
+		n.bonusOut = n.bonusOut.Sub(e.bonus)
+		e.bonus = resources.Vector{}
+	}
+	if !n.committed.Nonnegative() {
+		panic(fmt.Sprintf("cluster: node %d committed went negative on abort", n.id))
+	}
+
+	_, revokedCPU := n.CPUPool.ReleaseSource(now, e.inv.ID)
+	_, revokedMem := n.MemPool.ReleaseSource(now, e.inv.ID)
+	for _, l := range revokedCPU {
+		n.stripLoan(l, true)
+	}
+	for _, l := range revokedMem {
+		n.stripLoan(l, false)
+	}
+	for _, l := range e.cpuLoans {
+		n.CPUPool.Reharvest(now, l)
+	}
+	for _, l := range e.memLoans {
+		n.MemPool.Reharvest(now, l)
+	}
+
+	e.inv.Failures++
+	if e.inv.Failures == 1 {
+		e.inv.FirstFail = now
+	}
+	n.replenish()
+}
+
+// Crash kills the node: every in-flight invocation aborts, the warm
+// container pool is lost, and both harvest pools reconcile — all tracking
+// objects and loans die with their owners. The node admits nothing until
+// Recover. Aborted invocations are returned in ascending-ID order so the
+// platform's recovery path replays deterministically; the caller decides
+// how (and whether) to retry them.
+func (n *Node) Crash() []*Invocation {
+	if n.down {
+		return nil
+	}
+	now := n.eng.Now()
+	n.accumulate()
+	n.down = true
+
+	aborted := make([]*Invocation, 0, len(n.running))
+	for _, e := range n.running {
+		n.cancelEvents(e)
+		e.inv.Failures++
+		if e.inv.Failures == 1 {
+			e.inv.FirstFail = now
+		}
+		aborted = append(aborted, e.inv)
+	}
+	sort.Slice(aborted, func(i, j int) bool { return aborted[i].ID < aborted[j].ID })
+
+	n.running = make(map[harvest.ID]*exec)
+	n.warm = make(map[string][]float64)
+	n.committed = resources.Vector{}
+	n.bonusOut = resources.Vector{}
+	n.CPUPool.ReleaseAll(now)
+	n.MemPool.ReleaseAll(now)
+	return aborted
+}
+
+// Recover repairs a crashed node: it comes back empty — cold container
+// cache, empty harvest pools, zero commitments — and admits again.
+func (n *Node) Recover() {
+	if !n.down {
+		return
+	}
+	n.accumulate() // close the zero-usage downtime interval
+	n.down = false
 }

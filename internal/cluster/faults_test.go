@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"testing"
+
+	"libra/internal/resources"
+	"libra/internal/sim"
+)
+
+// A node crash aborts every in-flight execution, drops the warm pool,
+// zeroes commitments, and reconciles both harvest pools — no stale
+// completion may fire afterwards.
+func TestCrashAbortsInFlightAndReconcilesPools(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH")
+	vp := testApp(t, "VP")
+
+	src := mkInv(1, dh, resources.Cores(1), 128, 20)
+	n.Start(src, StartOptions{
+		OwnAlloc:      resources.Vector{CPU: resources.Cores(1), Mem: 256},
+		HarvestExpiry: 25,
+	})
+	borrower := mkInv(2, vp, resources.Cores(8), 512, 10)
+	n.Start(borrower, StartOptions{
+		OwnAlloc:  borrower.UserAlloc,
+		ExtraWant: resources.Vector{CPU: resources.Cores(4)},
+	})
+	var completed []int64
+	n.OnComplete = func(i *Invocation) { completed = append(completed, int64(i.ID)) }
+
+	eng.RunUntil(2) // both executing, loan outstanding
+	if n.CPUPool.OutstandingLoans() == 0 {
+		t.Fatal("test setup: no loan outstanding before crash")
+	}
+
+	aborted := n.Crash()
+	if len(aborted) != 2 || aborted[0].ID != 1 || aborted[1].ID != 2 {
+		t.Fatalf("Crash returned %v, want invocations [1 2]", aborted)
+	}
+	if !n.Down() {
+		t.Fatal("node not down after Crash")
+	}
+	if n.CanAdmit(resources.Vector{CPU: 100, Mem: 64}) {
+		t.Fatal("down node still admits")
+	}
+	if n.Running() != 0 || !n.Committed().IsZero() {
+		t.Fatalf("running=%d committed=%v after crash", n.Running(), n.Committed())
+	}
+	if got := n.CPUPool.OutstandingLoans() + n.MemPool.OutstandingLoans(); got != 0 {
+		t.Fatalf("outstanding loans after crash: %d, want 0 (reconciled)", got)
+	}
+	if n.CPUPool.Available(eng.Now()) != 0 || n.MemPool.Available(eng.Now()) != 0 {
+		t.Fatal("pooled units survived the crash")
+	}
+	for _, inv := range aborted {
+		if inv.Failures != 1 || inv.FirstFail != eng.Now() {
+			t.Fatalf("invocation %d failure bookkeeping: %+v", inv.ID, inv)
+		}
+	}
+
+	eng.Run() // must drain without firing stale completions
+	if len(completed) != 0 {
+		t.Fatalf("stale completions fired after crash: %v", completed)
+	}
+	if aborted[0].End != 0 {
+		t.Fatal("aborted invocation got an End timestamp")
+	}
+}
+
+// Crashing twice is a no-op, and recovery brings the node back empty:
+// admitting again, but with a cold container cache.
+func TestCrashRecoverLifecycle(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH")
+
+	first := mkInv(1, dh, resources.Cores(2), 256, 1)
+	n.Start(first, StartOptions{OwnAlloc: first.UserAlloc})
+	eng.Run() // completes, container parked warm
+	if n.WarmContainers("DH") != 1 {
+		t.Fatal("test setup: no warm container")
+	}
+
+	if got := n.Crash(); len(got) != 0 {
+		t.Fatalf("idle-node crash aborted %v", got)
+	}
+	if got := n.Crash(); got != nil {
+		t.Fatal("second Crash on a down node should be a no-op")
+	}
+	n.Recover()
+	if n.Down() {
+		t.Fatal("node still down after Recover")
+	}
+	n.Recover() // idempotent
+
+	if n.WarmContainers("DH") != 0 {
+		t.Fatal("warm container survived the crash")
+	}
+	second := mkInv(2, dh, resources.Cores(2), 256, 1)
+	n.Start(second, StartOptions{OwnAlloc: second.UserAlloc})
+	eng.Run()
+	if !second.ColdStart {
+		t.Fatal("post-recovery start should be cold")
+	}
+	if second.End == 0 {
+		t.Fatal("post-recovery invocation never completed")
+	}
+}
+
+// The OOM fault model: a source whose memory peak overruns its reduced
+// allocation while the harvested remainder is on loan is killed; the
+// borrower is stripped, the source's borrowed/pooled state reconciles.
+func TestOOMKillWhenHarvestedMemoryOnLoan(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH") // user 6 cores / 768 MB
+	vp := testApp(t, "VP")
+
+	// True peak 700 MB, but only 256 MB own allocation: 512 MB harvested.
+	src := mkInv(1, dh, resources.Cores(1), 700, 20)
+	var failed *Invocation
+	var kind FailureKind
+	n.OnFailure = func(i *Invocation, k FailureKind) { failed, kind = i, k }
+	n.Start(src, StartOptions{
+		OwnAlloc:      resources.Vector{CPU: resources.Cores(1), Mem: 256},
+		HarvestExpiry: 60,
+		OOMDelay:      3,
+	})
+	borrower := mkInv(2, vp, resources.Cores(4), 1024, 10)
+	n.Start(borrower, StartOptions{
+		OwnAlloc:  borrower.UserAlloc,
+		ExtraWant: resources.Vector{Mem: 512},
+	})
+
+	eng.RunUntil(2)
+	if n.MemPool.LentBy(1) == 0 {
+		t.Fatal("test setup: harvested memory not on loan before OOM point")
+	}
+	eng.Run()
+
+	if failed == nil || failed.ID != 1 || kind != FailOOM {
+		t.Fatalf("OOM kill not reported: failed=%v kind=%v", failed, kind)
+	}
+	if src.Failures != 1 || src.FirstFail <= 0 {
+		t.Fatalf("failure bookkeeping: %+v", src)
+	}
+	if borrower.End == 0 {
+		t.Fatal("borrower should survive the source's OOM kill")
+	}
+	if n.Running() != 0 || !n.Committed().IsZero() {
+		t.Fatalf("running=%d committed=%v after drain", n.Running(), n.Committed())
+	}
+	if got := n.MemPool.OutstandingLoans(); got != 0 {
+		t.Fatalf("loans leaked after OOM kill: %d", got)
+	}
+	if n.Completions() != 1 {
+		t.Fatalf("completions = %d, want 1 (borrower only)", n.Completions())
+	}
+}
+
+// Without a borrower the pooled units come back instantly, so an
+// overrunning source is not killed.
+func TestOOMNoKillWhenUnitsNotLent(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH")
+	src := mkInv(1, dh, resources.Cores(1), 700, 5)
+	var failed *Invocation
+	n.OnFailure = func(i *Invocation, _ FailureKind) { failed = i }
+	n.Start(src, StartOptions{
+		OwnAlloc:      resources.Vector{CPU: resources.Cores(1), Mem: 256},
+		HarvestExpiry: 60,
+		OOMDelay:      1,
+	})
+	eng.Run()
+	if failed != nil {
+		t.Fatalf("invocation %d killed although its units were never lent", failed.ID)
+	}
+	if src.End == 0 {
+		t.Fatal("source never completed")
+	}
+}
+
+// The safeguard daemon disarms the OOM hazard: its monitor-window check
+// fires before the memory peak, restores the full allocation (revoking
+// the loan), and the later OOM check finds nothing to kill.
+func TestSafeguardDisarmsOOMKill(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH")
+	vp := testApp(t, "VP")
+
+	src := mkInv(1, dh, resources.Cores(1), 700, 20)
+	var failed *Invocation
+	n.OnFailure = func(i *Invocation, _ FailureKind) { failed = i }
+	n.Start(src, StartOptions{
+		OwnAlloc:           resources.Vector{CPU: resources.Cores(1), Mem: 256},
+		HarvestExpiry:      60,
+		SafeguardThreshold: 0.8,
+		MonitorWindow:      0.1,
+		OOMDelay:           3,
+	})
+	borrower := mkInv(2, vp, resources.Cores(4), 1024, 10)
+	n.Start(borrower, StartOptions{
+		OwnAlloc:  borrower.UserAlloc,
+		ExtraWant: resources.Vector{Mem: 512},
+	})
+	eng.Run()
+
+	if failed != nil {
+		t.Fatalf("invocation %d OOM-killed despite safeguard", failed.ID)
+	}
+	if !src.Safeguard {
+		t.Fatal("safeguard should have fired for the overrunning source")
+	}
+	if src.End == 0 || borrower.End == 0 {
+		t.Fatal("both invocations should complete")
+	}
+}

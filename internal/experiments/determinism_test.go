@@ -39,7 +39,7 @@ func TestDeterministicRendering(t *testing.T) {
 // byte-identical to the serial path. Each unit derives its own seed from
 // its index, so completion order cannot leak into the merge.
 func TestParallelMatchesSerial(t *testing.T) {
-	for _, id := range []string{"fig6", "fig9", "fig12", "table2"} {
+	for _, id := range []string{"fig6", "fig9", "fig12", "table2", "figf1"} {
 		serial := renderWith(t, id, Options{Seed: 7, Quick: true, Parallel: 1})
 		parallel := renderWith(t, id, Options{Seed: 7, Quick: true, Parallel: 4})
 		if !bytes.Equal(serial, parallel) {

@@ -36,6 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "table2", "fig13", "fig14", "fig15", "fig16", "overheads",
+		"figf1", // beyond the paper: fault tolerance (sorts after paper order)
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fault-tolerance sweep's qualitative shape at the fixed quick seed:
+// crashes fire and recover, the safeguard keeps Libra's OOM column at
+// zero while the unsafeguarded Freyr is exposed, and the recovery
+// invariants hold in every cell.
+func TestFigF1Shapes(t *testing.T) {
+	r := mustRun(t, FigF1FaultTolerance).(*FigF1Result)
+	if len(r.MTBFs) != 2 || len(r.Cells) != 2*4 {
+		t.Fatalf("quick sweep has %d MTBFs × %d cells", len(r.MTBFs), len(r.Cells))
+	}
+	crashes := 0
+	for _, c := range r.Cells {
+		if c.LeakedLoans != 0 || c.CapacityViolations != 0 {
+			t.Errorf("%s @ MTBF %.0f: %d leaked loans, %d capacity violations",
+				c.Platform, c.CrashMTBF, c.LeakedLoans, c.CapacityViolations)
+		}
+		if c.Goodput <= 0 || c.Goodput > 1 {
+			t.Errorf("%s @ MTBF %.0f: goodput %.3f outside (0, 1]", c.Platform, c.CrashMTBF, c.Goodput)
+		}
+		if c.CrashMTBF == 0 && c.Faults.Crashes != 0 {
+			t.Errorf("%s: %d crashes with crash injection off", c.Platform, c.Faults.Crashes)
+		}
+		crashes += c.Faults.Crashes
+		if c.Platform == "Libra" && c.Faults.OOMKills != 0 {
+			t.Errorf("Libra @ MTBF %.0f: %d OOM kills despite safeguard", c.CrashMTBF, c.Faults.OOMKills)
+		}
+		if c.Faults.Failures() > 0 && c.Faults.Recovered > 0 && c.Faults.MTTR() <= 0 {
+			t.Errorf("%s @ MTBF %.0f: recoveries without MTTR", c.Platform, c.CrashMTBF)
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("no node crashes across the nonzero-MTBF cells")
+	}
+	freyrOOM := 0
+	for _, c := range r.Cells {
+		if c.Platform == "Freyr" {
+			freyrOOM += c.Faults.OOMKills
+		}
+	}
+	if freyrOOM == 0 {
+		t.Error("unsafeguarded Freyr saw no OOM kills — the hazard is not being injected")
+	}
+	out := render(t, r)
+	if !strings.Contains(out, "recovery invariants: 0 leaked loan units, 0 capacity violations") {
+		t.Fatalf("render missing the invariant line:\n%s", out)
+	}
+}

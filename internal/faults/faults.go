@@ -1,0 +1,301 @@
+// Package faults is the deterministic fault-injection layer of the
+// reproduction. Libra's headline claim is that harvesting idle resources
+// is *safe*; a failure-free simulation never exercises the machinery that
+// backs that claim (safeguard, OOM retreat, preemptive release, loan
+// reconciliation). This package turns failures into first-class,
+// seed-derived simulation inputs so every experiment can answer "what
+// happens to Libra vs Freyr vs Default when nodes die mid-harvest?"
+//
+// Three fault classes are modeled:
+//
+//   - node crashes: a worker disappears (power loss, kernel panic), taking
+//     its in-flight executions, warm containers and harvest pools with it,
+//     and recovers empty after a repair time;
+//   - invocation OOM kills: an invocation whose true memory demand
+//     overruns its reduced allocation while the harvested remainder is out
+//     on loan is killed by the kernel before the units can be returned —
+//     the exact hazard the safeguard and the §5.1 OOM retreat mitigate;
+//   - stragglers: a sampled fraction of executions run a multiple of their
+//     reference duration (contended disks, noisy neighbours), stressing
+//     the expiry estimates the harvest pool's priorities depend on.
+//
+// Determinism contract: every fault is a pure function of (Config, seed).
+// Node crash schedules consume a dedicated per-node RNG stream; the
+// per-invocation straggler and OOM draws hash (seed, invocation ID), so
+// they are independent of event interleaving. Experiments derive the seed
+// from the per-unit seeds of the parallel runner, which keeps parallel and
+// serial runs byte-identical.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"libra/internal/sim"
+)
+
+// Defaults applied by Config.withDefaults when fields are zero.
+const (
+	// DefaultMTTR is the mean node repair time in virtual seconds.
+	DefaultMTTR = 30.0
+	// DefaultStragglerFactor multiplies a straggler's reference duration.
+	DefaultStragglerFactor = 4.0
+	// DefaultMaxRetries bounds per-invocation recovery attempts.
+	DefaultMaxRetries = 3
+	// DefaultBackoffBase is the first retry delay in virtual seconds.
+	DefaultBackoffBase = 1.0
+	// DefaultBackoffCap caps the exponential retry delay.
+	DefaultBackoffCap = 30.0
+)
+
+// Config describes a fault schedule. The zero value disables every fault:
+// a platform built with it behaves — byte for byte — like one built
+// before this package existed.
+type Config struct {
+	// CrashMTBF is the per-node mean time between crashes in virtual
+	// seconds (exponential inter-crash times). 0 disables node crashes;
+	// negative is invalid.
+	CrashMTBF float64
+	// MTTR is the mean node repair time in virtual seconds (exponential).
+	// 0 selects DefaultMTTR; it must be positive once crashes are enabled.
+	MTTR float64
+	// OOMKill enables invocation-level OOM kills: an execution whose true
+	// memory peak overruns its allocation while memory harvested from it
+	// is on loan is killed when the peak is reached.
+	OOMKill bool
+	// StragglerFraction is the probability in [0, 1] that an invocation's
+	// execution is a straggler.
+	StragglerFraction float64
+	// StragglerFactor multiplies a straggler's reference duration; 0
+	// selects DefaultStragglerFactor. Values below 1 are invalid (a
+	// "straggler" that speeds up is a config bug, not a fault).
+	StragglerFactor float64
+	// MaxRetries is how many times a failed invocation re-enters the
+	// scheduler before it is abandoned. 0 selects DefaultMaxRetries;
+	// negative disables retries (fail fast).
+	MaxRetries int
+	// BackoffBase is the first retry delay; doubles per attempt up to
+	// BackoffCap. Zeros select the defaults.
+	BackoffBase float64
+	BackoffCap  float64
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.CrashMTBF > 0 || c.OOMKill || c.StragglerFraction > 0
+}
+
+// Validate reports the first invalid field by name. The zero Config is
+// valid (it disables all faults).
+func (c Config) Validate() error {
+	if c.CrashMTBF < 0 || math.IsNaN(c.CrashMTBF) {
+		return fmt.Errorf("faults: CrashMTBF must be non-negative (got %g; 0 disables crashes)", c.CrashMTBF)
+	}
+	if c.MTTR < 0 || math.IsNaN(c.MTTR) {
+		return fmt.Errorf("faults: MTTR must be non-negative (got %g; 0 selects the %gs default)", c.MTTR, DefaultMTTR)
+	}
+	if c.CrashMTBF > 0 && c.withDefaults().MTTR <= 0 {
+		return fmt.Errorf("faults: MTTR must be positive when CrashMTBF > 0 (got %g)", c.MTTR)
+	}
+	if c.StragglerFraction < 0 || c.StragglerFraction > 1 || math.IsNaN(c.StragglerFraction) {
+		return fmt.Errorf("faults: StragglerFraction must be in [0, 1] (got %g)", c.StragglerFraction)
+	}
+	if c.StragglerFactor != 0 && (c.StragglerFactor < 1 || math.IsNaN(c.StragglerFactor)) {
+		return fmt.Errorf("faults: StragglerFactor must be ≥ 1 (got %g; 0 selects the %g default)", c.StragglerFactor, DefaultStragglerFactor)
+	}
+	if c.BackoffBase < 0 || math.IsNaN(c.BackoffBase) {
+		return fmt.Errorf("faults: BackoffBase must be non-negative (got %g)", c.BackoffBase)
+	}
+	if c.BackoffCap < 0 || math.IsNaN(c.BackoffCap) {
+		return fmt.Errorf("faults: BackoffCap must be non-negative (got %g)", c.BackoffCap)
+	}
+	return nil
+}
+
+// withDefaults resolves the zero-value sentinels.
+func (c Config) withDefaults() Config {
+	if c.MTTR == 0 {
+		c.MTTR = DefaultMTTR
+	}
+	if c.StragglerFactor == 0 {
+		c.StragglerFactor = DefaultStragglerFactor
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = DefaultMaxRetries
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = DefaultBackoffBase
+	}
+	if c.BackoffCap == 0 {
+		c.BackoffCap = DefaultBackoffCap
+	}
+	return c
+}
+
+// Retries returns the resolved per-invocation retry budget.
+func (c Config) Retries() int { return c.withDefaults().MaxRetries }
+
+// Backoff returns the delay before retry number attempt (1-based): a
+// capped exponential base·2^(attempt−1), plus a small deterministic
+// jitter derived from (seed, id, attempt) that de-synchronizes the retry
+// herd a node crash would otherwise release all at once.
+func (c Config) Backoff(seed int64, id int64, attempt int) float64 {
+	r := c.withDefaults()
+	d := r.BackoffBase * math.Pow(2, float64(attempt-1))
+	if d > r.BackoffCap {
+		d = r.BackoffCap
+	}
+	return d * (1 + 0.1*hash01(uint64(seed)^uint64(id)*0x9e3779b97f4a7c15^uint64(attempt)<<32))
+}
+
+// StragglerMultiplier returns the duration multiplier for an invocation:
+// 1 when the invocation is not sampled as a straggler. Pure in
+// (config, seed, id), so it does not depend on scheduling order.
+func (c Config) StragglerMultiplier(seed int64, id int64) float64 {
+	if c.StragglerFraction <= 0 {
+		return 1
+	}
+	if hash01(uint64(seed)*0xd1342543de82ef95^uint64(id)) >= c.StragglerFraction {
+		return 1
+	}
+	return c.withDefaults().StragglerFactor
+}
+
+// OOMPoint returns the fraction of an execution's reference duration at
+// which its memory peak is reached — the instant an overrunning
+// allocation is killed. Deterministic in (seed, id).
+func (c Config) OOMPoint(seed int64, id int64) float64 {
+	return hash01(uint64(seed)*0xaf251af3b0f025b5 ^ uint64(id)<<1)
+}
+
+// hash01 maps a 64-bit key to a uniform value in [0, 1) via the
+// splitmix64 finalizer (same construction as the function package's
+// content hashing).
+func hash01(z uint64) float64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// Hooks are the injector's callbacks into the platform layer. Crash fires
+// when a node dies, Recover when its repair completes. Both are called
+// from simulation events, in deterministic order.
+type Hooks struct {
+	Crash   func(node int)
+	Recover func(node int)
+}
+
+// Injector schedules node crash/recover events on a simulation engine.
+// Each node owns a private RNG stream derived from (seed, node), so its
+// crash schedule is independent of every other node's and of the
+// workload. Construct with NewInjector; Stop cancels the armed events so
+// the engine can drain.
+type Injector struct {
+	eng   *sim.Engine
+	cfg   Config
+	hooks Hooks
+
+	nodes   []*nodeFaults
+	stopped bool
+
+	crashes    int
+	recoveries int
+	downtime   float64
+}
+
+type nodeFaults struct {
+	id      int
+	rng     *rand.Rand
+	ev      *sim.Event
+	downAt  float64
+	isDown  bool
+	pending bool
+}
+
+// NewInjector arms the crash schedule for nodes 0..nodes−1. A config with
+// CrashMTBF == 0 yields an injector that schedules nothing (but still
+// answers the per-invocation sampling queries through its config).
+func NewInjector(eng *sim.Engine, cfg Config, seed int64, nodes int, hooks Hooks) *Injector {
+	inj := &Injector{eng: eng, cfg: cfg.withDefaults(), hooks: hooks}
+	if cfg.CrashMTBF <= 0 {
+		return inj
+	}
+	for i := 0; i < nodes; i++ {
+		nf := &nodeFaults{
+			id:  i,
+			rng: rand.New(rand.NewSource(seed ^ int64(i+1)*0x9e3779b9)),
+		}
+		inj.nodes = append(inj.nodes, nf)
+		inj.armCrash(nf)
+	}
+	return inj
+}
+
+func (inj *Injector) armCrash(nf *nodeFaults) {
+	delay := inj.cfg.CrashMTBF * nf.rng.ExpFloat64()
+	nf.ev = inj.eng.Schedule(delay, func() {
+		if inj.stopped {
+			return
+		}
+		nf.isDown = true
+		nf.downAt = inj.eng.Now()
+		inj.crashes++
+		if inj.hooks.Crash != nil {
+			inj.hooks.Crash(nf.id)
+		}
+		inj.armRecover(nf)
+	})
+}
+
+func (inj *Injector) armRecover(nf *nodeFaults) {
+	delay := inj.cfg.MTTR * nf.rng.ExpFloat64()
+	nf.ev = inj.eng.Schedule(delay, func() {
+		if inj.stopped {
+			return
+		}
+		nf.isDown = false
+		inj.recoveries++
+		inj.downtime += inj.eng.Now() - nf.downAt
+		if inj.hooks.Recover != nil {
+			inj.hooks.Recover(nf.id)
+		}
+		inj.armCrash(nf)
+	})
+}
+
+// Stop cancels every armed crash/recover event so the simulation can
+// drain. Nodes that are down at stop time stay down; their partial
+// downtime up to now is included in Downtime.
+func (inj *Injector) Stop() {
+	if inj.stopped {
+		return
+	}
+	inj.stopped = true
+	now := inj.eng.Now()
+	for _, nf := range inj.nodes {
+		if nf.ev != nil {
+			inj.eng.Cancel(nf.ev)
+			nf.ev = nil
+		}
+		if nf.isDown {
+			inj.downtime += now - nf.downAt
+			nf.isDown = false
+		}
+	}
+}
+
+// Crashes returns how many node crashes fired.
+func (inj *Injector) Crashes() int { return inj.crashes }
+
+// Recoveries returns how many node repairs completed.
+func (inj *Injector) Recoveries() int { return inj.recoveries }
+
+// Downtime returns the summed node-down seconds (including the partial
+// downtime of nodes still down when Stop was called).
+func (inj *Injector) Downtime() float64 { return inj.downtime }

@@ -1,0 +1,192 @@
+package faults
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"libra/internal/sim"
+)
+
+func TestZeroConfigDisablesEverything(t *testing.T) {
+	var c Config
+	if c.Enabled() {
+		t.Fatal("zero Config reports Enabled")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("zero Config invalid: %v", err)
+	}
+	if m := c.StragglerMultiplier(1, 2); m != 1 {
+		t.Fatalf("zero Config straggler multiplier = %g, want 1", m)
+	}
+	eng := sim.NewEngine()
+	inj := NewInjector(eng, c, 42, 8, Hooks{})
+	if eng.Pending() != 0 {
+		t.Fatalf("zero Config armed %d events", eng.Pending())
+	}
+	inj.Stop()
+}
+
+// Validate names the offending field so platform.Config.Validate's wrapped
+// error points straight at the bad knob.
+func TestValidateNamesOffendingField(t *testing.T) {
+	cases := []struct {
+		cfg   Config
+		field string
+	}{
+		{Config{CrashMTBF: -1}, "CrashMTBF"},
+		{Config{CrashMTBF: 100, MTTR: -5}, "MTTR"},
+		{Config{StragglerFraction: 1.5}, "StragglerFraction"},
+		{Config{StragglerFraction: -0.1}, "StragglerFraction"},
+		{Config{StragglerFraction: 0.1, StragglerFactor: 0.5}, "StragglerFactor"},
+		{Config{BackoffBase: -1}, "BackoffBase"},
+		{Config{BackoffCap: -1}, "BackoffCap"},
+		{Config{CrashMTBF: math.NaN()}, "CrashMTBF"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Fatalf("%+v: Validate accepted invalid config", tc.cfg)
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Fatalf("%+v: error %q does not name field %s", tc.cfg, err, tc.field)
+		}
+	}
+	if err := (Config{CrashMTBF: 600}).Validate(); err != nil {
+		t.Fatalf("valid crash config rejected: %v", err)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	d := Config{}.withDefaults()
+	if d.MTTR != DefaultMTTR || d.StragglerFactor != DefaultStragglerFactor ||
+		d.MaxRetries != DefaultMaxRetries || d.BackoffBase != DefaultBackoffBase ||
+		d.BackoffCap != DefaultBackoffCap {
+		t.Fatalf("withDefaults left sentinels unresolved: %+v", d)
+	}
+	if (Config{MaxRetries: -1}).Retries() != 0 {
+		t.Fatal("negative MaxRetries should resolve to 0 (fail fast)")
+	}
+}
+
+// Backoff grows exponentially, is capped, and is deterministic in
+// (seed, id, attempt).
+func TestBackoff(t *testing.T) {
+	c := Config{BackoffBase: 1, BackoffCap: 8}
+	prev := 0.0
+	for attempt := 1; attempt <= 4; attempt++ {
+		d := c.Backoff(7, 3, attempt)
+		if d <= prev {
+			t.Fatalf("attempt %d: backoff %g not increasing past %g", attempt, d, prev)
+		}
+		if d != c.Backoff(7, 3, attempt) {
+			t.Fatalf("attempt %d: backoff not deterministic", attempt)
+		}
+		prev = d
+	}
+	// Attempt 10 would be base·2^9 = 512 without the cap; jitter adds ≤10%.
+	if d := c.Backoff(7, 3, 10); d > 8*1.1 {
+		t.Fatalf("backoff %g exceeds cap 8 (+jitter)", d)
+	}
+}
+
+// Straggler sampling is a pure function of (seed, id) and hits roughly
+// the configured fraction.
+func TestStragglerSampling(t *testing.T) {
+	c := Config{StragglerFraction: 0.25, StragglerFactor: 3}
+	hits := 0
+	const n = 10000
+	for id := int64(0); id < n; id++ {
+		m := c.StragglerMultiplier(99, id)
+		if m != c.StragglerMultiplier(99, id) {
+			t.Fatal("straggler draw not deterministic")
+		}
+		switch m {
+		case 3:
+			hits++
+		case 1:
+		default:
+			t.Fatalf("unexpected multiplier %g", m)
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("straggler fraction %.3f far from configured 0.25", frac)
+	}
+	// Different seeds sample different subsets.
+	diff := 0
+	for id := int64(0); id < 1000; id++ {
+		if c.StragglerMultiplier(99, id) != c.StragglerMultiplier(100, id) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("straggler sampling ignores the seed")
+	}
+}
+
+func TestOOMPointInUnitInterval(t *testing.T) {
+	c := Config{OOMKill: true}
+	for id := int64(0); id < 100; id++ {
+		p := c.OOMPoint(5, id)
+		if p < 0 || p >= 1 {
+			t.Fatalf("OOMPoint(%d) = %g outside [0,1)", id, p)
+		}
+		if p != c.OOMPoint(5, id) {
+			t.Fatal("OOMPoint not deterministic")
+		}
+	}
+}
+
+// The crash schedule is a pure function of (config, seed): two engines
+// replaying it see identical crash/recover times per node.
+func TestInjectorDeterminism(t *testing.T) {
+	type ev struct {
+		t    float64
+		node int
+		up   bool
+	}
+	replay := func() []ev {
+		eng := sim.NewEngine()
+		var out []ev
+		cfg := Config{CrashMTBF: 50, MTTR: 10}
+		inj := NewInjector(eng, cfg, 1234, 4, Hooks{
+			Crash:   func(n int) { out = append(out, ev{eng.Now(), n, false}) },
+			Recover: func(n int) { out = append(out, ev{eng.Now(), n, true}) },
+		})
+		eng.RunUntil(500)
+		inj.Stop()
+		return out
+	}
+	a, b := replay(), replay()
+	if len(a) == 0 {
+		t.Fatal("no crash events in 500s at MTBF 50 across 4 nodes")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("replays differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// Stop cancels armed events so the engine drains, and accounts partial
+// downtime of still-down nodes.
+func TestInjectorStopDrains(t *testing.T) {
+	eng := sim.NewEngine()
+	inj := NewInjector(eng, Config{CrashMTBF: 10, MTTR: 1e9}, 7, 2, Hooks{})
+	eng.RunUntil(100) // some crashes fired; recoveries (MTTR 1e9) pending
+	inj.Stop()
+	if eng.Pending() != 0 {
+		t.Fatalf("%d events still queued after Stop", eng.Pending())
+	}
+	if inj.Crashes() == 0 {
+		t.Fatal("expected crashes within 100s at MTBF 10")
+	}
+	if inj.Downtime() <= 0 {
+		t.Fatal("partial downtime of still-down nodes not accounted")
+	}
+	eng.Run() // must return immediately
+}

@@ -218,6 +218,45 @@ func (p *Pool) Reharvest(now float64, loan *Loan) {
 	p.totalReharvested += loan.Vol
 }
 
+// ReleaseAll reconciles the whole pool at once — the node-crash path: the
+// node's invocations are gone, so every tracking object whose source died
+// and every loan whose source or borrower died (here: all of them) is
+// dropped. It returns the pooled volume written off and the revoked loans
+// in deterministic (source, insertion) order so crash accounting is
+// reproducible.
+func (p *Pool) ReleaseAll(now float64) (pooled int64, revoked []*Loan) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advance(now)
+	sources := make([]ID, 0, len(p.loans))
+	for src := range p.loans {
+		sources = append(sources, src)
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
+	for _, src := range sources {
+		revoked = append(revoked, p.loans[src]...)
+	}
+	pooled = p.pooledVol
+	p.pooledVol = 0
+	p.bySource = make(map[ID]*Entry)
+	p.loans = make(map[ID][]*Loan)
+	p.seq = make(map[ID]int64)
+	return pooled, revoked
+}
+
+// LentBy returns the volume currently out on loan from src. The OOM-kill
+// fault model keys on it: harvested memory that is on loan cannot be
+// returned to an overrunning source in time.
+func (p *Pool) LentBy(src ID) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var v int64
+	for _, l := range p.loans[src] {
+		v += l.Vol
+	}
+	return v
+}
+
 // ReleaseSource performs the preemptive release for src (§5.1): all its
 // pooled units vanish and every outstanding loan from it is revoked. The
 // revoked loans are returned so the caller (the worker node) can strip

@@ -1,0 +1,64 @@
+package harvest
+
+import "testing"
+
+// ReleaseAll is the node-crash reconciliation: every tracking object and
+// every loan is written off, and the revoked loans come back in
+// deterministic order.
+func TestReleaseAllReconcilesEverything(t *testing.T) {
+	p := New()
+	p.Put(0, 3, 100, 50)
+	p.Put(0, 1, 200, 40)
+	p.Put(0, 2, 300, 30)
+	l1 := p.Get(1, 10, 250) // spans sources (priority order: 3 then 1)
+	l2 := p.Get(1, 11, 100)
+	if len(l1) == 0 || len(l2) == 0 {
+		t.Fatal("test setup: loans not created")
+	}
+
+	pooled, revoked := p.ReleaseAll(2)
+	if pooled != 600-350 {
+		t.Fatalf("pooled written off = %d, want 250", pooled)
+	}
+	var revokedVol int64
+	for i, l := range revoked {
+		revokedVol += l.Vol
+		if i > 0 && revoked[i].Source < revoked[i-1].Source {
+			t.Fatalf("revoked loans not in source order: %v", revoked)
+		}
+	}
+	if revokedVol != 350 {
+		t.Fatalf("revoked volume = %d, want 350", revokedVol)
+	}
+	if p.Available(2) != 0 || p.OutstandingLoans() != 0 || len(p.Entries()) != 0 {
+		t.Fatal("pool not empty after ReleaseAll")
+	}
+	// Reharvesting a written-off loan must be a no-op.
+	p.Reharvest(3, revoked[0])
+	if p.Available(3) != 0 {
+		t.Fatal("written-off loan re-entered the pool")
+	}
+}
+
+func TestLentBy(t *testing.T) {
+	p := New()
+	p.Put(0, 1, 500, 100)
+	p.Put(0, 2, 300, 90)
+	if p.LentBy(1) != 0 {
+		t.Fatal("LentBy nonzero before any Get")
+	}
+	loans := p.Get(1, 7, 600) // takes 500 from src 1 (longer expiry), 100 from src 2
+	if len(loans) != 2 {
+		t.Fatalf("expected 2 loans, got %d", len(loans))
+	}
+	if got := p.LentBy(1); got != 500 {
+		t.Fatalf("LentBy(1) = %d, want 500", got)
+	}
+	if got := p.LentBy(2); got != 100 {
+		t.Fatalf("LentBy(2) = %d, want 100", got)
+	}
+	p.Reharvest(2, loans[0])
+	if got := p.LentBy(1); got != 0 {
+		t.Fatalf("LentBy(1) after reharvest = %d, want 0", got)
+	}
+}

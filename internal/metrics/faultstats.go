@@ -1,0 +1,66 @@
+package metrics
+
+// FaultStats aggregates the failure and recovery counters of one run
+// under fault injection: what broke, what was retried, and how long the
+// platform took to recover each affected invocation. The zero value
+// means a failure-free run.
+type FaultStats struct {
+	Crashes      int     // node crash events
+	NodeRepairs  int     // node repairs completed
+	NodeDowntime float64 // Σ node-down virtual seconds
+
+	CrashAborts int // invocations aborted by node crashes
+	OOMKills    int // invocations killed by the OOM fault model
+	Stragglers  int // invocations whose execution duration was inflated
+
+	Retries   int // re-scheduling attempts after failures
+	Abandoned int // invocations that exhausted their retry budget
+
+	Recovered       int     // invocations that completed after ≥ 1 failure
+	RecoverySeconds float64 // Σ (completion − first failure) over Recovered
+}
+
+// Failures returns the total invocation-level fault events (crash aborts
+// plus OOM kills).
+func (f FaultStats) Failures() int { return f.CrashAborts + f.OOMKills }
+
+// MTTR is the mean time to recovery: the average virtual time from an
+// invocation's first failure to its eventual successful completion.
+// Zero when no invocation recovered.
+func (f FaultStats) MTTR() float64 {
+	if f.Recovered == 0 {
+		return 0
+	}
+	return f.RecoverySeconds / float64(f.Recovered)
+}
+
+// Goodput is the fraction of invocations that eventually completed:
+// completed / (completed + abandoned). 1 when nothing was abandoned,
+// 0 for an empty run.
+func (f FaultStats) Goodput(completed int) float64 {
+	total := completed + f.Abandoned
+	if total == 0 {
+		return 0
+	}
+	return float64(completed) / float64(total)
+}
+
+// Any reports whether any fault or recovery activity was recorded.
+func (f FaultStats) Any() bool {
+	return f.Crashes != 0 || f.Failures() != 0 || f.Stragglers != 0 ||
+		f.Retries != 0 || f.Abandoned != 0
+}
+
+// Add accumulates another run's counters (for sweep aggregation).
+func (f *FaultStats) Add(o FaultStats) {
+	f.Crashes += o.Crashes
+	f.NodeRepairs += o.NodeRepairs
+	f.NodeDowntime += o.NodeDowntime
+	f.CrashAborts += o.CrashAborts
+	f.OOMKills += o.OOMKills
+	f.Stragglers += o.Stragglers
+	f.Retries += o.Retries
+	f.Abandoned += o.Abandoned
+	f.Recovered += o.Recovered
+	f.RecoverySeconds += o.RecoverySeconds
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"libra/internal/cluster"
+	"libra/internal/faults"
 	"libra/internal/freyr"
 	"libra/internal/function"
 	"libra/internal/harvest"
@@ -110,8 +111,10 @@ type Config struct {
 	HistWindow int
 	// MemRetreatAfter stops harvesting memory from a function after this
 	// many safeguard triggers, retreating to the user-defined memory
-	// allocation (§5.1 "Mitigating OOM"; default 3, 0 keeps the default,
-	// negative disables the retreat).
+	// allocation (§5.1 "Mitigating OOM"). Sentinel semantics: 0 selects
+	// the default of 3 triggers, any negative value disables the retreat
+	// entirely (memory keeps being harvested no matter how often the
+	// safeguard fires), and a positive value is the trigger count itself.
 	MemRetreatAfter int
 	// DispatchTime is the scheduler's per-invocation handling time
 	// (default DefaultDispatch).
@@ -122,13 +125,20 @@ type Config struct {
 	PingInterval float64
 	// SampleInterval for utilization tracking (default 1s).
 	SampleInterval float64
-	Seed           int64
+	// Faults is the deterministic fault-injection schedule. The zero
+	// value disables every fault and keeps the platform byte-identical to
+	// a fault-free build; see faults.Config for the knobs.
+	Faults faults.Config
+	Seed   int64
 }
 
 // Validate reports why the config cannot build a platform: it rejects a
-// non-positive node count, a zero per-node capacity, and an algorithm
-// name outside scheduler.Names(). An empty Algorithm is valid — the
-// constructor defaults it to "Libra".
+// non-positive node count, a zero per-node capacity, an algorithm name
+// outside scheduler.Names(), and an invalid fault schedule (the wrapped
+// faults error names the offending field). An empty Algorithm is valid —
+// the constructor defaults it to "Libra". MemRetreatAfter needs no
+// validation: every value is meaningful (negative disables the retreat,
+// 0 selects the default of 3 triggers, positive is the trigger count).
 func (c *Config) Validate() error {
 	if c.Nodes <= 0 {
 		return fmt.Errorf("platform: config %q needs Nodes > 0 (got %d)", c.Name, c.Nodes)
@@ -141,6 +151,9 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("platform: config %q names unknown algorithm %q (known: %s)",
 				c.Name, c.Algorithm, strings.Join(scheduler.Names(), ", "))
 		}
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("platform: config %q: %w", c.Name, err)
 	}
 	return nil
 }
@@ -212,6 +225,24 @@ type Result struct {
 	SchedOverheads []float64 // decision compute per invocation (Fig 12c)
 	Trainings      int       // one-time offline profiler trainings
 	Breakdown      map[string]*PhaseBreakdown
+
+	// Fault-injection outcome (all zero on a failure-free run).
+	Faults metrics.FaultStats
+	// LeakedLoans is the harvest-loan volume never reconciled by the end
+	// of the run — the crash/OOM recovery invariant demands it be 0.
+	LeakedLoans int64
+	// CapacityViolations counts nodes whose committed resources exceeded
+	// their capacity at the end of the run (invariant: always 0).
+	CapacityViolations int
+}
+
+// Goodput is the fraction of invocations that eventually completed
+// (1 when nothing was abandoned under fault injection).
+func (r *Result) Goodput() float64 {
+	if len(r.Records) == 0 && r.Faults.Abandoned == 0 {
+		return 0
+	}
+	return r.Faults.Goodput(len(r.Records))
 }
 
 // Latencies extracts the response latencies.
@@ -241,7 +272,7 @@ type Platform struct {
 	est    profiler.Estimator
 
 	pending    []*queued
-	owners     map[harvest.ID]*scheduler.Shard
+	inflight   map[harvest.ID]*queued
 	sgCounts   map[string]int // per-function safeguard triggers (OOM retreat)
 	pings      map[int]*poolStatus
 	pingTicker *sim.Ticker
@@ -249,6 +280,7 @@ type Platform struct {
 	result     *Result
 	tracker    *metrics.UtilizationTracker
 	nextShard  int
+	inj        *faults.Injector
 }
 
 // poolStatus is one node's last health-ping snapshot.
@@ -257,10 +289,12 @@ type poolStatus struct {
 }
 
 type queued struct {
-	inv   *cluster.Invocation
-	req   scheduler.Request
-	pred  profiler.Prediction
-	shard *scheduler.Shard
+	inv      *cluster.Invocation
+	req      scheduler.Request
+	pred     profiler.Prediction
+	shard    *scheduler.Shard
+	profCost float64
+	attempt  int // completed (failed) execution attempts so far
 }
 
 // New builds a platform from cfg, or reports why the config is invalid
@@ -273,12 +307,13 @@ func New(cfg Config) (*Platform, error) {
 	p := &Platform{
 		cfg:      cfg,
 		eng:      sim.NewEngine(),
-		owners:   make(map[harvest.ID]*scheduler.Shard),
+		inflight: make(map[harvest.ID]*queued),
 		sgCounts: make(map[string]int),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := cluster.NewNode(p.eng, i, cfg.NodeCap)
 		n.OnComplete = p.onComplete
+		n.OnFailure = p.onFailure
 		n.CPUPool.Order = cfg.PoolLendOrder
 		n.MemPool.Order = cfg.PoolLendOrder
 		p.nodes = append(p.nodes, n)
@@ -344,10 +379,19 @@ func (p *Platform) Run(set trace.Set) *Result {
 	if p.pings != nil {
 		p.pingTicker = p.eng.Every(p.cfg.PingInterval, func() {
 			for _, n := range p.nodes {
+				if n.Down() {
+					continue // a down node sends no health pings
+				}
 				st := p.pings[n.ID()]
 				st.cpu = n.CPUPool.Entries()
 				st.mem = n.MemPool.Entries()
 			}
+		})
+	}
+	if p.cfg.Faults.Enabled() {
+		p.inj = faults.NewInjector(p.eng, p.cfg.Faults, p.cfg.Seed, len(p.nodes), faults.Hooks{
+			Crash:   p.crashNode,
+			Recover: p.recoverNode,
 		})
 	}
 	for _, ti := range set.Invocations {
@@ -362,6 +406,16 @@ func (p *Platform) Run(set trace.Set) *Result {
 		r.CPUIdleIntegral += n.CPUPool.IdleIntegral(p.eng.Now())
 		r.MemIdleIntegral += n.MemPool.IdleIntegral(p.eng.Now())
 		r.ColdStarts += n.ColdStarts()
+	}
+	if p.cfg.Faults.Enabled() {
+		// Post-run invariant audit: every loan reconciled, no node ever
+		// left over-committed.
+		for _, n := range p.nodes {
+			r.LeakedLoans += n.CPUPool.OutstandingLoans() + n.MemPool.OutstandingLoans()
+			if !n.Committed().Fits(n.Capacity()) {
+				r.CapacityViolations++
+			}
+		}
 	}
 	return r
 }
@@ -380,6 +434,14 @@ func (p *Platform) arrive(ti trace.Invocation) {
 		Actual:    spec.Demand(ti.Input),
 		UserAlloc: spec.UserAlloc,
 		Arrival:   p.eng.Now(),
+	}
+	if m := p.cfg.Faults.StragglerMultiplier(p.cfg.Seed, int64(ti.ID)); m > 1 {
+		// Straggler injection: the execution runs a multiple of its
+		// reference duration (the estimator still observes the inflated
+		// value — stragglers pollute expiry estimates, as in production).
+		inv.Actual.Duration *= m
+		inv.Straggler = true
+		p.result.Faults.Stragglers++
 	}
 
 	// Front end + profiling (Step 3).
@@ -406,23 +468,38 @@ func (p *Platform) arrive(ti trace.Invocation) {
 
 	// Scheduling (Step 4): the front end assigns invocations to sharding
 	// schedulers round-robin; each scheduler serializes its own decisions.
+	q := &queued{inv: inv, pred: pred, req: p.buildRequest(inv, pred), profCost: profCost}
+	p.enqueue(q, p.eng.Now()+FrontendOverhead+profCost)
+}
+
+// enqueue assigns the invocation to the next sharding scheduler
+// round-robin and models its decision queueing: ready is when the front
+// end hands the invocation over; the scheduler picks it up once free.
+// First attempts come here from arrive; failed invocations re-enter with
+// a later ready time and a bumped attempt counter.
+func (p *Platform) enqueue(q *queued, ready float64) {
 	shard := p.shards[p.nextShard]
 	p.nextShard = (p.nextShard + 1) % len(p.shards)
+	q.shard = shard
+	inv := q.inv
 
-	ready := p.eng.Now() + FrontendOverhead + profCost
 	pick := math.Max(ready, shard.BusyUntil)
 	service := DecisionOverhead + p.cfg.DispatchTime
 	shard.BusyUntil = pick + service
 
-	q := &queued{inv: inv, pred: pred, req: p.buildRequest(inv, pred), shard: shard}
 	p.eng.At(shard.BusyUntil, func() {
 		inv.SchedPick = pick
 		inv.SchedDone = p.eng.Now()
 		p.result.SchedOverheads = append(p.result.SchedOverheads, DecisionOverhead)
-		bd.Scheduler += inv.SchedDone - inv.Arrival - FrontendOverhead - profCost
+		if q.attempt == 0 {
+			// The Fig 15 scheduling-phase breakdown counts the first
+			// attempt only; retry queueing is recovery time, not overhead.
+			bd := p.breakdown(inv.App.Name)
+			bd.Scheduler += inv.SchedDone - inv.Arrival - FrontendOverhead - q.profCost
+		}
 		q.req.Now = p.eng.Now()
 		if node := shard.Select(q.req, p.nodes); node != nil {
-			p.dispatch(q, node, shard)
+			p.dispatch(q, node)
 		} else {
 			p.pending = append(p.pending, q)
 		}
@@ -445,7 +522,7 @@ func (p *Platform) buildRequest(inv *cluster.Invocation, pred profiler.Predictio
 
 // dispatch is Step 5: the harvest pool on the selected node performs
 // harvesting or acceleration per the prediction, then execution begins.
-func (p *Platform) dispatch(q *queued, node *cluster.Node, shard *scheduler.Shard) {
+func (p *Platform) dispatch(q *queued, node *cluster.Node) {
 	inv, pred := q.inv, q.pred
 	opts := cluster.StartOptions{OwnAlloc: inv.UserAlloc}
 	if p.cfg.Harvest {
@@ -494,8 +571,14 @@ func (p *Platform) dispatch(q *queued, node *cluster.Node, shard *scheduler.Shar
 			opts.BonusUpTo = function.MaxAlloc.Sub(inv.UserAlloc).Max(resources.Vector{})
 		}
 	}
+	if p.cfg.Faults.OOMKill {
+		// The memory peak is reached at a seed-derived fraction of the
+		// execution; an overrunning allocation is killed at that instant
+		// if the harvested remainder is out on loan (see cluster.Node).
+		opts.OOMDelay = p.cfg.Faults.OOMPoint(p.cfg.Seed, int64(inv.ID)) * inv.Actual.Duration
+	}
 	// The invocation's shard reclaims its reservation at completion.
-	p.owners[inv.ID] = shard
+	p.inflight[inv.ID] = q
 	node.Start(inv, opts)
 }
 
@@ -505,9 +588,9 @@ func (p *Platform) onComplete(inv *cluster.Invocation) {
 	if p.est != nil {
 		p.est.Observe(inv.App, inv.Input, inv.Actual)
 	}
-	shard := p.owners[inv.ID]
-	delete(p.owners, inv.ID)
-	shard.Release(inv.NodeID, inv.Reservation())
+	q := p.inflight[inv.ID]
+	delete(p.inflight, inv.ID)
+	q.shard.Release(inv.NodeID, inv.Reservation())
 
 	rec := InvRecord{Inv: inv, Latency: inv.ResponseLatency()}
 	rec.TUser = (inv.ExecStart - inv.Arrival) + function.DurationUnder(inv.UserAlloc, inv.Actual)
@@ -523,29 +606,106 @@ func (p *Platform) onComplete(inv *cluster.Invocation) {
 	if inv.Accelerate {
 		p.result.Accelerated++
 	}
+	if inv.Failures > 0 {
+		p.result.Faults.Recovered++
+		p.result.Faults.RecoverySeconds += inv.End - inv.FirstFail
+	}
 	bd := p.breakdown(inv.App.Name)
 	bd.Init += inv.ExecStart - inv.SchedDone
 	bd.Exec += inv.End - inv.ExecStart
 
 	p.remaining--
 	if p.remaining == 0 {
-		p.result.CompletionTime = p.eng.Now()
-		p.tracker.Stop()
-		p.stopPing()
+		p.finish()
+	}
+	p.drainPending()
+}
+
+// onFailure is the recovery path for an aborted execution (node crash or
+// OOM kill): release the shard reservation, then re-enter the scheduler
+// after a capped exponential backoff — or abandon the invocation once its
+// retry budget is spent.
+func (p *Platform) onFailure(inv *cluster.Invocation, kind cluster.FailureKind) {
+	q := p.inflight[inv.ID]
+	delete(p.inflight, inv.ID)
+	q.shard.Release(inv.NodeID, inv.Reservation())
+	if kind == cluster.FailOOM {
+		p.result.Faults.OOMKills++
+	} else {
+		p.result.Faults.CrashAborts++
 	}
 
-	// Retry capacity-blocked invocations in FIFO order.
-	if len(p.pending) > 0 {
-		var still []*queued
-		for _, q := range p.pending {
-			q.req.Now = p.eng.Now()
-			if node := q.shard.Select(q.req, p.nodes); node != nil {
-				p.dispatch(q, node, q.shard)
-			} else {
-				still = append(still, q)
-			}
+	q.attempt++
+	if q.attempt > p.cfg.Faults.Retries() {
+		p.result.Faults.Abandoned++
+		p.remaining--
+		if p.remaining == 0 {
+			p.finish()
 		}
-		p.pending = still
+		return
+	}
+	p.result.Faults.Retries++
+	delay := p.cfg.Faults.Backoff(p.cfg.Seed, int64(inv.ID), q.attempt)
+	p.eng.Schedule(delay, func() { p.enqueue(q, p.eng.Now()) })
+}
+
+// crashNode is the injector's crash hook: the node aborts its in-flight
+// executions and reconciles its harvest pools, every shard drops the node
+// from its slice, its ping snapshot goes dark, and the aborted
+// invocations enter the recovery path in ID order.
+func (p *Platform) crashNode(id int) {
+	aborted := p.nodes[id].Crash()
+	for _, s := range p.shards {
+		s.Rebalance(p.nodes)
+	}
+	if p.pings != nil {
+		st := p.pings[id]
+		st.cpu, st.mem = nil, nil
+	}
+	for _, inv := range aborted {
+		p.onFailure(inv, cluster.FailCrash)
+	}
+}
+
+// recoverNode restores the repaired node's shard slices and immediately
+// retries capacity-blocked invocations against the recovered capacity.
+func (p *Platform) recoverNode(id int) {
+	p.nodes[id].Recover()
+	for _, s := range p.shards {
+		s.Rebalance(p.nodes)
+	}
+	p.drainPending()
+}
+
+// drainPending retries capacity-blocked invocations in FIFO order.
+func (p *Platform) drainPending() {
+	if len(p.pending) == 0 {
+		return
+	}
+	var still []*queued
+	for _, q := range p.pending {
+		q.req.Now = p.eng.Now()
+		if node := q.shard.Select(q.req, p.nodes); node != nil {
+			p.dispatch(q, node)
+		} else {
+			still = append(still, q)
+		}
+	}
+	p.pending = still
+}
+
+// finish closes out the run once every invocation completed or was
+// abandoned: it freezes the clock-dependent trackers and stops the fault
+// injector so the event queue can drain.
+func (p *Platform) finish() {
+	p.result.CompletionTime = p.eng.Now()
+	p.tracker.Stop()
+	p.stopPing()
+	if p.inj != nil {
+		p.inj.Stop()
+		p.result.Faults.Crashes = p.inj.Crashes()
+		p.result.Faults.NodeRepairs = p.inj.Recoveries()
+		p.result.Faults.NodeDowntime = p.inj.Downtime()
 	}
 }
 

@@ -45,24 +45,44 @@ func NewShards(k int, nodes []*cluster.Node, algo func() Algorithm) []*Shard {
 			committed: make(map[int]resources.Vector, len(nodes)),
 		}
 		for _, n := range nodes {
-			cap := n.Capacity()
-			base := resources.Vector{
-				CPU: cap.CPU / resources.Millicores(k),
-				Mem: cap.Mem / resources.MegaBytes(k),
-			}
-			// Distribute the division remainder to the low-index shards so
-			// the slices sum exactly to the node capacity.
-			if rem := cap.CPU % resources.Millicores(k); resources.Millicores(i) < rem {
-				base.CPU++
-			}
-			if rem := cap.Mem % resources.MegaBytes(k); resources.MegaBytes(i) < rem {
-				base.Mem++
-			}
-			s.share[n.ID()] = base
+			s.share[n.ID()] = shardSlice(n.Capacity(), k, i)
 		}
 		shards[i] = s
 	}
 	return shards
+}
+
+// shardSlice is shard i-of-k's capacity slice of cap: an even division
+// with the remainder distributed to the low-index shards so the slices
+// sum exactly to the node capacity.
+func shardSlice(cap resources.Vector, k, i int) resources.Vector {
+	base := resources.Vector{
+		CPU: cap.CPU / resources.Millicores(k),
+		Mem: cap.Mem / resources.MegaBytes(k),
+	}
+	if rem := cap.CPU % resources.Millicores(k); resources.Millicores(i) < rem {
+		base.CPU++
+	}
+	if rem := cap.Mem % resources.MegaBytes(k); resources.MegaBytes(i) < rem {
+		base.Mem++
+	}
+	return base
+}
+
+// Rebalance recomputes the shard's capacity slices over the current
+// membership: a down node's slice drops to zero so admission steers
+// around it, and a recovered node gets its slice back. Committed
+// reservations are left untouched — the platform releases them one by
+// one as it reconciles the aborted invocations, so Release's accounting
+// stays exact across the membership change.
+func (s *Shard) Rebalance(nodes []*cluster.Node) {
+	for _, n := range nodes {
+		if n.Down() {
+			s.share[n.ID()] = resources.Vector{}
+		} else {
+			s.share[n.ID()] = shardSlice(n.Capacity(), s.count, s.index)
+		}
+	}
 }
 
 // Index returns the shard's position among its peers.

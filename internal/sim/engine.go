@@ -189,6 +189,7 @@ type Ticker struct {
 	eng     *Engine
 	period  float64
 	fn      func()
+	ev      *Event
 	stopped bool
 }
 
@@ -205,7 +206,7 @@ func (e *Engine) Every(period float64, fn func()) *Ticker {
 }
 
 func (t *Ticker) arm() {
-	t.eng.Schedule(t.period, func() {
+	t.ev = t.eng.Schedule(t.period, func() {
 		if t.stopped {
 			return
 		}
@@ -216,6 +217,16 @@ func (t *Ticker) arm() {
 	})
 }
 
-// Stop halts the ticker; pending fires become no-ops. A stopped ticker
-// keeps the event queue drainable.
-func (t *Ticker) Stop() { t.stopped = true }
+// Stop halts the ticker and cancels its pending fire, so a stopped
+// ticker leaves nothing in the event queue: Run terminates as soon as
+// the real work drains instead of stepping one more empty period.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}

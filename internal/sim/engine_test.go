@@ -251,6 +251,42 @@ func TestTickerStopFromWithinCallback(t *testing.T) {
 	}
 }
 
+// Stop must cancel the ticker's armed event: nothing stays in the heap,
+// and the clock does not advance to a dead fire when the engine drains.
+func TestTickerStopCancelsArmedEvent(t *testing.T) {
+	e := NewEngine()
+	tk := e.Every(10, func() {})
+	e.RunUntil(15) // one fire at 10; next armed for 20
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d before Stop, want 1 (the armed fire)", e.Pending())
+	}
+	tk.Stop()
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after Stop, want 0 (event cancelled)", e.Pending())
+	}
+	e.Run()
+	if e.Now() != 15 {
+		t.Fatalf("clock advanced to %g draining a stopped ticker, want 15", e.Now())
+	}
+	tk.Stop() // idempotent
+}
+
+// Stopping from within the callback cancels nothing (the fired event is
+// gone) but must still not re-arm — and a later event keeps its time.
+func TestTickerStopFromCallbackLeavesQueueClean(t *testing.T) {
+	e := NewEngine()
+	var tk *Ticker
+	tk = e.Every(1, func() { tk.Stop() })
+	e.At(5, func() {})
+	e.Run()
+	if e.Now() != 5 {
+		t.Fatalf("final time %g, want 5", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after drain, want 0", e.Pending())
+	}
+}
+
 func TestEveryPanicsOnNonPositivePeriod(t *testing.T) {
 	e := NewEngine()
 	defer func() {
