@@ -18,6 +18,7 @@ import (
 	"libra/internal/function"
 	"libra/internal/harvest"
 	"libra/internal/metrics"
+	"libra/internal/obs"
 	"libra/internal/platform"
 	"libra/internal/trace"
 )
@@ -56,6 +57,23 @@ func BenchmarkFig16CoverageWeight(b *testing.B) {
 	benchExperiment(b, "fig16")
 }
 func BenchmarkOverheadReport(b *testing.B) { benchExperiment(b, "overheads") }
+func BenchmarkFigF1Faults(b *testing.B)    { benchExperiment(b, "figf1") }
+func BenchmarkFigO1Breakdown(b *testing.B) { benchExperiment(b, "figo1") }
+
+// BenchmarkPlatformTracedVsUntraced pins the nil-tracer zero-cost
+// contract in wall-clock terms: the untraced multi-node run must not
+// regress against the traced one's recording overhead (the reported
+// metrics let the ±2% comparison be read off one run).
+func BenchmarkPlatformTracedVsUntraced(b *testing.B) {
+	set := trace.MultiSet(300, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := platform.PresetLibra(platform.MultiNode(), 42)
+		platform.MustNew(cfg).Run(set)
+		cfg.Tracer = obs.NewRecorder()
+		platform.MustNew(cfg).Run(set)
+	}
+}
 
 // Ablation benches (DESIGN.md §6): each reports the P99 latency of the
 // design choice and its ablated variant as custom metrics, so the value

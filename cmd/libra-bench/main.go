@@ -8,10 +8,14 @@
 //	libra-bench -quick       # trimmed sweeps for a fast pass
 //	libra-bench -seed 7 -reps 5
 //	libra-bench -parallel 8  # bound the worker pool (default GOMAXPROCS)
+//	libra-bench -exp figo1 -trace out.jsonl
 //
 // Each experiment fans its independent (config × repetition) units over
 // a worker pool; the rendered output is byte-identical for every
-// -parallel value. Ctrl-C cancels between units.
+// -parallel value. Ctrl-C cancels between units. -trace records every
+// unit's invocation-lifecycle events (DESIGN.md §6e) and writes the
+// merged JSONL — also byte-identical across -parallel values — when all
+// experiments finish.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"time"
 
 	"libra/internal/experiments"
+	"libra/internal/obs"
 )
 
 func main() {
@@ -35,6 +40,7 @@ func main() {
 		reps     = flag.Int("reps", 0, "repetitions per configuration (0 = default 3)")
 		parallel = flag.Int("parallel", 0, "worker pool size for experiment units (0 = GOMAXPROCS, 1 = serial)")
 		progress = flag.Bool("progress", true, "report per-unit completion on stderr")
+		traceOut = flag.String("trace", "", "write the invocation-lifecycle trace of every unit as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -49,6 +55,11 @@ func main() {
 	defer stop()
 
 	opts := experiments.Options{Seed: *seed, Reps: *reps, Quick: *quick, Parallel: *parallel}
+	var col *obs.Collector
+	if *traceOut != "" {
+		col = obs.NewCollector()
+		opts.Trace = col
+	}
 	run := experiments.All()
 	if *exp != "" {
 		e, err := experiments.ByID(*exp)
@@ -82,5 +93,23 @@ func main() {
 		}
 		r.Render(os.Stdout)
 		fmt.Printf("--- %s finished in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if col != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "libra-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := col.WriteJSONL(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "libra-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "libra-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "libra-bench: wrote trace to %s\n", *traceOut)
 	}
 }

@@ -6,9 +6,11 @@
 //	libra-sim [-variant libra] [-testbed single] [-algorithm Libra]
 //	          [-nodes N] [-schedulers K] [-rpm R] [-invocations N]
 //	          [-threshold 0.8] [-alpha 0.9] [-seed 42]
-//	          [-compare] [-json] [-trace file.json]
+//	          [-compare] [-json] [-replay file.json] [-trace out.jsonl]
 //
 // With -compare, all six §8.3 variants run on the same workload.
+// -trace writes the invocation-lifecycle trace (one JSON event per line,
+// DESIGN.md §6e) of every run to the given file.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 	"libra/internal/core"
 	"libra/internal/function"
+	"libra/internal/obs"
 	"libra/internal/trace"
 )
 
@@ -35,14 +38,15 @@ func main() {
 		seed        = flag.Int64("seed", 42, "random seed")
 		compare     = flag.Bool("compare", false, "run all six platform variants")
 		jsonOut     = flag.Bool("json", false, "print reports as JSON")
-		traceFile   = flag.String("trace", "", "replay a trace file produced by libra-trace instead of generating one")
+		replayFile  = flag.String("replay", "", "replay a workload file produced by libra-trace instead of generating one")
+		traceOut    = flag.String("trace", "", "write the invocation-lifecycle trace as JSONL to this file")
 		mixSkew     = flag.Float64("mix-skew", 0, "Zipf skew of the function mix (0 = uniform)")
 	)
 	flag.Parse()
 
 	var set trace.Set
-	if *traceFile != "" {
-		data, err := os.ReadFile(*traceFile)
+	if *replayFile != "" {
+		data, err := os.ReadFile(*replayFile)
 		if err != nil {
 			fatal(err)
 		}
@@ -65,6 +69,12 @@ func main() {
 		SafeguardThreshold: *threshold,
 		CoverageWeight:     *alpha,
 		Seed:               *seed,
+	}
+
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.NewRecorder()
+		cfg.Tracer = rec
 	}
 
 	var reports []*core.Report
@@ -92,6 +102,21 @@ func main() {
 		} else {
 			fmt.Println(rep)
 		}
+	}
+
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteJSONL(f, rec.Events()); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "libra-sim: wrote %d trace events to %s\n", rec.Len(), *traceOut)
 	}
 }
 

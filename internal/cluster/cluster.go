@@ -18,6 +18,7 @@ import (
 
 	"libra/internal/function"
 	"libra/internal/harvest"
+	"libra/internal/obs"
 	"libra/internal/resources"
 	"libra/internal/safeguard"
 	"libra/internal/sim"
@@ -179,6 +180,12 @@ type Node struct {
 
 	down bool // crashed and not yet repaired
 
+	// Tracer, if set, records the node-side lifecycle events (container
+	// acquisition, execution start, safeguard retreats, OOM kills, crash
+	// aborts, completions). The pool-side events are recorded by the
+	// node's CPUPool/MemPool tracers, set separately via Pool.SetTracer.
+	// nil disables tracing at the cost of one nil check per event site.
+	Tracer obs.Tracer
 	// OnComplete, if set, is called when an invocation finishes.
 	OnComplete func(*Invocation)
 	// OnFailure, if set, is called when an in-flight invocation is
@@ -353,13 +360,22 @@ func (n *Node) Start(inv *Invocation, opts StartOptions) {
 	// idle TTL, else pay the cold start. The freshest container is
 	// claimed first (LIFO keeps the pool warm).
 	delay := 0.0
+	cold := false
 	if n.warmTTL > 0 && n.WarmContainers(inv.App.Name) > 0 {
 		ws := n.warm[inv.App.Name]
 		n.warm[inv.App.Name] = ws[:len(ws)-1]
 	} else {
 		delay = inv.App.ColdStart
+		cold = true
 		inv.ColdStart = true
 		n.coldStarts++
+	}
+	if n.Tracer != nil {
+		kind := obs.KindWarmStart
+		if cold {
+			kind = obs.KindColdStart
+		}
+		n.Tracer.Record(obs.Event{T: n.eng.Now(), Inv: int64(inv.ID), Kind: kind, Node: n.id, Val: delay})
 	}
 
 	// Harvest the reserved-but-predicted-unused remainder immediately:
@@ -430,6 +446,9 @@ func (n *Node) beginExecution(e *exec, opts StartOptions) {
 	e.initEv = nil
 	e.inv.ExecStart = now
 	e.started = true
+	if n.Tracer != nil {
+		n.Tracer.Record(obs.Event{T: now, Inv: int64(e.inv.ID), Kind: obs.KindExecStart, Node: n.id})
+	}
 
 	// Acceleration: borrow best-effort from the pools. The want persists:
 	// whenever new idle units enter the pool, replenish tops starving
@@ -453,6 +472,16 @@ func (n *Node) beginExecution(e *exec, opts StartOptions) {
 		if !grant.IsZero() {
 			e.bonus = grant
 			n.bonusOut = n.bonusOut.Add(grant)
+			if n.Tracer != nil {
+				if grant.CPU > 0 {
+					n.Tracer.Record(obs.Event{T: now, Inv: int64(e.inv.ID), Kind: obs.KindBonus,
+						Node: n.id, Axis: "cpu", Val: float64(grant.CPU)})
+				}
+				if grant.Mem > 0 {
+					n.Tracer.Record(obs.Event{T: now, Inv: int64(e.inv.ID), Kind: obs.KindBonus,
+						Node: n.id, Axis: "mem", Val: float64(grant.Mem)})
+				}
+			}
 		}
 	}
 	if e.borrowed.CPU > 0 || e.borrowed.Mem > 0 || !e.bonus.IsZero() {
@@ -499,6 +528,9 @@ func (n *Node) oomCheck(e *exec) {
 		// returns them instantly, so no kill — the slow-progress penalty of
 		// function.Rate models the pressure instead.
 		return
+	}
+	if n.Tracer != nil {
+		n.Tracer.Record(obs.Event{T: n.eng.Now(), Inv: int64(e.inv.ID), Kind: obs.KindOOMKill, Node: n.id})
 	}
 	n.abort(e)
 	if n.OnFailure != nil {
@@ -563,6 +595,9 @@ func (n *Node) safeguardCheck(e *exec, threshold float64) {
 		return
 	}
 	e.inv.Safeguard = true
+	if n.Tracer != nil {
+		n.Tracer.Record(obs.Event{T: n.eng.Now(), Inv: int64(e.inv.ID), Kind: obs.KindSafeguard, Node: n.id})
+	}
 	n.restoreHarvested(e)
 }
 
@@ -692,6 +727,10 @@ func (n *Node) complete(e *exec) {
 		n.eng.Cancel(e.oomEv)
 	}
 	e.inv.End = now
+	if n.Tracer != nil {
+		n.Tracer.Record(obs.Event{T: now, Inv: int64(e.inv.ID), Kind: obs.KindComplete,
+			Node: n.id, Val: e.inv.ResponseLatency()})
+	}
 	delete(n.running, e.inv.ID)
 	n.committed = n.committed.Sub(e.inv.Reservation())
 	if !e.bonus.IsZero() {
@@ -813,6 +852,13 @@ func (n *Node) Crash() []*Invocation {
 		aborted = append(aborted, e.inv)
 	}
 	sort.Slice(aborted, func(i, j int) bool { return aborted[i].ID < aborted[j].ID })
+	if n.Tracer != nil {
+		// Emitted after the sort: trace order must not depend on map
+		// iteration.
+		for _, inv := range aborted {
+			n.Tracer.Record(obs.Event{T: now, Inv: int64(inv.ID), Kind: obs.KindCrashAbort, Node: n.id})
+		}
+	}
 
 	n.running = make(map[harvest.ID]*exec)
 	n.warm = make(map[string][]float64)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"libra/internal/metrics"
+	"libra/internal/obs"
 	"libra/internal/platform"
 	"libra/internal/trace"
 )
@@ -65,6 +66,9 @@ type Config struct {
 	// CoverageWeight overrides the demand-coverage α = 0.9 (§8.8).
 	CoverageWeight float64
 	Seed           int64
+	// Tracer, when non-nil, receives the run's invocation-lifecycle
+	// events (DESIGN.md §6e). nil disables tracing with zero overhead.
+	Tracer obs.Tracer
 }
 
 func (c Config) platformConfig() (platform.Config, error) {
@@ -120,6 +124,7 @@ func (c Config) platformConfig() (platform.Config, error) {
 	if c.CoverageWeight > 0 {
 		cfg.CoverageAlpha = c.CoverageWeight
 	}
+	cfg.Tracer = c.Tracer
 	return cfg, nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"testing"
+
+	"libra/internal/obs"
 )
 
 func renderWith(t *testing.T, id string, o Options) []byte {
@@ -39,11 +41,47 @@ func TestDeterministicRendering(t *testing.T) {
 // byte-identical to the serial path. Each unit derives its own seed from
 // its index, so completion order cannot leak into the merge.
 func TestParallelMatchesSerial(t *testing.T) {
-	for _, id := range []string{"fig6", "fig9", "fig12", "table2", "figf1"} {
+	for _, id := range []string{"fig6", "fig9", "fig12", "table2", "figf1", "figo1"} {
 		serial := renderWith(t, id, Options{Seed: 7, Quick: true, Parallel: 1})
 		parallel := renderWith(t, id, Options{Seed: 7, Quick: true, Parallel: 4})
 		if !bytes.Equal(serial, parallel) {
 			t.Fatalf("%s: parallel render differs from serial", id)
+		}
+	}
+}
+
+// The tentpole's trace-determinism contract: with Options.Trace set, the
+// exported JSONL — not just the render — is byte-identical across
+// -parallel values. The collector pre-allocates one recorder per unit and
+// flushes in (block, unit) order, so worker completion order can't leak
+// into the export.
+func TestParallelTraceBytesIdentical(t *testing.T) {
+	export := func(id string, par int) []byte {
+		col := obs.NewCollector()
+		renderWith(t, id, Options{Seed: 7, Quick: true, Parallel: par, Trace: col})
+		var buf bytes.Buffer
+		if err := col.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, id := range []string{"fig6", "figf1", "figo1"} {
+		serial := export(id, 1)
+		parallel := export(id, 4)
+		if len(serial) == 0 {
+			t.Fatalf("%s: traced run exported no events", id)
+		}
+		if !bytes.Equal(serial, parallel) {
+			t.Fatalf("%s: parallel trace differs from serial (%d vs %d bytes)",
+				id, len(serial), len(parallel))
+		}
+		// And the export is machine-readable end to end.
+		events, err := obs.ReadJSONL(bytes.NewReader(serial))
+		if err != nil {
+			t.Fatalf("%s: exported JSONL does not parse: %v", id, err)
+		}
+		if len(events) == 0 {
+			t.Fatalf("%s: no events parsed back", id)
 		}
 	}
 }

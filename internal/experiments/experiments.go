@@ -25,6 +25,7 @@ import (
 	"sync"
 	"text/tabwriter"
 
+	"libra/internal/obs"
 	"libra/internal/platform"
 	"libra/internal/trace"
 )
@@ -45,6 +46,13 @@ type Options struct {
 	// Progress, when non-nil, is called after each completed unit of the
 	// current fan-out. Calls are serialized; keep the callback fast.
 	Progress func(ProgressEvent)
+	// Trace, when non-nil, collects the full invocation-lifecycle trace of
+	// every unit the experiment runs (DESIGN.md §6e). Each fan-out claims
+	// one collector block and gives every unit its own recorder, so the
+	// merged trace is byte-identical for every Parallel setting. nil (the
+	// default) disables tracing entirely — no recorder is allocated and
+	// the platforms run with a nil tracer.
+	Trace *obs.Collector
 }
 
 // ProgressEvent reports one completed unit of a running fan-out.

@@ -37,6 +37,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "table2", "fig13", "fig14", "fig15", "fig16", "overheads",
 		"figf1", // beyond the paper: fault tolerance (sorts after paper order)
+		"figo1", // beyond the paper: trace-derived latency breakdown
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"libra/internal/obs"
 	"libra/internal/platform"
 	"libra/internal/trace"
 )
@@ -97,11 +98,13 @@ type cell struct {
 // averages.
 func sweepResults(ctx context.Context, o Options, cells []cell) ([][]*platform.Result, error) {
 	reps := o.Reps
+	blk := traceBlock(o, len(cells)*reps)
 	flat, err := fanOut(ctx, o, len(cells)*reps, func(i int) *platform.Result {
 		c, r := cells[i/reps], i%reps
 		seed := o.Seed + int64(r)*101
 		cfg := c.cfg
 		cfg.Seed = seed
+		cfg.Tracer = unitTracer(blk, i)
 		return runPlatform(cfg, c.mkSet(seed))
 	})
 	if err != nil {
@@ -117,9 +120,31 @@ func sweepResults(ctx context.Context, o Options, cells []cell) ([][]*platform.R
 // singleRuns fans out one run per cell at the base seed (no repetition
 // averaging — the timeline and scatter figures show a single run).
 func singleRuns(ctx context.Context, o Options, cells []cell) ([]*platform.Result, error) {
+	blk := traceBlock(o, len(cells))
 	return fanOut(ctx, o, len(cells), func(i int) *platform.Result {
 		cfg := cells[i].cfg
 		cfg.Seed = o.Seed
+		cfg.Tracer = unitTracer(blk, i)
 		return runPlatform(cfg, cells[i].mkSet(o.Seed))
 	})
+}
+
+// traceBlock claims a collector block for an n-unit fan-out, or nil when
+// tracing is off. Blocks are claimed before the fan-out starts and units
+// are pre-allocated, so workers never synchronize on the collector and
+// the merged event order is a pure function of (block, unit) indices.
+func traceBlock(o Options, n int) *obs.Block {
+	if o.Trace == nil {
+		return nil
+	}
+	return o.Trace.Block(n)
+}
+
+// unitTracer resolves unit i's recorder; a nil block keeps the platform's
+// tracer nil (zero-cost untraced run).
+func unitTracer(blk *obs.Block, i int) obs.Tracer {
+	if blk == nil {
+		return nil
+	}
+	return blk.Unit(i)
 }

@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"libra/internal/obs"
 )
 
 // ID identifies a function invocation (the source or borrower of
@@ -90,6 +92,11 @@ type Pool struct {
 	pooledVol    int64
 	idleIntegral float64
 
+	// lifecycle tracing (nil = disabled; see SetTracer)
+	tracer    obs.Tracer
+	traceNode int
+	traceAxis string
+
 	// counters for reports
 	totalPut, totalGot, totalExpired, totalReharvested int64
 }
@@ -101,6 +108,16 @@ func New() *Pool {
 		loans:    make(map[ID][]*Loan),
 		seq:      make(map[ID]int64),
 	}
+}
+
+// SetTracer attaches a lifecycle tracer to the pool; node and axis
+// ("cpu" or "mem") label every event the pool emits. A nil tracer (the
+// default) disables tracing at the cost of one nil check per potential
+// event.
+func (p *Pool) SetTracer(tr obs.Tracer, node int, axis string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tracer, p.traceNode, p.traceAxis = tr, node, axis
 }
 
 func (p *Pool) advance(now float64) {
@@ -132,12 +149,26 @@ func (p *Pool) Put(now float64, src ID, vol int64, expiry float64) {
 	}
 	p.pooledVol += vol
 	p.totalPut += vol
+	if p.tracer != nil {
+		p.tracer.Record(obs.Event{T: now, Inv: int64(src), Kind: obs.KindHarvest,
+			Node: p.traceNode, Axis: p.traceAxis, Val: float64(vol)})
+	}
 }
 
 // Get borrows up to want units for borrower, preferring units whose
 // expiry is farthest in the future. It is best-effort: the returned loans
 // may cover less than want (or be empty). Units already expired relative
 // to now are skipped and dropped.
+//
+// Expiry invariant: expiry only governs the *pooled* remainder. A loan,
+// once granted, survives its source's expiry estimate — the borrower
+// physically holds the units until the source's explicit release
+// (ReleaseSource on completion or safeguard retreat, ReleaseAll on node
+// crash) or until the borrower returns them via Reharvest. The expiry is
+// an estimate of the source's completion; a source running past it still
+// owns its lent units, so LentBy and OutstandingLoans keep counting them
+// (the OOM fault model depends on this). Dropping an expired entry here
+// therefore touches p.bySource only, never p.loans.
 func (p *Pool) Get(now float64, borrower ID, want int64) []*Loan {
 	if want <= 0 {
 		return nil
@@ -168,10 +199,16 @@ func (p *Pool) Get(now float64, borrower ID, want int64) []*Loan {
 		}
 		if e.Expiry <= now {
 			// The source should already have released these; drop stale
-			// units defensively rather than lend invalid resources.
+			// units defensively rather than lend invalid resources. Its
+			// outstanding loans deliberately survive (see the invariant
+			// above).
 			p.pooledVol -= e.Vol
 			p.totalExpired += e.Vol
 			p.remove(e.Source)
+			if p.tracer != nil {
+				p.tracer.Record(obs.Event{T: now, Inv: int64(e.Source), Kind: obs.KindExpire,
+					Node: p.traceNode, Axis: p.traceAxis, Val: float64(e.Vol)})
+			}
 			continue
 		}
 		take := e.Vol
@@ -188,6 +225,10 @@ func (p *Pool) Get(now float64, borrower ID, want int64) []*Loan {
 		p.loans[e.Source] = append(p.loans[e.Source], loan)
 		out = append(out, loan)
 		want -= take
+		if p.tracer != nil {
+			p.tracer.Record(obs.Event{T: now, Inv: int64(borrower), Kind: obs.KindLoanGrant,
+				Node: p.traceNode, Peer: int64(loan.Source), Axis: p.traceAxis, Val: float64(take)})
+		}
 	}
 	return out
 }
@@ -205,6 +246,10 @@ func (p *Pool) Reharvest(now float64, loan *Loan) {
 	}
 	if loan.Expiry <= now {
 		p.totalExpired += loan.Vol
+		if p.tracer != nil {
+			p.tracer.Record(obs.Event{T: now, Inv: int64(loan.Source), Kind: obs.KindExpire,
+				Node: p.traceNode, Peer: int64(loan.Borrower), Axis: p.traceAxis, Val: float64(loan.Vol)})
+		}
 		return
 	}
 	if e, ok := p.bySource[loan.Source]; ok {
@@ -216,6 +261,10 @@ func (p *Pool) Reharvest(now float64, loan *Loan) {
 	}
 	p.pooledVol += loan.Vol
 	p.totalReharvested += loan.Vol
+	if p.tracer != nil {
+		p.tracer.Record(obs.Event{T: now, Inv: int64(loan.Source), Kind: obs.KindReharvest,
+			Node: p.traceNode, Peer: int64(loan.Borrower), Axis: p.traceAxis, Val: float64(loan.Vol)})
+	}
 }
 
 // ReleaseAll reconciles the whole pool at once — the node-crash path: the
@@ -235,6 +284,12 @@ func (p *Pool) ReleaseAll(now float64) (pooled int64, revoked []*Loan) {
 	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
 	for _, src := range sources {
 		revoked = append(revoked, p.loans[src]...)
+	}
+	if p.tracer != nil {
+		for _, l := range revoked {
+			p.tracer.Record(obs.Event{T: now, Inv: int64(l.Borrower), Kind: obs.KindLoanRevoke,
+				Node: p.traceNode, Peer: int64(l.Source), Axis: p.traceAxis, Val: float64(l.Vol)})
+		}
 	}
 	pooled = p.pooledVol
 	p.pooledVol = 0
@@ -272,6 +327,12 @@ func (p *Pool) ReleaseSource(now float64, src ID) (pooled int64, revoked []*Loan
 	}
 	revoked = p.loans[src]
 	delete(p.loans, src)
+	if p.tracer != nil {
+		for _, l := range revoked {
+			p.tracer.Record(obs.Event{T: now, Inv: int64(l.Borrower), Kind: obs.KindLoanRevoke,
+				Node: p.traceNode, Peer: int64(l.Source), Axis: p.traceAxis, Val: float64(l.Vol)})
+		}
+	}
 	return pooled, revoked
 }
 

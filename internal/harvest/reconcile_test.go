@@ -40,6 +40,55 @@ func TestReleaseAllReconcilesEverything(t *testing.T) {
 	}
 }
 
+// Pins the expiry invariant documented on Get: dropping an expired
+// *pooled* entry must not strip the source's outstanding loans. Expiry is
+// only an estimate of the source's completion — a source running past it
+// still physically backs the units its borrowers hold, so the loans (and
+// everything keyed on them: LentBy for the OOM model, OutstandingLoans,
+// revocation on explicit release) survive until ReleaseSource/ReleaseAll
+// or a borrower's Reharvest.
+func TestExpiredDropKeepsLoans(t *testing.T) {
+	p := New()
+	p.Put(0, 1, 500, 10) // source 1, expires at t=10
+	loans := p.Get(1, 7, 200)
+	if len(loans) != 1 || loans[0].Vol != 200 {
+		t.Fatalf("test setup: loans = %v", loans)
+	}
+
+	// Past the expiry, a Get sweeps the stale pooled remainder (300)...
+	if got := p.Get(20, 8, 100); got != nil {
+		t.Fatalf("expired entry was lent out: %v", got)
+	}
+	if p.Available(20) != 0 {
+		t.Fatal("expired remainder still pooled")
+	}
+	// ...but the 200 on loan survive: the OOM model must keep seeing them.
+	if got := p.LentBy(1); got != 200 {
+		t.Fatalf("LentBy(1) after expired drop = %d, want 200 (loans revoked on expiry?)", got)
+	}
+	if got := p.OutstandingLoans(); got != 200 {
+		t.Fatalf("OutstandingLoans after expired drop = %d, want 200", got)
+	}
+
+	// The explicit release is what finally reconciles the loans.
+	pooled, revoked := p.ReleaseSource(21, 1)
+	if pooled != 0 {
+		t.Fatalf("pooled at release = %d, want 0 (already dropped)", pooled)
+	}
+	if len(revoked) != 1 || revoked[0].Vol != 200 {
+		t.Fatalf("revoked = %v, want the surviving 200-unit loan", revoked)
+	}
+	if p.LentBy(1) != 0 || p.OutstandingLoans() != 0 {
+		t.Fatal("loans outstanding after explicit release")
+	}
+
+	// Conservation: everything Put is accounted for exactly once.
+	s := p.Stats()
+	if s.Put != 500 || s.Got != 200 || s.Expired != 300 {
+		t.Fatalf("stats = %+v, want Put=500 Got=200 Expired=300", s)
+	}
+}
+
 func TestLentBy(t *testing.T) {
 	p := New()
 	p.Put(0, 1, 500, 100)

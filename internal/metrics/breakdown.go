@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"sort"
+
+	"libra/internal/obs"
+)
+
+// InvBreakdown attributes one invocation's end-to-end response latency
+// to lifecycle phases (the Fig 13-style per-request decomposition,
+// §8.5). The components partition [arrival, end] exactly:
+//
+//   - Sched: arrival → placement decision (front-end + profiler
+//     overheads and scheduler queueing/decision time, per attempt);
+//   - Startup: decision → code start (dispatch + container init);
+//   - Exec: code running (or aborted mid-flight);
+//   - Stall: re-rate stalls of the recovery path — from an abort (node
+//     crash, OOM kill) to the retry's re-entry into a scheduler queue
+//     (the backoff wait).
+//
+// Sched + Startup + Exec + Stall telescopes to End − Arrival, so the
+// spans sum to the reported response latency up to float rounding.
+type InvBreakdown struct {
+	Inv int64
+	App string
+
+	Sched   float64
+	Startup float64
+	Exec    float64
+	Stall   float64
+
+	// Total is End − Arrival for completed invocations, abandonment
+	// time − Arrival otherwise.
+	Total float64
+	// Retries counts abort→retry round trips observed in the trace.
+	Retries int
+	// Completed is false for invocations abandoned by the retry policy.
+	Completed bool
+}
+
+// Sum returns the summed phase components.
+func (b InvBreakdown) Sum() float64 { return b.Sched + b.Startup + b.Exec + b.Stall }
+
+// invPhase is the aggregator's per-invocation state machine position.
+type invPhase int
+
+const (
+	phaseSched invPhase = iota
+	phaseStartup
+	phaseExec
+	phaseStall
+	phaseDone
+)
+
+// BreakdownFromEvents folds a lifecycle trace (obs events in engine
+// order, as a Recorder collects them) into per-invocation latency
+// breakdowns, sorted by invocation ID. Events of unknown invocations
+// (no arrival seen) and point events that do not move the phase machine
+// (loans, harvests, safeguards) are ignored — they refine *why* a phase
+// was slow, not where its boundaries lie.
+func BreakdownFromEvents(events []obs.Event) []InvBreakdown {
+	type state struct {
+		bd    InvBreakdown
+		phase invPhase
+		mark  float64 // time the current phase began
+		t0    float64 // arrival
+	}
+	states := map[int64]*state{}
+
+	// advance closes the current phase at time t.
+	advance := func(s *state, t float64) {
+		dt := t - s.mark
+		if dt < 0 {
+			dt = 0
+		}
+		switch s.phase {
+		case phaseSched:
+			s.bd.Sched += dt
+		case phaseStartup:
+			s.bd.Startup += dt
+		case phaseExec:
+			s.bd.Exec += dt
+		case phaseStall:
+			s.bd.Stall += dt
+		}
+		s.mark = t
+	}
+
+	for _, ev := range events {
+		if ev.Kind == obs.KindArrival {
+			states[ev.Inv] = &state{
+				bd:   InvBreakdown{Inv: ev.Inv, App: ev.App},
+				mark: ev.T, t0: ev.T,
+			}
+			continue
+		}
+		s, ok := states[ev.Inv]
+		if !ok || s.phase == phaseDone {
+			continue
+		}
+		switch ev.Kind {
+		case obs.KindQueued:
+			if s.phase == phaseStall {
+				advance(s, ev.T)
+				s.phase = phaseSched
+				s.bd.Retries++
+			}
+		case obs.KindDecision:
+			if s.phase == phaseSched {
+				advance(s, ev.T)
+				s.phase = phaseStartup
+			}
+		case obs.KindExecStart:
+			if s.phase == phaseStartup {
+				advance(s, ev.T)
+				s.phase = phaseExec
+			}
+		case obs.KindOOMKill, obs.KindCrashAbort:
+			// A crash can abort an invocation still in container init, so
+			// any pre-completion phase closes here.
+			advance(s, ev.T)
+			s.phase = phaseStall
+		case obs.KindComplete:
+			advance(s, ev.T)
+			s.bd.Total = ev.T - s.t0
+			s.bd.Completed = true
+			s.phase = phaseDone
+		case obs.KindAbandon:
+			advance(s, ev.T)
+			s.bd.Total = ev.T - s.t0
+			s.phase = phaseDone
+		}
+	}
+
+	out := make([]InvBreakdown, 0, len(states))
+	for _, s := range states {
+		out = append(out, s.bd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Inv < out[j].Inv })
+	return out
+}
+
+// BreakdownSummary is the mean per-invocation phase decomposition of a
+// set of breakdowns.
+type BreakdownSummary struct {
+	Count     int
+	Abandoned int
+	// Mean seconds per completed invocation.
+	Sched, Startup, Exec, Stall, Total float64
+	// MeanRetries is the mean abort→retry count per invocation
+	// (completed and abandoned alike).
+	MeanRetries float64
+}
+
+// SummarizeBreakdowns reduces per-invocation breakdowns to their means.
+// Only completed invocations contribute to the phase means (an abandoned
+// invocation has no response latency to attribute); every invocation
+// contributes to MeanRetries.
+func SummarizeBreakdowns(bds []InvBreakdown) BreakdownSummary {
+	var s BreakdownSummary
+	retries := 0
+	for _, b := range bds {
+		retries += b.Retries
+		if !b.Completed {
+			s.Abandoned++
+			continue
+		}
+		s.Count++
+		s.Sched += b.Sched
+		s.Startup += b.Startup
+		s.Exec += b.Exec
+		s.Stall += b.Stall
+		s.Total += b.Total
+	}
+	if s.Count > 0 {
+		n := float64(s.Count)
+		s.Sched /= n
+		s.Startup /= n
+		s.Exec /= n
+		s.Stall /= n
+		s.Total /= n
+	}
+	if all := len(bds); all > 0 {
+		s.MeanRetries = float64(retries) / float64(all)
+	}
+	return s
+}
+
+// Add merges o into s as if both were computed over one concatenated
+// breakdown set (weighted by completed counts for the phase means).
+func (s *BreakdownSummary) Add(o BreakdownSummary) {
+	tc := s.Count + o.Count
+	if tc > 0 {
+		ws, wo := float64(s.Count)/float64(tc), float64(o.Count)/float64(tc)
+		s.Sched = s.Sched*ws + o.Sched*wo
+		s.Startup = s.Startup*ws + o.Startup*wo
+		s.Exec = s.Exec*ws + o.Exec*wo
+		s.Stall = s.Stall*ws + o.Stall*wo
+		s.Total = s.Total*ws + o.Total*wo
+	}
+	ta := len4retries(s) + len4retries(&o)
+	if ta > 0 {
+		s.MeanRetries = (s.MeanRetries*float64(len4retries(s)) + o.MeanRetries*float64(len4retries(&o))) / float64(ta)
+	}
+	s.Count = tc
+	s.Abandoned += o.Abandoned
+}
+
+// len4retries is the population MeanRetries was computed over.
+func len4retries(s *BreakdownSummary) int { return s.Count + s.Abandoned }

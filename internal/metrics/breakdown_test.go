@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"libra/internal/obs"
+)
+
+// ev is shorthand for building synthetic lifecycle traces.
+func ev(t float64, inv int64, k obs.Kind) obs.Event {
+	return obs.Event{T: t, Inv: inv, Kind: k}
+}
+
+func TestBreakdownHappyPath(t *testing.T) {
+	events := []obs.Event{
+		{T: 1, Inv: 7, Kind: obs.KindArrival, App: "DH"},
+		ev(1.1, 7, obs.KindQueued),
+		ev(1.5, 7, obs.KindDecision),
+		ev(1.5, 7, obs.KindColdStart),
+		ev(2.0, 7, obs.KindExecStart),
+		ev(12.0, 7, obs.KindComplete),
+	}
+	bds := BreakdownFromEvents(events)
+	if len(bds) != 1 {
+		t.Fatalf("got %d breakdowns, want 1", len(bds))
+	}
+	b := bds[0]
+	if b.Inv != 7 || b.App != "DH" || !b.Completed || b.Retries != 0 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	want := InvBreakdown{Sched: 0.5, Startup: 0.5, Exec: 10, Stall: 0, Total: 11}
+	if b.Sched != want.Sched || b.Startup != want.Startup || b.Exec != want.Exec || b.Stall != want.Stall {
+		t.Fatalf("phases = %+v, want %+v", b, want)
+	}
+	if math.Abs(b.Sum()-b.Total) > 1e-12 {
+		t.Fatalf("spans sum to %g, e2e is %g", b.Sum(), b.Total)
+	}
+}
+
+func TestBreakdownRetryStall(t *testing.T) {
+	// OOM-killed at t=5, re-queued after a 2s backoff, completes on the
+	// retry. The backoff is the stall component; the retry's decision and
+	// startup accrue to sched/startup again.
+	events := []obs.Event{
+		{T: 0, Inv: 1, Kind: obs.KindArrival},
+		ev(0.2, 1, obs.KindDecision),
+		ev(0.6, 1, obs.KindExecStart),
+		ev(5.0, 1, obs.KindOOMKill),
+		{T: 7.0, Inv: 1, Kind: obs.KindQueued, Val: 1},
+		ev(7.3, 1, obs.KindDecision),
+		ev(7.8, 1, obs.KindExecStart),
+		ev(15.0, 1, obs.KindComplete),
+	}
+	b := BreakdownFromEvents(events)[0]
+	if !b.Completed || b.Retries != 1 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%s = %g, want %g", name, got, want)
+		}
+	}
+	check("Stall", b.Stall, 2.0)                // 5.0 → 7.0 backoff
+	check("Sched", b.Sched, 0.2+0.3)            // both attempts
+	check("Startup", b.Startup, 0.4+0.5)        // both attempts
+	check("Exec", b.Exec, (5.0-0.6)+(15.0-7.8)) // aborted + successful
+	check("Sum", b.Sum(), b.Total)
+	check("Total", b.Total, 15.0)
+}
+
+func TestBreakdownAbandon(t *testing.T) {
+	events := []obs.Event{
+		{T: 0, Inv: 3, Kind: obs.KindArrival},
+		ev(0.5, 3, obs.KindDecision),
+		ev(1.0, 3, obs.KindExecStart),
+		ev(2.0, 3, obs.KindCrashAbort),
+		ev(4.0, 3, obs.KindAbandon),
+	}
+	b := BreakdownFromEvents(events)[0]
+	if b.Completed {
+		t.Fatal("abandoned invocation marked completed")
+	}
+	if b.Stall != 2.0 || b.Total != 4.0 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+}
+
+func TestBreakdownIgnoresUnknownAndPointEvents(t *testing.T) {
+	events := []obs.Event{
+		ev(1, 9, obs.KindComplete), // no arrival seen — dropped
+		{T: 0, Inv: 1, Kind: obs.KindArrival},
+		ev(0.5, 1, obs.KindDecision),
+		ev(1.0, 1, obs.KindExecStart),
+		ev(1.5, 1, obs.KindLoanGrant), // refines, doesn't bound
+		ev(1.6, 1, obs.KindSafeguard),
+		ev(3.0, 1, obs.KindComplete),
+		ev(4.0, 1, obs.KindComplete), // post-completion duplicate — dropped
+	}
+	bds := BreakdownFromEvents(events)
+	if len(bds) != 1 {
+		t.Fatalf("got %d breakdowns, want 1", len(bds))
+	}
+	if b := bds[0]; b.Exec != 2.0 || b.Total != 3.0 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+}
+
+func TestSummarizeBreakdowns(t *testing.T) {
+	bds := []InvBreakdown{
+		{Sched: 1, Startup: 1, Exec: 4, Total: 6, Completed: true},
+		{Sched: 3, Startup: 1, Exec: 8, Stall: 2, Total: 14, Retries: 1, Completed: true},
+		{Sched: 1, Stall: 9, Total: 10, Retries: 3}, // abandoned
+	}
+	s := SummarizeBreakdowns(bds)
+	if s.Count != 2 || s.Abandoned != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Sched != 2 || s.Exec != 6 || s.Stall != 1 || s.Total != 10 {
+		t.Fatalf("means = %+v", s)
+	}
+	if want := 4.0 / 3.0; math.Abs(s.MeanRetries-want) > 1e-12 {
+		t.Fatalf("MeanRetries = %g, want %g", s.MeanRetries, want)
+	}
+
+	// Add must equal a one-shot summary over the concatenation.
+	a := SummarizeBreakdowns(bds[:1])
+	b := SummarizeBreakdowns(bds[1:])
+	a.Add(b)
+	if a.Count != s.Count || a.Abandoned != s.Abandoned {
+		t.Fatalf("merged counts = %+v, want %+v", a, s)
+	}
+	for name, pair := range map[string][2]float64{
+		"Sched": {a.Sched, s.Sched}, "Exec": {a.Exec, s.Exec},
+		"Stall": {a.Stall, s.Stall}, "Total": {a.Total, s.Total},
+		"MeanRetries": {a.MeanRetries, s.MeanRetries},
+	} {
+		if math.Abs(pair[0]-pair[1]) > 1e-12 {
+			t.Fatalf("merged %s = %g, one-shot %g", name, pair[0], pair[1])
+		}
+	}
+}

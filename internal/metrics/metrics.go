@@ -112,37 +112,26 @@ type UtilizationSample struct {
 // time interval — the data behind the Fig 7 timelines and the Fig 11
 // average/peak utilization bars.
 type UtilizationTracker struct {
-	eng      *sim.Engine
-	nodes    []*cluster.Node
-	interval float64
-	samples  []UtilizationSample
-	capCPU   float64
-	capMem   float64
-	stopped  bool
+	eng     *sim.Engine
+	nodes   []*cluster.Node
+	samples []UtilizationSample
+	capCPU  float64
+	capMem  float64
+	ticker  *sim.Ticker
 }
 
 // NewUtilizationTracker starts sampling every interval seconds until
 // Stop is called. Sampling keeps the event queue non-empty, so callers
 // must Stop it (or use RunUntil) to let the simulation drain.
 func NewUtilizationTracker(eng *sim.Engine, nodes []*cluster.Node, interval float64) *UtilizationTracker {
-	t := &UtilizationTracker{eng: eng, nodes: nodes, interval: interval}
+	t := &UtilizationTracker{eng: eng, nodes: nodes}
 	for _, n := range nodes {
 		c := n.Capacity()
 		t.capCPU += c.CPU.Cores()
 		t.capMem += float64(c.Mem)
 	}
-	t.schedule()
+	t.ticker = eng.Every(interval, t.sample)
 	return t
-}
-
-func (t *UtilizationTracker) schedule() {
-	t.eng.Schedule(t.interval, func() {
-		if t.stopped {
-			return
-		}
-		t.sample()
-		t.schedule()
-	})
 }
 
 func (t *UtilizationTracker) sample() {
@@ -156,13 +145,21 @@ func (t *UtilizationTracker) sample() {
 		s.CPUAlloc += a.CPU.Cores()
 		s.MemAlloc += float64(a.Mem)
 	}
-	s.CPUFrac = s.CPUUsed / t.capCPU
-	s.MemFrac = s.MemUsed / t.capMem
+	// A tracker over an empty (or zero-capacity) node set reports zero
+	// fractions rather than dividing to NaN.
+	if t.capCPU > 0 {
+		s.CPUFrac = s.CPUUsed / t.capCPU
+	}
+	if t.capMem > 0 {
+		s.MemFrac = s.MemUsed / t.capMem
+	}
 	t.samples = append(t.samples, s)
 }
 
-// Stop halts sampling (future scheduled ticks become no-ops).
-func (t *UtilizationTracker) Stop() { t.stopped = true }
+// Stop halts sampling and cancels the armed sampling event, so a stopped
+// tracker leaves nothing in the engine's queue and the simulation drains
+// without stepping one more empty interval.
+func (t *UtilizationTracker) Stop() { t.ticker.Stop() }
 
 // Samples returns the collected observations.
 func (t *UtilizationTracker) Samples() []UtilizationSample { return t.samples }

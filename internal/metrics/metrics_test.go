@@ -129,6 +129,56 @@ func TestUtilizationTracker(t *testing.T) {
 	}
 }
 
+// Regression: Stop must cancel the armed sampling event, not just flag
+// the tracker stopped. The old flag-only Stop left the tick queued, so a
+// drained simulation still stepped one empty interval past the last real
+// event — the same lifecycle bug sim.Ticker.Stop fixes.
+func TestUtilizationTrackerStopCancelsPending(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewUtilizationTracker(eng, nil, 1)
+	if eng.Pending() == 0 {
+		t.Fatal("tracker armed no sampling event")
+	}
+	tr.Stop()
+	if p := eng.Pending(); p != 0 {
+		t.Fatalf("Pending() = %d after Stop, want 0 (stale sampling event left queued)", p)
+	}
+	eng.Run()
+	if now := eng.Now(); now != 0 {
+		t.Fatalf("engine advanced to %gs draining a stopped tracker", now)
+	}
+	// Stop is idempotent.
+	tr.Stop()
+}
+
+// Regression: sampling an empty node set (zero capacity) must report
+// zero utilization fractions, not divide to NaN and poison every
+// downstream average.
+func TestUtilizationTrackerEmptyNodeSet(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewUtilizationTracker(eng, nil, 1)
+	eng.RunUntil(3)
+	tr.Stop()
+	samples := tr.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(samples))
+	}
+	for _, s := range samples {
+		if math.IsNaN(s.CPUFrac) || math.IsNaN(s.MemFrac) {
+			t.Fatalf("NaN utilization fraction at t=%g: %+v", s.T, s)
+		}
+		if s.CPUFrac != 0 || s.MemFrac != 0 {
+			t.Fatalf("non-zero fraction with zero capacity at t=%g: %+v", s.T, s)
+		}
+	}
+	avgCPU, peakCPU, avgMem, peakMem := tr.AveragePeak(0)
+	for name, v := range map[string]float64{"avgCPU": avgCPU, "peakCPU": peakCPU, "avgMem": avgMem, "peakMem": peakMem} {
+		if math.IsNaN(v) || v != 0 {
+			t.Fatalf("%s = %g with zero capacity, want 0", name, v)
+		}
+	}
+}
+
 func TestAveragePeakHorizon(t *testing.T) {
 	eng := sim.NewEngine()
 	node := cluster.NewNode(eng, 0, resources.Vector{CPU: resources.Cores(8), Mem: 8192})

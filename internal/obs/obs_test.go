@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestKindNamesComplete(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := Kind(0); k < kindCount; k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "Kind(") {
+			t.Fatalf("Kind %d has no stable name", k)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("kinds %d and %d share the name %q", prev, k, name)
+		}
+		seen[name] = k
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Fatalf("unknown kind String = %q", Kind(200).String())
+	}
+}
+
+func TestKindJSONRoundTrip(t *testing.T) {
+	for k := Kind(0); k < kindCount; k++ {
+		data, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var back Kind
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != k {
+			t.Fatalf("round trip %v → %s → %v", k, data, back)
+		}
+	}
+	if _, err := json.Marshal(Kind(200)); err == nil {
+		t.Fatal("marshaling an unknown kind should fail")
+	}
+	var k Kind
+	if err := json.Unmarshal([]byte(`"no_such_kind"`), &k); err == nil {
+		t.Fatal("unmarshaling an unknown name should fail")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{T: 0.25, Inv: 0, Kind: KindArrival, Node: -1, App: "DH"},
+		{T: 0.5, Inv: 0, Kind: KindDecision, Node: 2, Val: 0.75},
+		{T: 1, Inv: 0, Kind: KindLoanGrant, Node: 2, Peer: 9, Axis: "cpu", Val: 4000},
+		{T: 9, Inv: 0, Kind: KindComplete, Node: 2, Val: 8.75},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != len(events) {
+		t.Fatalf("wrote %d lines, want %d", n, len(events))
+	}
+	back, err := ReadJSONL(strings.NewReader(buf.String() + "\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, events) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, events)
+	}
+	if _, err := ReadJSONL(strings.NewReader("{\"t\":1}\nnot json\n")); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed line error = %v, want a line-2 error", err)
+	}
+}
+
+func TestRecorderOrder(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 5; i++ {
+		r.Record(Event{T: float64(i), Inv: int64(i)})
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	for i, ev := range r.Events() {
+		if ev.Inv != int64(i) {
+			t.Fatalf("event %d is inv %d — order not preserved", i, ev.Inv)
+		}
+	}
+}
+
+// The collector's merged order must be a pure function of (block, unit)
+// indices — here units record "out of order" relative to the merge, as a
+// parallel fan-out would.
+func TestCollectorDeterministicOrder(t *testing.T) {
+	c := NewCollector()
+	b1 := c.Block(3)
+	b2 := c.Block(2)
+	// Record in scrambled completion order.
+	b2.Unit(1).Record(Event{Inv: 41})
+	b1.Unit(2).Record(Event{Inv: 2})
+	b1.Unit(0).Record(Event{Inv: 0})
+	b2.Unit(0).Record(Event{Inv: 40})
+	b1.Unit(1).Record(Event{Inv: 1})
+	if b1.Units() != 3 || b2.Units() != 2 {
+		t.Fatalf("unit counts = %d, %d", b1.Units(), b2.Units())
+	}
+	var got []int64
+	for _, ev := range c.Events() {
+		got = append(got, ev.Inv)
+	}
+	want := []int64{0, 1, 2, 40, 41}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged order = %v, want %v", got, want)
+	}
+
+	var a, b bytes.Buffer
+	if err := c.WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b, c.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Collector.WriteJSONL differs from WriteJSONL(Events())")
+	}
+}

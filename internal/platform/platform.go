@@ -17,6 +17,7 @@ import (
 	"libra/internal/function"
 	"libra/internal/harvest"
 	"libra/internal/metrics"
+	"libra/internal/obs"
 	"libra/internal/profiler"
 	"libra/internal/resources"
 	"libra/internal/safeguard"
@@ -129,6 +130,12 @@ type Config struct {
 	// value disables every fault and keeps the platform byte-identical to
 	// a fault-free build; see faults.Config for the knobs.
 	Faults faults.Config
+	// Tracer, when non-nil, records the invocation-lifecycle trace
+	// (DESIGN.md §6e): every span event of every invocation, in engine
+	// order, with virtual timestamps. The nil default disables tracing
+	// entirely — no event values are built, nothing allocates, and the
+	// simulation outcome is byte-identical to an untraced run.
+	Tracer obs.Tracer
 	Seed   int64
 }
 
@@ -316,6 +323,11 @@ func New(cfg Config) (*Platform, error) {
 		n.OnFailure = p.onFailure
 		n.CPUPool.Order = cfg.PoolLendOrder
 		n.MemPool.Order = cfg.PoolLendOrder
+		if cfg.Tracer != nil {
+			n.Tracer = cfg.Tracer
+			n.CPUPool.SetTracer(cfg.Tracer, i, "cpu")
+			n.MemPool.SetTracer(cfg.Tracer, i, "mem")
+		}
 		p.nodes = append(p.nodes, n)
 	}
 	if cfg.PingInterval > 0 {
@@ -338,6 +350,11 @@ func New(cfg Config) (*Platform, error) {
 		}
 		return algo
 	})
+	if cfg.Tracer != nil {
+		for _, s := range p.shards {
+			s.Tracer = cfg.Tracer
+		}
+	}
 	switch cfg.Estimator {
 	case EstProfiler:
 		p.est = profiler.New(profiler.Config{
@@ -435,6 +452,10 @@ func (p *Platform) arrive(ti trace.Invocation) {
 		UserAlloc: spec.UserAlloc,
 		Arrival:   p.eng.Now(),
 	}
+	if p.cfg.Tracer != nil {
+		p.cfg.Tracer.Record(obs.Event{T: inv.Arrival, Inv: int64(inv.ID),
+			Kind: obs.KindArrival, Node: -1, App: spec.Name})
+	}
 	if m := p.cfg.Faults.StragglerMultiplier(p.cfg.Seed, int64(ti.ID)); m > 1 {
 		// Straggler injection: the execution runs a multiple of its
 		// reference duration (the estimator still observes the inflated
@@ -486,6 +507,10 @@ func (p *Platform) enqueue(q *queued, ready float64) {
 	pick := math.Max(ready, shard.BusyUntil)
 	service := DecisionOverhead + p.cfg.DispatchTime
 	shard.BusyUntil = pick + service
+	if p.cfg.Tracer != nil {
+		p.cfg.Tracer.Record(obs.Event{T: ready, Inv: int64(inv.ID),
+			Kind: obs.KindQueued, Node: -1, Val: float64(q.attempt)})
+	}
 
 	p.eng.At(shard.BusyUntil, func() {
 		inv.SchedPick = pick
@@ -637,6 +662,10 @@ func (p *Platform) onFailure(inv *cluster.Invocation, kind cluster.FailureKind) 
 
 	q.attempt++
 	if q.attempt > p.cfg.Faults.Retries() {
+		if p.cfg.Tracer != nil {
+			p.cfg.Tracer.Record(obs.Event{T: p.eng.Now(), Inv: int64(inv.ID),
+				Kind: obs.KindAbandon, Node: -1, Val: float64(q.attempt - 1)})
+		}
 		p.result.Faults.Abandoned++
 		p.remaining--
 		if p.remaining == 0 {

@@ -1,0 +1,117 @@
+package platform
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"libra/internal/faults"
+	"libra/internal/metrics"
+	"libra/internal/obs"
+	"libra/internal/trace"
+)
+
+// tracedFaultyConfig exercises every emission site: harvesting platforms,
+// OOM kills, crashes (→ retries and stalls), and stragglers.
+func tracedFaultyConfig(seed int64) Config {
+	cfg := PresetLibra(MultiNode(), seed)
+	cfg.Faults = faults.Config{CrashMTBF: 400, OOMKill: true, StragglerFraction: 0.05}
+	return cfg
+}
+
+// The tentpole acceptance check: every completed invocation's trace spans
+// (sched + startup + exec + stall) telescope to its end-to-end response
+// latency, and that latency matches the platform's own record.
+func TestTraceSpansSumToLatency(t *testing.T) {
+	rec := obs.NewRecorder()
+	cfg := tracedFaultyConfig(7)
+	cfg.Tracer = rec
+	r := MustNew(cfg).Run(trace.MultiSet(120, 7))
+	if rec.Len() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+
+	bds := metrics.BreakdownFromEvents(rec.Events())
+	if len(bds) == 0 {
+		t.Fatal("no breakdowns derived from the trace")
+	}
+	byInv := map[int64]metrics.InvBreakdown{}
+	completed := 0
+	for _, b := range bds {
+		byInv[b.Inv] = b
+		if !b.Completed {
+			continue
+		}
+		completed++
+		if gap := math.Abs(b.Sum() - b.Total); gap > 1e-9 {
+			t.Errorf("inv %d: spans sum to %.12f, e2e is %.12f (gap %g)", b.Inv, b.Sum(), b.Total, gap)
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no completed invocations in the trace")
+	}
+	if completed != len(r.Records) {
+		t.Fatalf("trace saw %d completions, platform recorded %d", completed, len(r.Records))
+	}
+	for _, rr := range r.Records {
+		b, ok := byInv[int64(rr.Inv.ID)]
+		if !ok {
+			t.Fatalf("invocation %d missing from the trace", rr.Inv.ID)
+		}
+		if math.Abs(b.Total-rr.Latency) > 1e-9 {
+			t.Fatalf("inv %d: trace e2e %.12f, platform latency %.12f", rr.Inv.ID, b.Total, rr.Latency)
+		}
+	}
+}
+
+// The zero-cost contract of DESIGN.md §6e: attaching a tracer must not
+// change the simulation in any way — the traced run's Result is
+// indistinguishable from the nil-tracer run's.
+func TestNilTracerIdenticalOutcome(t *testing.T) {
+	run := func(tr obs.Tracer) *Result {
+		cfg := tracedFaultyConfig(11)
+		cfg.Tracer = tr
+		return MustNew(cfg).Run(trace.MultiSet(120, 11))
+	}
+	plain := run(nil)
+	traced := run(obs.NewRecorder())
+
+	if !reflect.DeepEqual(plain.Latencies(), traced.Latencies()) {
+		t.Fatal("latencies differ between nil-tracer and traced runs")
+	}
+	if !reflect.DeepEqual(plain.Speedups(), traced.Speedups()) {
+		t.Fatal("speedups differ between nil-tracer and traced runs")
+	}
+	if !reflect.DeepEqual(plain.Samples, traced.Samples) {
+		t.Fatal("utilization samples differ between nil-tracer and traced runs")
+	}
+	if plain.CompletionTime != traced.CompletionTime ||
+		plain.Harvested != traced.Harvested ||
+		plain.Accelerated != traced.Accelerated ||
+		plain.Safeguarded != traced.Safeguarded ||
+		plain.ColdStarts != traced.ColdStarts ||
+		plain.Faults != traced.Faults {
+		t.Fatalf("scalar outcomes differ:\nnil:    %+v %+v\ntraced: %+v %+v",
+			resumeScalars(plain), plain.Faults, resumeScalars(traced), traced.Faults)
+	}
+}
+
+func resumeScalars(r *Result) [5]float64 {
+	return [5]float64{r.CompletionTime, float64(r.Harvested), float64(r.Accelerated),
+		float64(r.Safeguarded), float64(r.ColdStarts)}
+}
+
+// A traced run is itself deterministic: two identical runs produce
+// byte-for-byte the same event log.
+func TestTraceDeterministic(t *testing.T) {
+	run := func() []obs.Event {
+		rec := obs.NewRecorder()
+		cfg := tracedFaultyConfig(3)
+		cfg.Tracer = rec
+		MustNew(cfg).Run(trace.MultiSet(120, 3))
+		return rec.Events()
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("two identical traced runs produced different event logs")
+	}
+}

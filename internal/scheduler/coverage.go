@@ -208,6 +208,11 @@ type Libra struct {
 	// nil reads the pools live.
 	Status func(n *cluster.Node) (cpu, mem []harvest.Entry)
 	hash   HashDefault
+
+	// lastScore is the weighted coverage of the most recent successful
+	// coverage-path selection (0 after a hash-path decision); Shard reads
+	// it to annotate decision trace events.
+	lastScore float64
 }
 
 // Name implements Algorithm.
@@ -219,6 +224,7 @@ func (l *Libra) Select(req Request, nodes []*cluster.Node, admit func(*cluster.N
 	if alpha == 0 {
 		alpha = 0.9
 	}
+	l.lastScore = 0
 	if !req.Accelerable() {
 		return l.hash.Select(req, nodes, admit)
 	}
@@ -246,6 +252,9 @@ func (l *Libra) Select(req Request, nodes []*cluster.Node, admit func(*cluster.N
 		if d := WeightedCoverage(dc, dm, alpha); d > bestD {
 			best, bestD = n, d
 		}
+	}
+	if best != nil {
+		l.lastScore = bestD
 	}
 	return best
 }

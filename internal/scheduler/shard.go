@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"libra/internal/cluster"
+	"libra/internal/obs"
 	"libra/internal/resources"
 )
 
@@ -24,6 +25,12 @@ type Shard struct {
 	// occupied handling earlier invocations; the platform uses it to
 	// model decision queueing (strong/weak scaling, Fig 12).
 	BusyUntil float64
+
+	// Tracer, if set, records one decision event per successful
+	// placement, carrying the chosen node and — when the Libra coverage
+	// algorithm decided — its weighted demand-coverage score. nil
+	// disables tracing at the cost of one nil check per decision.
+	Tracer obs.Tracer
 
 	decisions int64
 }
@@ -110,6 +117,14 @@ func (s *Shard) Select(req Request, nodes []*cluster.Node) *cluster.Node {
 	}
 	s.committed[n.ID()] = s.committed[n.ID()].Add(req.Inv.Reservation())
 	s.decisions++
+	if s.Tracer != nil {
+		score := 0.0
+		if l, ok := s.algorithm.(*Libra); ok {
+			score = l.lastScore
+		}
+		s.Tracer.Record(obs.Event{T: req.Now, Inv: int64(req.Inv.ID),
+			Kind: obs.KindDecision, Node: n.ID(), Val: score})
+	}
 	return n
 }
 
