@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check fmt-check vet bench quick report examples clean
+.PHONY: all build test race check fmt-check vet bench bench-json quick report examples clean
 
 # Default verify path: formatting, vet, build, tests — then the race
 # detector over the whole module (the parallel experiment harness must
@@ -29,8 +29,14 @@ vet:
 
 check: fmt-check vet build test
 
+# benchstat-comparable output: pipe two runs into benchstat to compare.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Refresh the committed perf-trajectory report (the baseline snapshot in
+# the file is preserved; only the current snapshot is rewritten).
+bench-json:
+	$(GO) run ./cmd/libra-bench -json BENCH_PR4.json
 
 quick:
 	$(GO) run ./cmd/libra-bench -quick

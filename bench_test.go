@@ -14,6 +14,7 @@ import (
 	"io"
 	"testing"
 
+	"libra/internal/benchkit"
 	"libra/internal/experiments"
 	"libra/internal/function"
 	"libra/internal/harvest"
@@ -58,6 +59,7 @@ func BenchmarkFig16CoverageWeight(b *testing.B) {
 }
 func BenchmarkOverheadReport(b *testing.B) { benchExperiment(b, "overheads") }
 func BenchmarkFigF1Faults(b *testing.B)    { benchExperiment(b, "figf1") }
+func BenchmarkFigs2Jetstream(b *testing.B) { benchExperiment(b, "figs2") }
 func BenchmarkFigO1Breakdown(b *testing.B) { benchExperiment(b, "figo1") }
 
 // BenchmarkPlatformTracedVsUntraced pins the nil-tracer zero-cost
@@ -237,3 +239,14 @@ func BenchmarkTraceGeneration(b *testing.B) {
 		trace.Generate("bench", function.Apps(), 1000, 120, int64(i))
 	}
 }
+
+// Hot-path registry (internal/benchkit): the same benchmarks that
+// cmd/libra-bench -json measures into the committed perf report, exposed
+// to `go test -bench` so CI's smoke pass exercises them too.
+
+func BenchmarkHotEngineSteadyState(b *testing.B)      { benchkit.BenchEngineSteadyState(b) }
+func BenchmarkHotEngineRerate(b *testing.B)           { benchkit.BenchEngineRerate(b) }
+func BenchmarkHotShardSelectLibra50(b *testing.B)     { benchkit.BenchShardSelectLibra50(b) }
+func BenchmarkHotShardSelectSaturated50(b *testing.B) { benchkit.BenchShardSelectSaturated50(b) }
+func BenchmarkHotPoolLifecycle(b *testing.B)          { benchkit.BenchPoolLifecycle(b) }
+func BenchmarkHotPlatformMultiNode(b *testing.B)      { benchkit.BenchPlatformMultiNode(b) }

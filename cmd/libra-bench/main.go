@@ -9,6 +9,7 @@
 //	libra-bench -seed 7 -reps 5
 //	libra-bench -parallel 8  # bound the worker pool (default GOMAXPROCS)
 //	libra-bench -exp figo1 -trace out.jsonl
+//	libra-bench -json BENCH_PR4.json   # benchmark mode: perf trajectory report
 //
 // Each experiment fans its independent (config × repetition) units over
 // a worker pool; the rendered output is byte-identical for every
@@ -16,6 +17,13 @@
 // unit's invocation-lifecycle events (DESIGN.md §6e) and writes the
 // merged JSONL — also byte-identical across -parallel values — when all
 // experiments finish.
+//
+// Benchmark mode (-json FILE) runs the fixed hot-path micro-benchmark
+// registry plus a quick-mode wall-time pass over every experiment cell
+// and writes a benchkit report: the first run records the baseline
+// snapshot, later runs preserve it and refresh the current one, so the
+// committed file carries the perf trajectory across PRs. Benchstat-
+// comparable lines are printed to stdout as the benchmarks run.
 package main
 
 import (
@@ -27,9 +35,47 @@ import (
 	"os/signal"
 	"time"
 
+	"libra/internal/benchkit"
 	"libra/internal/experiments"
 	"libra/internal/obs"
 )
+
+// runBenchmarks is the -json mode: measure the hot-path registry (and
+// optionally every experiment cell), merge into any existing report so
+// the baseline snapshot is preserved, and write the file.
+func runBenchmarks(path string, cells bool) error {
+	var prev *benchkit.Report
+	if data, err := os.ReadFile(path); err == nil {
+		if prev, err = benchkit.Load(data); err != nil {
+			return err
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	snap, err := benchkit.Measure(benchkit.HotPath(), cells, os.Stdout)
+	if err != nil {
+		return err
+	}
+	report := benchkit.Merge(prev, snap)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, bm := range benchkit.HotPath() {
+		if allocs, ns, ok := report.Delta(bm.Name); ok {
+			fmt.Printf("delta %-28s allocs/op %+7.1f%%  ns/op %+7.1f%%\n", bm.Name, allocs, ns)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "libra-bench: wrote perf report to %s\n", path)
+	return nil
+}
 
 func main() {
 	var (
@@ -41,8 +87,18 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker pool size for experiment units (0 = GOMAXPROCS, 1 = serial)")
 		progress = flag.Bool("progress", true, "report per-unit completion on stderr")
 		traceOut = flag.String("trace", "", "write the invocation-lifecycle trace of every unit as JSONL to this file")
+		jsonOut  = flag.String("json", "", "benchmark mode: run the hot-path benchmark registry and write the perf report to this file")
+		cells    = flag.Bool("cells", true, "benchmark mode: also time a quick-mode run of every experiment cell")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := runBenchmarks(*jsonOut, *cells); err != nil {
+			fmt.Fprintf(os.Stderr, "libra-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -1,0 +1,223 @@
+// Package benchkit is the reproducible benchmark subsystem behind
+// cmd/libra-bench -json: a fixed registry of hot-path micro-benchmarks
+// (simulator engine, scheduler, harvest pool, end-to-end platform) plus
+// wall-time measurements of every registered experiment cell, reduced to
+// a JSON report so each PR records a perf trajectory (BENCH_PR4.json and
+// successors) that benchstat and humans can diff.
+//
+// The kit measures through testing.Benchmark, so numbers are the same
+// ns/op, B/op and allocs/op that `go test -bench` reports, and Print
+// emits benchstat-parseable lines. A report carries two snapshots:
+// Baseline (recorded once, before an optimization lands) and Current
+// (refreshed on each run) — Merge implements that write-once-baseline
+// policy so a committed report always shows the trajectory against the
+// same fixed reference.
+package benchkit
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"libra/internal/experiments"
+)
+
+// Schema identifies the report layout for future readers.
+const Schema = "libra-bench/v1"
+
+// BenchResult is one micro-benchmark measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// CellResult is one experiment cell: a quick-mode run of a registered
+// experiment, timed wall-clock with its observed peak heap.
+type CellResult struct {
+	Experiment    string  `json:"experiment"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+}
+
+// Snapshot is one full measurement pass on one machine.
+type Snapshot struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+	Cells      []CellResult  `json:"cells,omitempty"`
+}
+
+// Report pairs the pre-change baseline with the current numbers.
+type Report struct {
+	Schema string `json:"schema"`
+	// Baseline is recorded once — the first -json run writes it and every
+	// later run preserves it — so allocs/op and ops/sec deltas are always
+	// against the same pre-change reference.
+	Baseline *Snapshot `json:"baseline"`
+	// Current is refreshed by every run.
+	Current *Snapshot `json:"current"`
+}
+
+// Bench is one registered hot-path micro-benchmark. Names follow Go
+// benchmark conventions (CamelCase, no spaces) so Print's output feeds
+// straight into benchstat.
+type Bench struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// Measure runs every registered hot-path benchmark plus (optionally) the
+// experiment cells, and returns the snapshot.
+func Measure(benches []Bench, cells bool, log io.Writer) (*Snapshot, error) {
+	s := &Snapshot{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.F)
+		br := BenchResult{
+			Name:        bm.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if br.NsPerOp > 0 {
+			br.OpsPerSec = 1e9 / br.NsPerOp
+		}
+		s.Benchmarks = append(s.Benchmarks, br)
+		if log != nil {
+			fmt.Fprintf(log, "Benchmark%s-%d\t%d\t%.1f ns/op\t%d B/op\t%d allocs/op\n",
+				bm.Name, s.GOMAXPROCS, r.N, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
+		}
+	}
+	if cells {
+		for _, e := range experiments.All() {
+			cr, err := measureCell(e)
+			if err != nil {
+				return nil, fmt.Errorf("benchkit: cell %s: %w", e.ID, err)
+			}
+			s.Cells = append(s.Cells, cr)
+			if log != nil {
+				fmt.Fprintf(log, "cell %-10s %8.2fs  peak heap %s\n",
+					cr.Experiment, cr.WallSeconds, fmtBytes(cr.PeakHeapBytes))
+			}
+		}
+	}
+	return s, nil
+}
+
+// measureCell times one quick-mode experiment run while a sampler tracks
+// the peak live heap.
+func measureCell(e experiments.Experiment) (CellResult, error) {
+	stop := make(chan struct{})
+	peakc := make(chan uint64, 1)
+	go func() {
+		var ms runtime.MemStats
+		var peak uint64
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				peakc <- peak
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	r, err := e.Run(context.Background(), experiments.Options{Seed: 42, Quick: true})
+	wall := time.Since(start).Seconds()
+	close(stop)
+	peak := <-peakc
+	if err != nil {
+		return CellResult{}, err
+	}
+	r.Render(io.Discard)
+	return CellResult{Experiment: e.ID, WallSeconds: wall, PeakHeapBytes: peak}, nil
+}
+
+// Merge folds a fresh snapshot into an existing report (nil for none):
+// the first snapshot ever recorded becomes the immutable baseline, every
+// later one replaces Current.
+func Merge(prev *Report, s *Snapshot) *Report {
+	r := &Report{Schema: Schema}
+	if prev != nil && prev.Baseline != nil {
+		r.Baseline = prev.Baseline
+		r.Current = s
+	} else {
+		r.Baseline = s
+		r.Current = s
+	}
+	return r
+}
+
+// Load reads a report written by Write.
+func Load(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchkit: parse report: %w", err)
+	}
+	return &r, nil
+}
+
+// Write renders the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Delta summarizes current-vs-baseline for one benchmark name; ok is
+// false when either side is missing it.
+func (r *Report) Delta(name string) (allocsPct, nsPct float64, ok bool) {
+	b, okB := find(r.Baseline, name)
+	c, okC := find(r.Current, name)
+	if !okB || !okC || b.AllocsPerOp == 0 || b.NsPerOp == 0 {
+		return 0, 0, false
+	}
+	allocsPct = 100 * (float64(c.AllocsPerOp) - float64(b.AllocsPerOp)) / float64(b.AllocsPerOp)
+	nsPct = 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+	return allocsPct, nsPct, true
+}
+
+func find(s *Snapshot, name string) (BenchResult, bool) {
+	if s == nil {
+		return BenchResult{}, false
+	}
+	for _, b := range s.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return BenchResult{}, false
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}

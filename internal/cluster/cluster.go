@@ -146,10 +146,10 @@ type exec struct {
 	remaining  float64 // work left, in rate-1 seconds
 	rate       float64
 	lastUpdate float64
-	initEv     *sim.Event // pending container-init completion
-	doneEv     *sim.Event
-	sgEv       *sim.Event
-	oomEv      *sim.Event
+	initEv     sim.Handle // pending container-init completion
+	doneEv     sim.Handle
+	sgEv       sim.Handle
+	oomEv      sim.Handle
 	started    bool // code execution began (past cold start)
 }
 
@@ -193,6 +193,11 @@ type Node struct {
 	// invocations through Crash's return value instead, so the caller
 	// controls the recovery order).
 	OnFailure func(*Invocation, FailureKind)
+
+	// freeExec recycles execution records (one per completed invocation);
+	// hungryBuf is replenish's reusable candidate buffer.
+	freeExec  []*exec
+	hungryBuf []*exec
 }
 
 // DefaultWarmTTL is how long an idle warm container is kept before
@@ -298,6 +303,26 @@ func (n *Node) AllocatedNow() resources.Vector {
 	return a
 }
 
+// BonusOut returns the summed outstanding revocable bonus grants.
+func (n *Node) BonusOut() resources.Vector { return n.bonusOut }
+
+// AuditAllocations sums the allocation components of every in-flight
+// invocation (whether or not its container has initialized). It is the
+// node-side half of the conservation double entry the property tests
+// assert after every event:
+//
+//	Σ own + pooled + lent + expired-live == committed   (per axis)
+//	Σ borrowed == outstanding loans                     (per axis)
+//	Σ bonus == BonusOut ≤ capacity − committed
+func (n *Node) AuditAllocations() (own, borrowed, bonus resources.Vector) {
+	for _, e := range n.running {
+		own = own.Add(e.own)
+		borrowed = borrowed.Add(e.borrowed)
+		bonus = bonus.Add(e.bonus)
+	}
+	return own, borrowed, bonus
+}
+
 // accumulate advances the usage/allocation integrals to now.
 func (n *Node) accumulate() {
 	now := n.eng.Now()
@@ -348,12 +373,11 @@ func (n *Node) Start(inv *Invocation, opts StartOptions) {
 		inv.Accelerate = true // supplementary allocation beyond the user reservation
 	}
 
-	e := &exec{
-		inv:       inv,
-		node:      n,
-		own:       opts.OwnAlloc,
-		remaining: inv.Actual.Duration,
-	}
+	e := n.newExec()
+	e.inv = inv
+	e.node = n
+	e.own = opts.OwnAlloc
+	e.remaining = inv.Actual.Duration
 	n.running[inv.ID] = e
 
 	// Container acquisition: reuse a warm container if one survives its
@@ -403,7 +427,7 @@ func (n *Node) replenish() {
 	if n.CPUPool.Available(now) == 0 && n.MemPool.Available(now) == 0 {
 		return
 	}
-	var hungry []*exec
+	hungry := n.hungryBuf[:0]
 	for _, e := range n.running {
 		if !e.started {
 			continue
@@ -412,7 +436,19 @@ func (n *Node) replenish() {
 			hungry = append(hungry, e)
 		}
 	}
-	sort.Slice(hungry, func(i, j int) bool { return hungry[i].inv.ID < hungry[j].inv.ID })
+	n.hungryBuf = hungry[:0]
+	// Insertion sort by invocation ID (unique, so a strict total order):
+	// replenish runs after every supply event, and sort.Slice's closure
+	// allocations would dominate it.
+	for i := 1; i < len(hungry); i++ {
+		e := hungry[i]
+		j := i - 1
+		for j >= 0 && hungry[j].inv.ID > e.inv.ID {
+			hungry[j+1] = hungry[j]
+			j--
+		}
+		hungry[j+1] = e
+	}
 	for _, e := range hungry {
 		needCPU := int64(e.wantExtra.CPU - e.borrowed.CPU)
 		needMem := int64(e.wantExtra.Mem - e.borrowed.Mem)
@@ -443,7 +479,7 @@ func (n *Node) replenish() {
 func (n *Node) beginExecution(e *exec, opts StartOptions) {
 	now := n.eng.Now()
 	n.accumulate() // close the cold-start interval before usage changes
-	e.initEv = nil
+	e.initEv = sim.Handle{}
 	e.inv.ExecStart = now
 	e.started = true
 	if n.Tracer != nil {
@@ -541,10 +577,7 @@ func (n *Node) oomCheck(e *exec) {
 // scheduleCompletion (re)schedules e's completion event from its current
 // rate and remaining work.
 func (n *Node) scheduleCompletion(e *exec) {
-	if e.doneEv != nil {
-		n.eng.Cancel(e.doneEv)
-		e.doneEv = nil
-	}
+	n.eng.Cancel(e.doneEv) // no-op on the zero handle or a fired event
 	if e.rate <= 0 {
 		// Starved (should not happen: own allocation is always positive).
 		panic(fmt.Sprintf("cluster: invocation %d starved at rate 0", e.inv.ID))
@@ -720,12 +753,8 @@ func (n *Node) complete(e *exec) {
 	now := n.eng.Now()
 	n.accumulate()
 	e.progress(now)
-	if e.sgEv != nil {
-		n.eng.Cancel(e.sgEv)
-	}
-	if e.oomEv != nil {
-		n.eng.Cancel(e.oomEv)
-	}
+	n.eng.Cancel(e.sgEv)
+	n.eng.Cancel(e.oomEv)
 	e.inv.End = now
 	if n.Tracer != nil {
 		n.Tracer.Record(obs.Event{T: now, Inv: int64(e.inv.ID), Kind: obs.KindComplete,
@@ -773,17 +802,44 @@ func (n *Node) complete(e *exec) {
 	if n.OnComplete != nil {
 		n.OnComplete(e.inv)
 	}
+	// The record is unreachable now: it left n.running above, its events
+	// have all fired or been cancelled, and no caller retains it past
+	// OnComplete. Recycle it for the next Start.
+	n.putExec(e)
+}
+
+// newExec returns a fresh or recycled execution record.
+func (n *Node) newExec() *exec {
+	if k := len(n.freeExec); k > 0 {
+		e := n.freeExec[k-1]
+		n.freeExec[k-1] = nil
+		n.freeExec = n.freeExec[:k-1]
+		return e
+	}
+	return &exec{}
+}
+
+// putExec resets a finished execution record and parks it for reuse. The
+// loan slices keep their storage but drop their pointers.
+func (n *Node) putExec(e *exec) {
+	for i := range e.cpuLoans {
+		e.cpuLoans[i] = nil
+	}
+	for i := range e.memLoans {
+		e.memLoans[i] = nil
+	}
+	*e = exec{cpuLoans: e.cpuLoans[:0], memLoans: e.memLoans[:0]}
+	n.freeExec = append(n.freeExec, e)
 }
 
 // cancelEvents disarms every pending event of an exec so an aborted
 // invocation cannot fire a stale completion, safeguard or OOM check.
 func (n *Node) cancelEvents(e *exec) {
-	for _, ev := range []*sim.Event{e.initEv, e.doneEv, e.sgEv, e.oomEv} {
-		if ev != nil {
-			n.eng.Cancel(ev)
-		}
-	}
-	e.initEv, e.doneEv, e.sgEv, e.oomEv = nil, nil, nil, nil
+	n.eng.Cancel(e.initEv)
+	n.eng.Cancel(e.doneEv)
+	n.eng.Cancel(e.sgEv)
+	n.eng.Cancel(e.oomEv)
+	e.initEv, e.doneEv, e.sgEv, e.oomEv = sim.Handle{}, sim.Handle{}, sim.Handle{}, sim.Handle{}
 }
 
 // abort removes one failed in-flight invocation from a live node: its

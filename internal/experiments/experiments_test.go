@@ -38,6 +38,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig12", "table2", "fig13", "fig14", "fig15", "fig16", "overheads",
 		"figf1", // beyond the paper: fault tolerance (sorts after paper order)
 		"figo1", // beyond the paper: trace-derived latency breakdown
+		"figs2", // beyond the paper: jetstream-scale replay
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden renders. Run it deliberately and review
+// the diff: a golden change means experiment *results* changed, which the
+// hot-path optimization work is contractually forbidden to do.
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment renders")
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".txt")
+}
+
+// TestGoldenRenders pins the quick-mode render of every registered
+// experiment byte-for-byte. Renders are pure functions of (seed, Quick,
+// Reps) — virtual time, not wall time — so they are stable across
+// machines and parallelism settings; any byte diff is a behavior change.
+func TestGoldenRenders(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			r, err := e.Run(context.Background(), Options{Seed: 42, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			r.Render(&buf)
+			path := goldenPath(e.ID)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden for %s (run with -update to create): %v", e.ID, err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("%s render diverged from golden (%s):\n%s", e.ID, path, renderDiff(want, buf.Bytes()))
+			}
+		})
+	}
+}
+
+// TestGoldenCoversEveryExperiment fails when a registered experiment has
+// no committed golden — new experiments must pin their render when they
+// land, not after.
+func TestGoldenCoversEveryExperiment(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating goldens")
+	}
+	for _, e := range All() {
+		if _, err := os.Stat(goldenPath(e.ID)); err != nil {
+			t.Errorf("experiment %q has no golden render (go test ./internal/experiments -run TestGoldenRenders -update)", e.ID)
+		}
+	}
+}
+
+// renderDiff points at the first diverging line so a golden failure is
+// readable without an external diff tool.
+func renderDiff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("first diff at line %d:\n-%s\n+%s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d, got %d", len(wl), len(gl))
+}

@@ -212,7 +212,7 @@ type Injector struct {
 type nodeFaults struct {
 	id      int
 	rng     *rand.Rand
-	ev      *sim.Event
+	ev      sim.Handle
 	downAt  float64
 	isDown  bool
 	pending bool
@@ -279,10 +279,8 @@ func (inj *Injector) Stop() {
 	inj.stopped = true
 	now := inj.eng.Now()
 	for _, nf := range inj.nodes {
-		if nf.ev != nil {
-			inj.eng.Cancel(nf.ev)
-			nf.ev = nil
-		}
+		inj.eng.Cancel(nf.ev)
+		nf.ev = sim.Handle{}
 		if nf.isDown {
 			inj.downtime += now - nf.downAt
 			nf.isDown = false

@@ -92,6 +92,14 @@ type Pool struct {
 	pooledVol    int64
 	idleIntegral float64
 
+	// expiredLive tracks, per still-live source, the volume dropped on
+	// expiry (the pool stopped lending it, but the units physically remain
+	// inside the source's committed reservation until its release). The
+	// conservation audit needs it to close the per-node double entry:
+	// Σ own + pooled + lent + expired-live == committed.
+	expiredLive    map[ID]int64
+	expiredLiveVol int64
+
 	// lifecycle tracing (nil = disabled; see SetTracer)
 	tracer    obs.Tracer
 	traceNode int
@@ -99,14 +107,19 @@ type Pool struct {
 
 	// counters for reports
 	totalPut, totalGot, totalExpired, totalReharvested int64
+
+	// scratch is Get's reusable candidate buffer (guarded by mu), so the
+	// lend path allocates nothing for its sort.
+	scratch []*Entry
 }
 
 // New returns an empty pool.
 func New() *Pool {
 	return &Pool{
-		bySource: make(map[ID]*Entry),
-		loans:    make(map[ID][]*Loan),
-		seq:      make(map[ID]int64),
+		bySource:    make(map[ID]*Entry),
+		loans:       make(map[ID][]*Loan),
+		seq:         make(map[ID]int64),
+		expiredLive: make(map[ID]int64),
 	}
 }
 
@@ -176,21 +189,35 @@ func (p *Pool) Get(now float64, borrower ID, want int64) []*Loan {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.advance(now)
-	entries := make([]*Entry, 0, len(p.bySource))
+	entries := p.scratch[:0]
 	for _, e := range p.bySource {
 		entries = append(entries, e)
 	}
+	p.scratch = entries[:0]
+	// Insertion sorts: both comparators are strict total orders (Source is
+	// unique per pool), so the result is the unique sorted permutation —
+	// and unlike sort.Slice this allocates nothing, which matters because
+	// every lend on the acceleration path sorts here.
 	if p.Order == FIFO {
-		sort.Slice(entries, func(i, j int) bool {
-			return p.seq[entries[i].Source] < p.seq[entries[j].Source]
-		})
-	} else {
-		sort.Slice(entries, func(i, j int) bool {
-			if entries[i].Expiry != entries[j].Expiry {
-				return entries[i].Expiry > entries[j].Expiry
+		for i := 1; i < len(entries); i++ {
+			e, s := entries[i], p.seq[entries[i].Source]
+			j := i - 1
+			for j >= 0 && p.seq[entries[j].Source] > s {
+				entries[j+1] = entries[j]
+				j--
 			}
-			return entries[i].Source < entries[j].Source // deterministic tie-break
-		})
+			entries[j+1] = e
+		}
+	} else {
+		for i := 1; i < len(entries); i++ {
+			e := entries[i]
+			j := i - 1
+			for j >= 0 && entryLess(*e, *entries[j]) {
+				entries[j+1] = entries[j]
+				j--
+			}
+			entries[j+1] = e
+		}
 	}
 	var out []*Loan
 	for _, e := range entries {
@@ -204,6 +231,8 @@ func (p *Pool) Get(now float64, borrower ID, want int64) []*Loan {
 			// above).
 			p.pooledVol -= e.Vol
 			p.totalExpired += e.Vol
+			p.expiredLive[e.Source] += e.Vol
+			p.expiredLiveVol += e.Vol
 			p.remove(e.Source)
 			if p.tracer != nil {
 				p.tracer.Record(obs.Event{T: now, Inv: int64(e.Source), Kind: obs.KindExpire,
@@ -246,6 +275,8 @@ func (p *Pool) Reharvest(now float64, loan *Loan) {
 	}
 	if loan.Expiry <= now {
 		p.totalExpired += loan.Vol
+		p.expiredLive[loan.Source] += loan.Vol
+		p.expiredLiveVol += loan.Vol
 		if p.tracer != nil {
 			p.tracer.Record(obs.Event{T: now, Inv: int64(loan.Source), Kind: obs.KindExpire,
 				Node: p.traceNode, Peer: int64(loan.Borrower), Axis: p.traceAxis, Val: float64(loan.Vol)})
@@ -296,6 +327,8 @@ func (p *Pool) ReleaseAll(now float64) (pooled int64, revoked []*Loan) {
 	p.bySource = make(map[ID]*Entry)
 	p.loans = make(map[ID][]*Loan)
 	p.seq = make(map[ID]int64)
+	p.expiredLive = make(map[ID]int64)
+	p.expiredLiveVol = 0
 	return pooled, revoked
 }
 
@@ -327,6 +360,10 @@ func (p *Pool) ReleaseSource(now float64, src ID) (pooled int64, revoked []*Loan
 	}
 	revoked = p.loans[src]
 	delete(p.loans, src)
+	if v, ok := p.expiredLive[src]; ok {
+		p.expiredLiveVol -= v
+		delete(p.expiredLive, src)
+	}
 	if p.tracer != nil {
 		for _, l := range revoked {
 			p.tracer.Record(obs.Event{T: now, Inv: int64(l.Borrower), Kind: obs.KindLoanRevoke,
@@ -378,19 +415,60 @@ func (p *Pool) Available(now float64) int64 {
 // descending expiry. This is the status information piggybacked on the
 // node's health ping messages (§6.4) for demand-coverage computation.
 func (p *Pool) Entries() []Entry {
+	return p.AppendEntries(nil)
+}
+
+// AppendEntries appends the Entries snapshot to buf and returns the
+// extended slice. Callers on the ping/coverage hot path pass their
+// previous snapshot's storage (buf[:0]) so the periodic status refresh
+// stops allocating once the buffers reach steady-state size.
+func (p *Pool) AppendEntries(buf []Entry) []Entry {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make([]Entry, 0, len(p.bySource))
+	start := len(buf)
 	for _, e := range p.bySource {
-		out = append(out, *e)
+		buf = append(buf, *e)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Expiry != out[j].Expiry {
-			return out[i].Expiry > out[j].Expiry
+	out := buf[start:]
+	// Allocation-free insertion sort under the same strict total order as
+	// Get's priority path; snapshots are small (one entry per source).
+	for i := 1; i < len(out); i++ {
+		e := out[i]
+		j := i - 1
+		for j >= 0 && entryLess(e, out[j]) {
+			out[j+1] = out[j]
+			j--
 		}
-		return out[i].Source < out[j].Source
-	})
-	return out
+		out[j+1] = e
+	}
+	return buf
+}
+
+// entryLess is the pool's priority order: descending expiry, ascending
+// source on ties (sources are unique, so this is a strict total order).
+func entryLess(a, b Entry) bool {
+	if a.Expiry != b.Expiry {
+		return a.Expiry > b.Expiry
+	}
+	return a.Source < b.Source
+}
+
+// PooledVol returns the tracked pooled volume (lent and expired units
+// excluded), with no expiry filtering — the raw double-entry figure the
+// conservation audit sums against committed reservations.
+func (p *Pool) PooledVol() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pooledVol
+}
+
+// ExpiredLive returns the volume dropped on expiry whose source has not
+// yet released — units the pool no longer lends but which still occupy
+// their source's committed reservation.
+func (p *Pool) ExpiredLive() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.expiredLiveVol
 }
 
 // OutstandingLoans returns the total volume currently lent out.

@@ -41,11 +41,32 @@ func (c *TreeConfig) defaults() {
 	}
 }
 
+// splitScratch holds the split-search working buffers, reused across
+// every node of one Fit: per-threshold class counts, the sorted feature
+// values, the all-features candidate list, and the partition buffer.
+// Training fits thousands of nodes per model and the window estimator
+// refits per prediction, so these were the simulator's top allocators.
+type splitScratch struct {
+	vals   []float64
+	lc, rc []int
+	feats  []int
+	part   []int
+}
+
+func (sc *splitScratch) counts(k int) (lc, rc []int) {
+	if cap(sc.lc) < k {
+		sc.lc = make([]int, k)
+		sc.rc = make([]int, k)
+	}
+	return sc.lc[:k], sc.rc[:k]
+}
+
 // DecisionTreeClassifier is a CART classifier using Gini impurity.
 type DecisionTreeClassifier struct {
 	Config TreeConfig
 	root   *treeNode
 	k      int
+	sc     splitScratch
 }
 
 // FitClassifier implements Classifier.
@@ -89,11 +110,11 @@ func (t *DecisionTreeClassifier) grow(X [][]float64, y []int, idx []int, depth i
 	if pure || depth >= t.Config.MaxDepth || len(idx) < 2*t.Config.MinSamplesLeaf {
 		return &treeNode{feature: -1, class: maj}
 	}
-	feat, thr, ok := bestSplitGini(X, y, idx, t.k, t.Config)
+	feat, thr, ok := bestSplitGini(X, y, idx, t.k, t.Config, &t.sc)
 	if !ok {
 		return &treeNode{feature: -1, class: maj}
 	}
-	li, ri := partition(X, idx, feat, thr)
+	li, ri := partition(X, idx, feat, thr, &t.sc)
 	if len(li) < t.Config.MinSamplesLeaf || len(ri) < t.Config.MinSamplesLeaf {
 		return &treeNode{feature: -1, class: maj}
 	}
@@ -109,6 +130,7 @@ func (t *DecisionTreeClassifier) grow(X [][]float64, y []int, idx []int, depth i
 type DecisionTreeRegressor struct {
 	Config TreeConfig
 	root   *treeNode
+	sc     splitScratch
 }
 
 // FitRegressor implements Regressor.
@@ -140,11 +162,11 @@ func (t *DecisionTreeRegressor) grow(X [][]float64, y []float64, idx []int, dept
 	if variance == 0 || depth >= t.Config.MaxDepth || len(idx) < 2*t.Config.MinSamplesLeaf {
 		return &treeNode{feature: -1, value: mean}
 	}
-	feat, thr, ok := bestSplitVariance(X, y, idx, t.Config)
+	feat, thr, ok := bestSplitVariance(X, y, idx, t.Config, &t.sc)
 	if !ok {
 		return &treeNode{feature: -1, value: mean}
 	}
-	li, ri := partition(X, idx, feat, thr)
+	li, ri := partition(X, idx, feat, thr, &t.sc)
 	if len(li) < t.Config.MinSamplesLeaf || len(ri) < t.Config.MinSamplesLeaf {
 		return &treeNode{feature: -1, value: mean}
 	}
@@ -169,34 +191,46 @@ func meanVar(y []float64, idx []int) (mean, variance float64) {
 	return mean, variance
 }
 
-func partition(X [][]float64, idx []int, feat int, thr float64) (left, right []int) {
+// partition splits idx in place under (feat, thr), preserving relative
+// order on both sides exactly as the append-based formulation did: the
+// left subset compacts into the prefix while the right subset stages in
+// the scratch buffer and copies back behind it. The returned slices
+// alias idx — safe because grow's recursion keeps them disjoint.
+func partition(X [][]float64, idx []int, feat int, thr float64, sc *splitScratch) (left, right []int) {
+	buf := sc.part[:0]
+	w := 0
 	for _, i := range idx {
 		if X[i][feat] <= thr {
-			left = append(left, i)
+			idx[w] = i
+			w++
 		} else {
-			right = append(right, i)
+			buf = append(buf, i)
 		}
 	}
-	return left, right
+	copy(idx[w:], buf)
+	sc.part = buf[:0]
+	return idx[:w], idx[w:]
 }
 
-func candidateFeatures(nFeat int, cfg TreeConfig) []int {
+func candidateFeatures(nFeat int, cfg TreeConfig, sc *splitScratch) []int {
 	if cfg.featurePick != nil && cfg.MaxFeatures > 0 && cfg.MaxFeatures < nFeat {
 		return cfg.featurePick(nFeat)
 	}
-	all := make([]int, nFeat)
-	for i := range all {
-		all[i] = i
+	all := sc.feats[:0]
+	for i := 0; i < nFeat; i++ {
+		all = append(all, i)
 	}
+	sc.feats = all
 	return all
 }
 
 // bestSplitGini scans candidate (feature, threshold) pairs and returns the
 // split with the lowest weighted Gini impurity.
-func bestSplitGini(X [][]float64, y []int, idx []int, k int, cfg TreeConfig) (feat int, thr float64, ok bool) {
+func bestSplitGini(X [][]float64, y []int, idx []int, k int, cfg TreeConfig, sc *splitScratch) (feat int, thr float64, ok bool) {
 	best := math.Inf(1)
-	vals := make([]float64, 0, len(idx))
-	for _, f := range candidateFeatures(len(X[0]), cfg) {
+	vals := sc.vals[:0]
+	lc, rc := sc.counts(k)
+	for _, f := range candidateFeatures(len(X[0]), cfg, sc) {
 		vals = vals[:0]
 		for _, i := range idx {
 			vals = append(vals, X[i][f])
@@ -207,8 +241,9 @@ func bestSplitGini(X [][]float64, y []int, idx []int, k int, cfg TreeConfig) (fe
 				continue
 			}
 			t := (vals[vi] + vals[vi+1]) / 2
-			lc := make([]int, k)
-			rc := make([]int, k)
+			for c := range lc {
+				lc[c], rc[c] = 0, 0
+			}
 			ln, rn := 0, 0
 			for _, i := range idx {
 				if X[i][f] <= t {
@@ -228,6 +263,7 @@ func bestSplitGini(X [][]float64, y []int, idx []int, k int, cfg TreeConfig) (fe
 			}
 		}
 	}
+	sc.vals = vals[:0]
 	return feat, thr, ok
 }
 
@@ -241,10 +277,10 @@ func gini(counts []int, n int) float64 {
 }
 
 // bestSplitVariance returns the split minimizing the summed child SSE.
-func bestSplitVariance(X [][]float64, y []float64, idx []int, cfg TreeConfig) (feat int, thr float64, ok bool) {
+func bestSplitVariance(X [][]float64, y []float64, idx []int, cfg TreeConfig, sc *splitScratch) (feat int, thr float64, ok bool) {
 	best := math.Inf(1)
-	vals := make([]float64, 0, len(idx))
-	for _, f := range candidateFeatures(len(X[0]), cfg) {
+	vals := sc.vals[:0]
+	for _, f := range candidateFeatures(len(X[0]), cfg, sc) {
 		vals = vals[:0]
 		for _, i := range idx {
 			vals = append(vals, X[i][f])
@@ -277,5 +313,6 @@ func bestSplitVariance(X [][]float64, y []float64, idx []int, cfg TreeConfig) (f
 			}
 		}
 	}
+	sc.vals = vals[:0]
 	return feat, thr, ok
 }

@@ -1,0 +1,90 @@
+// Package invariants audits the resource-conservation double entry of
+// the harvesting design. Every unit on a worker node is, at all times, in
+// exactly one of four places: allocated to its own invocation (own),
+// pooled idle (harvested but unlent), out on loan to a borrower, or
+// expired-but-unreleased (the pool stopped lending it while the source
+// still holds its reservation). The audit closes that ledger against the
+// node's committed reservations after every fired simulation event; the
+// property tests in this package drive it across randomized traces, all
+// four headline platforms, and fault injection.
+package invariants
+
+import (
+	"fmt"
+
+	"libra/internal/cluster"
+)
+
+// CheckNode verifies the conservation ledger of one node:
+//
+//	committed ≥ 0 and committed ≤ capacity
+//	Σ own + pooled + lent + expired-live == committed   (per axis)
+//	Σ borrowed == outstanding loans                     (per axis)
+//	Σ bonus == BonusOut and BonusOut ≤ capacity − committed
+//	Σ own + borrowed + bonus ≤ capacity                 (physical feasibility)
+//
+// A crashed node must hold the ledger trivially (everything zero).
+func CheckNode(n *cluster.Node) error {
+	cap, committed := n.Capacity(), n.Committed()
+	if !committed.Nonnegative() {
+		return fmt.Errorf("node %d: committed %v negative", n.ID(), committed)
+	}
+	if !committed.Fits(cap) {
+		return fmt.Errorf("node %d: committed %v exceeds capacity %v", n.ID(), committed, cap)
+	}
+	own, borrowed, bonus := n.AuditAllocations()
+
+	cpuPooled, memPooled := n.CPUPool.PooledVol(), n.MemPool.PooledVol()
+	cpuLent, memLent := n.CPUPool.OutstandingLoans(), n.MemPool.OutstandingLoans()
+	cpuExp, memExp := n.CPUPool.ExpiredLive(), n.MemPool.ExpiredLive()
+
+	if got, want := int64(own.CPU)+cpuPooled+cpuLent+cpuExp, int64(committed.CPU); got != want {
+		return fmt.Errorf("node %d cpu: own %d + pooled %d + lent %d + expired %d = %d, want committed %d",
+			n.ID(), int64(own.CPU), cpuPooled, cpuLent, cpuExp, got, want)
+	}
+	if got, want := int64(own.Mem)+memPooled+memLent+memExp, int64(committed.Mem); got != want {
+		return fmt.Errorf("node %d mem: own %d + pooled %d + lent %d + expired %d = %d, want committed %d",
+			n.ID(), int64(own.Mem), memPooled, memLent, memExp, got, want)
+	}
+
+	if int64(borrowed.CPU) != cpuLent {
+		return fmt.Errorf("node %d cpu: borrowers hold %d but pool has %d on loan", n.ID(), int64(borrowed.CPU), cpuLent)
+	}
+	if int64(borrowed.Mem) != memLent {
+		return fmt.Errorf("node %d mem: borrowers hold %d but pool has %d on loan", n.ID(), int64(borrowed.Mem), memLent)
+	}
+
+	if bonus != n.BonusOut() {
+		return fmt.Errorf("node %d: holders' bonus %v != outstanding %v", n.ID(), bonus, n.BonusOut())
+	}
+	if !n.BonusOut().Fits(cap.Sub(committed)) {
+		return fmt.Errorf("node %d: bonus %v exceeds free capacity %v", n.ID(), n.BonusOut(), cap.Sub(committed))
+	}
+
+	if alloc := own.Add(borrowed).Add(bonus); !alloc.Fits(cap) {
+		return fmt.Errorf("node %d: allocated %v exceeds capacity %v", n.ID(), alloc, cap)
+	}
+	return nil
+}
+
+// Check audits every node and the global loan double entry: the summed
+// borrower holdings across the cluster equal the summed outstanding
+// loans of every pool.
+func Check(nodes []*cluster.Node) error {
+	var borrowedCPU, borrowedMem, lentCPU, lentMem int64
+	for _, n := range nodes {
+		if err := CheckNode(n); err != nil {
+			return err
+		}
+		_, borrowed, _ := n.AuditAllocations()
+		borrowedCPU += int64(borrowed.CPU)
+		borrowedMem += int64(borrowed.Mem)
+		lentCPU += n.CPUPool.OutstandingLoans()
+		lentMem += n.MemPool.OutstandingLoans()
+	}
+	if borrowedCPU != lentCPU || borrowedMem != lentMem {
+		return fmt.Errorf("cluster: borrowers hold cpu=%d mem=%d but pools have cpu=%d mem=%d on loan",
+			borrowedCPU, borrowedMem, lentCPU, lentMem)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package invariants
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"libra/internal/faults"
+	"libra/internal/function"
+	"libra/internal/platform"
+	"libra/internal/trace"
+)
+
+// propPlatforms are the four headline platforms of the jetstream replay;
+// between them they exercise every ledger transition: no harvesting at
+// all (Default), aggressive timeliness-blind harvesting (Freyr), the full
+// system (Libra), and harvesting without the safeguard's preemptive
+// restore (Libra-NS).
+func propPlatforms(seed int64) []platform.Config {
+	tb := platform.MultiNode()
+	return []platform.Config{
+		platform.PresetDefault(tb, seed),
+		platform.PresetFreyr(tb, seed),
+		platform.PresetLibra(tb, seed),
+		platform.PresetLibraNS(tb, seed),
+	}
+}
+
+// runAudited runs one platform over one trace with the conservation
+// audit installed after every fired event, and returns the first ledger
+// violation (nil when the whole run conserves).
+func runAudited(t *testing.T, cfg platform.Config, set trace.Set) error {
+	t.Helper()
+	p := platform.MustNew(cfg)
+	var firstErr error
+	events := 0
+	p.Engine().SetPostStep(func() {
+		events++
+		if firstErr == nil {
+			firstErr = Check(p.Nodes())
+		}
+	})
+	p.Run(set)
+	if events == 0 {
+		t.Fatalf("%s: audit hook never fired", cfg.Name)
+	}
+	return firstErr
+}
+
+// TestConservationProperty is the property: for ANY randomized trace, on
+// every platform, with faults off and on, the resource ledger of every
+// node closes after every single fired event. testing/quick draws the
+// trace parameters from a fixed seed so failures replay deterministically.
+func TestConservationProperty(t *testing.T) {
+	property := func(traceSeed int64, rpmRaw uint16, skewRaw uint8) bool {
+		rpm := 30 + float64(rpmRaw%400)     // 30..429 RPM
+		skew := float64(skewRaw%30) / 10    // 0.0..2.9 Zipf exponent
+		n := 60 + int(uint64(traceSeed)%80) // 60..139 invocations
+		set := trace.AzureShaped("prop", function.Apps(), n, rpm, skew, traceSeed)
+		for _, withFaults := range []bool{false, true} {
+			for _, cfg := range propPlatforms(traceSeed) {
+				if withFaults {
+					cfg.Faults = faults.Config{
+						CrashMTBF:         400,
+						MTTR:              20,
+						OOMKill:           true,
+						StragglerFraction: 0.1,
+					}
+				}
+				if err := runAudited(t, cfg, set); err != nil {
+					t.Logf("seed=%d rpm=%.0f skew=%.1f n=%d faults=%v %s: %v",
+						traceSeed, rpm, skew, n, withFaults, cfg.Name, err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 4,
+		Rand:     rand.New(rand.NewSource(0xC0FFEE)), // fixed: failures replay
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConservationAfterDrain pins the end-state: once a run drains, no
+// node retains any commitment, loan, pooled unit, or expired residue.
+func TestConservationAfterDrain(t *testing.T) {
+	set := trace.SingleSet(3)
+	set.Invocations = set.Invocations[:80]
+	for _, cfg := range propPlatforms(3) {
+		p := platform.MustNew(cfg)
+		p.Run(set)
+		for _, n := range p.Nodes() {
+			if !n.Committed().IsZero() {
+				t.Errorf("%s node %d: committed %v after drain", cfg.Name, n.ID(), n.Committed())
+			}
+			if v := n.CPUPool.OutstandingLoans() + n.MemPool.OutstandingLoans(); v != 0 {
+				t.Errorf("%s node %d: %d units still on loan after drain", cfg.Name, n.ID(), v)
+			}
+			if v := n.CPUPool.PooledVol() + n.MemPool.PooledVol(); v != 0 {
+				t.Errorf("%s node %d: %d units still pooled after drain", cfg.Name, n.ID(), v)
+			}
+			if v := n.CPUPool.ExpiredLive() + n.MemPool.ExpiredLive(); v != 0 {
+				t.Errorf("%s node %d: %d expired-live units after drain", cfg.Name, n.ID(), v)
+			}
+		}
+	}
+}

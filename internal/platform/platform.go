@@ -280,6 +280,7 @@ type Platform struct {
 
 	pending    []*queued
 	inflight   map[harvest.ID]*queued
+	freeQ      []*queued
 	sgCounts   map[string]int // per-function safeguard triggers (OOM retreat)
 	pings      map[int]*poolStatus
 	pingTicker *sim.Ticker
@@ -387,6 +388,11 @@ func (p *Platform) Nodes() []*cluster.Node { return p.nodes }
 // Run replays the trace set to completion and returns the result.
 func (p *Platform) Run(set trace.Set) *Result {
 	p.result = &Result{Name: p.cfg.Name, Breakdown: make(map[string]*PhaseBreakdown)}
+	// Pre-size the per-invocation accumulators: at Jetstream-replay scale
+	// (figs2: ≥100k invocations per platform) incremental growth of these
+	// slices shows up as whole-percent run time.
+	p.result.Records = make([]InvRecord, 0, len(set.Invocations))
+	p.result.SchedOverheads = make([]float64, 0, len(set.Invocations))
 	p.remaining = len(set.Invocations)
 	p.tracker = metrics.NewUtilizationTracker(p.eng, p.nodes, p.cfg.SampleInterval)
 	if p.remaining == 0 {
@@ -400,8 +406,8 @@ func (p *Platform) Run(set trace.Set) *Result {
 					continue // a down node sends no health pings
 				}
 				st := p.pings[n.ID()]
-				st.cpu = n.CPUPool.Entries()
-				st.mem = n.MemPool.Entries()
+				st.cpu = n.CPUPool.AppendEntries(st.cpu[:0])
+				st.mem = n.MemPool.AppendEntries(st.mem[:0])
 			}
 		})
 	}
@@ -489,7 +495,8 @@ func (p *Platform) arrive(ti trace.Invocation) {
 
 	// Scheduling (Step 4): the front end assigns invocations to sharding
 	// schedulers round-robin; each scheduler serializes its own decisions.
-	q := &queued{inv: inv, pred: pred, req: p.buildRequest(inv, pred), profCost: profCost}
+	q := p.newQueued()
+	q.inv, q.pred, q.req, q.profCost = inv, pred, p.buildRequest(inv, pred), profCost
 	p.enqueue(q, p.eng.Now()+FrontendOverhead+profCost)
 }
 
@@ -616,6 +623,7 @@ func (p *Platform) onComplete(inv *cluster.Invocation) {
 	q := p.inflight[inv.ID]
 	delete(p.inflight, inv.ID)
 	q.shard.Release(inv.NodeID, inv.Reservation())
+	p.putQueued(q)
 
 	rec := InvRecord{Inv: inv, Latency: inv.ResponseLatency()}
 	rec.TUser = (inv.ExecStart - inv.Arrival) + function.DurationUnder(inv.UserAlloc, inv.Actual)
@@ -667,6 +675,7 @@ func (p *Platform) onFailure(inv *cluster.Invocation, kind cluster.FailureKind) 
 				Kind: obs.KindAbandon, Node: -1, Val: float64(q.attempt - 1)})
 		}
 		p.result.Faults.Abandoned++
+		p.putQueued(q)
 		p.remaining--
 		if p.remaining == 0 {
 			p.finish()
@@ -743,6 +752,24 @@ func (p *Platform) stopPing() {
 	if p.pingTicker != nil {
 		p.pingTicker.Stop()
 	}
+}
+
+// newQueued returns a fresh or recycled scheduling record.
+func (p *Platform) newQueued() *queued {
+	if k := len(p.freeQ); k > 0 {
+		q := p.freeQ[k-1]
+		p.freeQ[k-1] = nil
+		p.freeQ = p.freeQ[:k-1]
+		return q
+	}
+	return &queued{}
+}
+
+// putQueued resets and parks a scheduling record once its invocation
+// completed or was abandoned (retries keep their record).
+func (p *Platform) putQueued(q *queued) {
+	*q = queued{}
+	p.freeQ = append(p.freeQ, q)
 }
 
 func (p *Platform) breakdown(app string) *PhaseBreakdown {

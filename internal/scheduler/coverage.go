@@ -213,6 +213,12 @@ type Libra struct {
 	// coverage-path selection (0 after a hash-path decision); Shard reads
 	// it to annotate decision trace events.
 	lastScore float64
+
+	// Scratch buffers for the per-node coverage scan: the live-pool
+	// snapshot (Status == nil) and the volume-only flattening both reuse
+	// their storage across nodes and decisions.
+	cpuBuf, memBuf   []harvest.Entry
+	cpuFlat, memFlat []harvest.Entry
 }
 
 // Name implements Algorithm.
@@ -240,12 +246,14 @@ func (l *Libra) Select(req Request, nodes []*cluster.Node, admit func(*cluster.N
 		if l.Status != nil {
 			cpuEntries, memEntries = l.Status(n)
 		} else {
-			cpuEntries = n.CPUPool.Entries()
-			memEntries = n.MemPool.Entries()
+			l.cpuBuf = n.CPUPool.AppendEntries(l.cpuBuf[:0])
+			l.memBuf = n.MemPool.AppendEntries(l.memBuf[:0])
+			cpuEntries, memEntries = l.cpuBuf, l.memBuf
 		}
 		if l.VolumeOnly {
-			cpuEntries = flattenExpiry(cpuEntries, end)
-			memEntries = flattenExpiry(memEntries, end)
+			l.cpuFlat = flattenExpiry(l.cpuFlat[:0], cpuEntries, end)
+			l.memFlat = flattenExpiry(l.memFlat[:0], memEntries, end)
+			cpuEntries, memEntries = l.cpuFlat, l.memFlat
 		}
 		dc := Coverage(cpuEntries, int64(req.Extra.CPU), start, end)
 		dm := Coverage(memEntries, int64(req.Extra.Mem), start, end)
@@ -259,13 +267,12 @@ func (l *Libra) Select(req Request, nodes []*cluster.Node, admit func(*cluster.N
 	return best
 }
 
-func flattenExpiry(es []harvest.Entry, end float64) []harvest.Entry {
-	out := make([]harvest.Entry, len(es))
-	for i, e := range es {
+func flattenExpiry(buf, es []harvest.Entry, end float64) []harvest.Entry {
+	for _, e := range es {
 		e.Expiry = end
-		out[i] = e
+		buf = append(buf, e)
 	}
-	return out
+	return buf
 }
 
 // ByName constructs one of the five algorithms of §8.4 by its display

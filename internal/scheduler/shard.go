@@ -14,12 +14,32 @@ import (
 // state is shared or synchronized between schedulers. Coverage, by
 // contrast, is computed on the *whole-node* pool snapshot — "every
 // scheduler can observe the same demand coverage for a node as a whole".
+//
+// Shard state is dense: share and committed are slices indexed by node ID
+// (node IDs are assigned contiguously by the platform), which keeps the
+// per-decision admission checks allocation- and hash-free. On top of that
+// the shard maintains a candidate index — the per-axis maximum slack
+// (share − committed) across its nodes — so a placement request that no
+// node could possibly admit is rejected in O(1) instead of scanning the
+// cluster. That is the saturated-cluster hot path: every completion
+// triggers a drain pass over the pending queue, and at Jetstream scale
+// almost all of those probes conclude "still no room".
 type Shard struct {
 	index     int
 	count     int
 	algorithm Algorithm
-	share     map[int]resources.Vector // per-node capacity slice
-	committed map[int]resources.Vector // per-node admitted reservations
+	share     []resources.Vector // per-node capacity slice, indexed by node ID
+	committed []resources.Vector // per-node admitted reservations
+
+	// Candidate index: exact per-axis maxima of slack = share − committed
+	// when slackDirty is false, with the attaining node per axis. The
+	// maxima are upper bounds per axis taken independently, so mightFit
+	// answering "yes" does not promise a joint fit — but "no" is always
+	// sound: no single node can beat its axis maximum.
+	maxSlack   resources.Vector
+	argCPU     int
+	argMem     int
+	slackDirty bool
 
 	// BusyUntil is the virtual time until which this scheduler is
 	// occupied handling earlier invocations; the platform uses it to
@@ -42,14 +62,21 @@ func NewShards(k int, nodes []*cluster.Node, algo func() Algorithm) []*Shard {
 	if k <= 0 {
 		panic("scheduler: shard count must be positive")
 	}
+	maxID := -1
+	for _, n := range nodes {
+		if n.ID() > maxID {
+			maxID = n.ID()
+		}
+	}
 	shards := make([]*Shard, k)
 	for i := range shards {
 		s := &Shard{
-			index:     i,
-			count:     k,
-			algorithm: algo(),
-			share:     make(map[int]resources.Vector, len(nodes)),
-			committed: make(map[int]resources.Vector, len(nodes)),
+			index:      i,
+			count:      k,
+			algorithm:  algo(),
+			share:      make([]resources.Vector, maxID+1),
+			committed:  make([]resources.Vector, maxID+1),
+			slackDirty: true,
 		}
 		for _, n := range nodes {
 			s.share[n.ID()] = shardSlice(n.Capacity(), k, i)
@@ -76,6 +103,15 @@ func shardSlice(cap resources.Vector, k, i int) resources.Vector {
 	return base
 }
 
+// grow extends the dense state to cover node id (nodes beyond the
+// initial membership have a zero share until Rebalance assigns one).
+func (s *Shard) grow(id int) {
+	for len(s.share) <= id {
+		s.share = append(s.share, resources.Vector{})
+		s.committed = append(s.committed, resources.Vector{})
+	}
+}
+
 // Rebalance recomputes the shard's capacity slices over the current
 // membership: a down node's slice drops to zero so admission steers
 // around it, and a recovered node gets its slice back. Committed
@@ -84,12 +120,14 @@ func shardSlice(cap resources.Vector, k, i int) resources.Vector {
 // stays exact across the membership change.
 func (s *Shard) Rebalance(nodes []*cluster.Node) {
 	for _, n := range nodes {
+		s.grow(n.ID())
 		if n.Down() {
 			s.share[n.ID()] = resources.Vector{}
 		} else {
 			s.share[n.ID()] = shardSlice(n.Capacity(), s.count, s.index)
 		}
 	}
+	s.slackDirty = true
 }
 
 // Index returns the shard's position among its peers.
@@ -98,24 +136,81 @@ func (s *Shard) Index() int { return s.index }
 // Decisions returns how many placements this shard made.
 func (s *Shard) Decisions() int64 { return s.decisions }
 
+// slackAt returns node id's slack on each axis, clamped at zero (a
+// rebalanced-away node can be committed beyond its now-zero share).
+func (s *Shard) slackAt(id int) resources.Vector {
+	sl := s.share[id].Sub(s.committed[id])
+	if sl.CPU < 0 {
+		sl.CPU = 0
+	}
+	if sl.Mem < 0 {
+		sl.Mem = 0
+	}
+	return sl
+}
+
+func (s *Shard) recomputeSlack() {
+	s.maxSlack = resources.Vector{}
+	s.argCPU, s.argMem = -1, -1
+	for id := range s.share {
+		sl := s.slackAt(id)
+		if sl.CPU >= s.maxSlack.CPU {
+			s.maxSlack.CPU, s.argCPU = sl.CPU, id
+		}
+		if sl.Mem >= s.maxSlack.Mem {
+			s.maxSlack.Mem, s.argMem = sl.Mem, id
+		}
+	}
+	s.slackDirty = false
+}
+
+// mightFit reports whether at least one node's slack could cover user on
+// each axis independently. A false answer proves no node admits user
+// under the shard rule; a true answer still requires the full scan.
+func (s *Shard) mightFit(user resources.Vector) bool {
+	if s.slackDirty {
+		s.recomputeSlack()
+	}
+	return user.CPU <= s.maxSlack.CPU && user.Mem <= s.maxSlack.Mem
+}
+
 // Admit reports whether the user reservation fits in this shard's slice
 // of the node AND in the node's physical free capacity.
 func (s *Shard) Admit(n *cluster.Node, user resources.Vector) bool {
 	if !n.CanAdmit(user) {
 		return false
 	}
-	return s.committed[n.ID()].Add(user).Fits(s.share[n.ID()])
+	id := n.ID()
+	if id >= len(s.share) {
+		// Unknown node: zero share, same as the sparse-map semantics.
+		return user.Fits(resources.Vector{})
+	}
+	return s.committed[id].Add(user).Fits(s.share[id])
 }
 
 // Select runs the shard's algorithm over the nodes under the shard's
 // admission rule and records the commitment. It returns nil when no node
-// fits in the shard.
+// fits in the shard. When the candidate index proves no node can admit
+// the reservation the scan is skipped outright — the algorithms mutate
+// no observable state on their nil path, so the early exit leaves every
+// later decision identical.
 func (s *Shard) Select(req Request, nodes []*cluster.Node) *cluster.Node {
+	user := req.Inv.Reservation()
+	if !s.mightFit(user) {
+		return nil
+	}
 	n := s.algorithm.Select(req, nodes, s.Admit)
 	if n == nil {
 		return nil
 	}
-	s.committed[n.ID()] = s.committed[n.ID()].Add(req.Inv.Reservation())
+	id := n.ID()
+	s.committed[id] = s.committed[id].Add(user)
+	if !s.slackDirty && (id == s.argCPU || id == s.argMem) {
+		// The commit shrank the slack of a max-attaining node; recompute
+		// lazily on the next probe. Commits elsewhere cannot change the
+		// maxima.
+		s.slackDirty = true
+	}
 	s.decisions++
 	if s.Tracer != nil {
 		score := 0.0
@@ -123,7 +218,7 @@ func (s *Shard) Select(req Request, nodes []*cluster.Node) *cluster.Node {
 			score = l.lastScore
 		}
 		s.Tracer.Record(obs.Event{T: req.Now, Inv: int64(req.Inv.ID),
-			Kind: obs.KindDecision, Node: n.ID(), Val: score})
+			Kind: obs.KindDecision, Node: id, Val: score})
 	}
 	return n
 }
@@ -131,15 +226,38 @@ func (s *Shard) Select(req Request, nodes []*cluster.Node) *cluster.Node {
 // Release returns an invocation's reservation to the shard when it
 // completes.
 func (s *Shard) Release(nodeID int, user resources.Vector) {
+	if nodeID >= len(s.committed) {
+		panic(fmt.Sprintf("scheduler: shard %d released more than committed on node %d", s.index, nodeID))
+	}
 	c := s.committed[nodeID].Sub(user)
 	if !c.Nonnegative() {
 		panic(fmt.Sprintf("scheduler: shard %d released more than committed on node %d", s.index, nodeID))
 	}
 	s.committed[nodeID] = c
+	if !s.slackDirty {
+		// Slack only grew; the maxima can be raised in place.
+		sl := s.slackAt(nodeID)
+		if sl.CPU >= s.maxSlack.CPU {
+			s.maxSlack.CPU, s.argCPU = sl.CPU, nodeID
+		}
+		if sl.Mem >= s.maxSlack.Mem {
+			s.maxSlack.Mem, s.argMem = sl.Mem, nodeID
+		}
+	}
 }
 
 // CommittedOn returns the shard's admitted reservations on a node.
-func (s *Shard) CommittedOn(nodeID int) resources.Vector { return s.committed[nodeID] }
+func (s *Shard) CommittedOn(nodeID int) resources.Vector {
+	if nodeID >= len(s.committed) {
+		return resources.Vector{}
+	}
+	return s.committed[nodeID]
+}
 
 // ShareOn returns the shard's capacity slice of a node.
-func (s *Shard) ShareOn(nodeID int) resources.Vector { return s.share[nodeID] }
+func (s *Shard) ShareOn(nodeID int) resources.Vector {
+	if nodeID >= len(s.share) {
+		return resources.Vector{}
+	}
+	return s.share[nodeID]
+}

@@ -7,6 +7,13 @@
 // parallel speed for reproducing the paper's figures: two events scheduled
 // for the same instant fire in scheduling order (a monotone sequence number
 // breaks ties), so a run is a pure function of (workload, seed).
+//
+// Event records are pooled: once an event fires or a cancelled event is
+// dropped from the queue, its record is recycled for the next Schedule
+// call. Handles are generation-checked so a caller holding a handle to a
+// recycled event cannot cancel its successor — the cluster routinely
+// cancels events that have already fired (completion re-rating, the
+// safeguard and OOM timers), and those stale cancels must stay no-ops.
 package sim
 
 import (
@@ -15,24 +22,47 @@ import (
 	"math"
 )
 
-// Event is a scheduled callback. It is returned by Schedule/At so callers
-// can cancel it — cancellation is how the cluster models re-rating an
-// in-flight execution: the stale completion event is cancelled and a new
-// one is scheduled at the recomputed finish time.
+// Event is a scheduled callback record, owned by the engine and recycled
+// after it fires. Callers never hold *Event directly; Schedule/At return
+// a Handle instead.
 type Event struct {
 	at       float64
 	seq      uint64
+	gen      uint32
 	fn       func()
 	canceled bool
 	index    int // heap index, -1 once popped
 }
 
-// Time returns the virtual time at which the event fires (or would have
-// fired, if cancelled).
-func (e *Event) Time() float64 { return e.at }
+// Handle identifies a scheduled event for cancellation. The zero Handle
+// is inert: Cancel on it is a no-op and Live reports false. A handle
+// expires as soon as its event fires or its cancellation is collected —
+// the underlying record may then be recycled, and the stale handle keeps
+// refusing to act on the new occupant (generation check).
+type Handle struct {
+	ev  *Event
+	gen uint32
+}
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+// Live reports whether the handle still refers to a queued event, i.e.
+// the event has neither fired nor been dropped after cancellation. A
+// cancelled event that is still lazily parked in the queue counts as
+// live in the bookkeeping sense; use Canceled to distinguish.
+func (h Handle) Live() bool { return h.ev != nil && h.ev.gen == h.gen }
+
+// Canceled reports whether Cancel was called on the event the handle
+// refers to. Once the event fires or its record is recycled this
+// returns false, matching the zero Handle.
+func (h Handle) Canceled() bool { return h.Live() && h.ev.canceled }
+
+// Time returns the virtual fire time of the event, or NaN if the handle
+// no longer refers to a queued event.
+func (h Handle) Time() float64 {
+	if !h.Live() {
+		return math.NaN()
+	}
+	return h.ev.at
+}
 
 type eventHeap []*Event
 
@@ -63,14 +93,21 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// compactMin is the floor below which cancelled events are left parked in
+// the queue: compaction only pays off once the dead fraction is large.
+const compactMin = 64
+
 // Engine is a discrete-event simulator. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
-	now    float64
-	seq    uint64
-	queue  eventHeap
-	fired  uint64
-	maxLen int
+	now       float64
+	seq       uint64
+	queue     eventHeap
+	ncanceled int      // cancelled events still parked in the queue
+	free      []*Event // recycled event records
+	fired     uint64
+	maxLen    int
+	postStep  func()
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -81,17 +118,46 @@ func NewEngine() *Engine {
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// Pending returns the number of events still queued (including cancelled
-// events that have not been popped yet).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live events still queued. Cancelled
+// events lazily parked in the queue (see Cancel) are not counted: from
+// the caller's perspective they will never fire, so "pending" means
+// exactly the events that still can.
+func (e *Engine) Pending() int { return len(e.queue) - e.ncanceled }
+
+// QueueLen returns the physical queue length, including cancelled events
+// that have not been collected yet. Diagnostics only — Pending is the
+// semantic count.
+func (e *Engine) QueueLen() int { return len(e.queue) }
 
 // Fired returns how many events have executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// alloc returns a fresh or recycled event record.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// release recycles an event record once it has fired or its cancellation
+// has been collected. Bumping the generation invalidates every handle
+// still pointing at the record.
+func (e *Engine) release(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.canceled = false
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
 // Schedule queues fn to run after delay seconds of virtual time.
 // A negative delay is treated as zero (fires at the current instant, after
 // all callbacks already queued for this instant).
-func (e *Engine) Schedule(delay float64, fn func()) *Event {
+func (e *Engine) Schedule(delay float64, fn func()) Handle {
 	if delay < 0 {
 		delay = 0
 	}
@@ -101,46 +167,87 @@ func (e *Engine) Schedule(delay float64, fn func()) *Event {
 // At queues fn to run at absolute virtual time t. Scheduling into the past
 // panics: that is always a logic bug in the caller, and silently clamping
 // would corrupt causality in the experiments.
-func (e *Engine) At(t float64, fn func()) *Event {
+func (e *Engine) At(t float64, fn func()) Handle {
 	if math.IsNaN(t) {
 		panic("sim: scheduling event at NaN time")
 	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past (t=%g, now=%g)", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
 	heap.Push(&e.queue, ev)
 	if len(e.queue) > e.maxLen {
 		e.maxLen = len(e.queue)
 	}
-	return ev
+	return Handle{ev: ev, gen: ev.gen}
 }
 
-// Cancel marks ev so it will not fire. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled {
+// Cancel marks the handled event so it will not fire. Cancelling an
+// already-fired, already-cancelled or zero handle is a no-op. The event
+// record stays parked in the queue (lazy deletion) and is collected
+// either when it surfaces at the top or when cancelled records pile up
+// past the compaction threshold — so a cancel is O(1) instead of the
+// O(log n) heap.Remove, which dominates the cluster's re-rating churn.
+func (e *Engine) Cancel(h Handle) {
+	if !h.Live() || h.ev.canceled {
 		return
 	}
-	ev.canceled = true
-	if ev.index >= 0 && ev.index < len(e.queue) && e.queue[ev.index] == ev {
-		heap.Remove(&e.queue, ev.index)
-		ev.index = -1
+	h.ev.canceled = true
+	if h.ev.index >= 0 {
+		e.ncanceled++
+		if e.ncanceled > compactMin && e.ncanceled*2 > len(e.queue) {
+			e.compact()
+		}
 	}
 }
 
-// Step pops and runs the next event. It returns false when the queue is
-// empty.
+// compact drops every cancelled record from the queue in one pass and
+// re-establishes the heap invariant. Fire order is unaffected: the heap
+// comparator is a strict total order on (at, seq), so any valid heap over
+// the same live set pops in the same sequence.
+func (e *Engine) compact() {
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.canceled {
+			e.release(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	for i, ev := range e.queue {
+		ev.index = i
+	}
+	heap.Init(&e.queue)
+	e.ncanceled = 0
+}
+
+// Step pops and runs the next live event. It returns false when no live
+// events remain.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.canceled {
+			e.ncanceled--
+			e.release(ev)
 			continue
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		fn := ev.fn
+		// Recycle before running the callback: any handle to this event is
+		// dead the instant it fires (generation bump), and the callback's
+		// own Schedule calls can reuse the record immediately.
+		e.release(ev)
+		fn()
+		if e.postStep != nil {
+			e.postStep()
+		}
 		return true
 	}
 	return false
@@ -170,7 +277,9 @@ func (e *Engine) RunUntil(t float64) {
 func (e *Engine) peek() *Event {
 	for len(e.queue) > 0 {
 		if e.queue[0].canceled {
-			heap.Pop(&e.queue)
+			ev := heap.Pop(&e.queue).(*Event)
+			e.ncanceled--
+			e.release(ev)
 			continue
 		}
 		return e.queue[0]
@@ -182,6 +291,12 @@ func (e *Engine) peek() *Event {
 // sizing scalability experiments.
 func (e *Engine) MaxQueueLen() int { return e.maxLen }
 
+// SetPostStep installs a hook that runs after every fired event callback,
+// while the clock still reads the event's fire time. It exists for
+// auditing invariants between events (the conservation property tests);
+// the hook must not schedule or cancel events. Pass nil to remove it.
+func (e *Engine) SetPostStep(fn func()) { e.postStep = fn }
+
 // Ticker fires a callback on a fixed virtual-time period until stopped.
 // It is the building block for periodic behaviours: utilization sampling,
 // health pings, safeguard monitor windows.
@@ -189,7 +304,7 @@ type Ticker struct {
 	eng     *Engine
 	period  float64
 	fn      func()
-	ev      *Event
+	ev      Handle
 	stopped bool
 }
 
@@ -218,15 +333,13 @@ func (t *Ticker) arm() {
 }
 
 // Stop halts the ticker and cancels its pending fire, so a stopped
-// ticker leaves nothing in the event queue: Run terminates as soon as
-// the real work drains instead of stepping one more empty period.
+// ticker leaves nothing live in the event queue: Run terminates as soon
+// as the real work drains instead of stepping one more empty period.
 func (t *Ticker) Stop() {
 	if t.stopped {
 		return
 	}
 	t.stopped = true
-	if t.ev != nil {
-		t.eng.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.eng.Cancel(t.ev)
+	t.ev = Handle{}
 }

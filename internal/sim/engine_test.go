@@ -45,22 +45,25 @@ func TestCancel(t *testing.T) {
 	fired := false
 	ev := e.Schedule(1, func() { fired = true })
 	e.Cancel(ev)
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
 	e.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !ev.Canceled() {
-		t.Fatal("Canceled() = false after Cancel")
+	if ev.Live() {
+		t.Fatal("handle still live after its cancellation was collected")
 	}
-	// Double-cancel and nil-cancel must be no-ops.
+	// Double-cancel and zero-handle cancel must be no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Handle{})
 }
 
 func TestCancelFromWithinEvent(t *testing.T) {
 	e := NewEngine()
 	fired := false
-	var ev *Event
+	var ev Handle
 	e.Schedule(1, func() { e.Cancel(ev) })
 	ev = e.Schedule(2, func() { fired = true })
 	e.Run()
@@ -159,7 +162,7 @@ func TestPropertyMonotoneFiring(t *testing.T) {
 	f := func(delays []float64, cancelMask []bool) bool {
 		e := NewEngine()
 		var fireTimes []float64
-		var evs []*Event
+		var evs []Handle
 		for _, d := range delays {
 			if d < 0 {
 				d = -d
@@ -191,7 +194,7 @@ func TestPropertyCancelCount(t *testing.T) {
 		e := NewEngine()
 		n := 1 + rng.Intn(200)
 		fired := 0
-		evs := make([]*Event, n)
+		evs := make([]Handle, n)
 		for i := range evs {
 			evs[i] = e.Schedule(rng.Float64()*100, func() { fired++ })
 		}
@@ -284,6 +287,127 @@ func TestTickerStopFromCallbackLeavesQueueClean(t *testing.T) {
 	}
 	if e.Pending() != 0 {
 		t.Fatalf("pending = %d after drain, want 0", e.Pending())
+	}
+}
+
+// Regression for the Pending() semantics fix: cancelled events are
+// lazily parked in the queue, but Pending must count only live events —
+// callers (drain loops, tests) read it as "how many events can still
+// fire".
+func TestPendingExcludesCancelledEvents(t *testing.T) {
+	e := NewEngine()
+	evs := make([]Handle, 10)
+	for i := range evs {
+		evs[i] = e.Schedule(float64(i+1), func() {})
+	}
+	for _, ev := range evs[:3] {
+		e.Cancel(ev)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending = %d after 3 of 10 cancelled, want 7", e.Pending())
+	}
+	// Below the compaction threshold the dead records stay parked: the
+	// physical queue still holds all 10.
+	if e.QueueLen() != 10 {
+		t.Fatalf("QueueLen = %d, want 10 (lazy deletion keeps records parked)", e.QueueLen())
+	}
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	if fired != 7 {
+		t.Fatalf("fired %d events, want 7", fired)
+	}
+	if e.Pending() != 0 || e.QueueLen() != 0 {
+		t.Fatalf("Pending = %d, QueueLen = %d after drain, want 0,0", e.Pending(), e.QueueLen())
+	}
+}
+
+// Crossing the compaction threshold must physically drop the cancelled
+// records while leaving fire order and counts untouched.
+func TestCancelCompaction(t *testing.T) {
+	e := NewEngine()
+	const n = 200
+	evs := make([]Handle, n)
+	fired := 0
+	for i := range evs {
+		evs[i] = e.Schedule(float64(i+1), func() { fired++ })
+	}
+	for _, ev := range evs[:150] {
+		e.Cancel(ev)
+	}
+	if e.Pending() != 50 {
+		t.Fatalf("Pending = %d, want 50", e.Pending())
+	}
+	if e.QueueLen() >= n {
+		t.Fatalf("QueueLen = %d, want < %d (compaction should have dropped dead records)", e.QueueLen(), n)
+	}
+	e.Run()
+	if fired != 50 {
+		t.Fatalf("fired %d, want 50", fired)
+	}
+	if e.Now() != n {
+		t.Fatalf("Now = %g, want %d (latest surviving event)", e.Now(), n)
+	}
+}
+
+// A handle that outlives its event must never cancel the record's next
+// occupant: the cluster cancels already-fired safeguard/OOM events as a
+// matter of course, and with pooling those records get recycled.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	stale := e.Schedule(1, func() {})
+	e.Run() // fires; record recycled
+	if stale.Live() {
+		t.Fatal("handle still live after its event fired")
+	}
+	fired := false
+	fresh := e.Schedule(1, func() { fired = true })
+	e.Cancel(stale) // must not touch the recycled record
+	if fresh.Canceled() {
+		t.Fatal("stale cancel hit the recycled event")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire after a stale cancel")
+	}
+}
+
+// Records really are recycled: a drained engine's next schedule must not
+// grow the heap beyond the free list. (White-box: exercises alloc/release.)
+func TestEventRecordsAreRecycled(t *testing.T) {
+	e := NewEngine()
+	h1 := e.Schedule(1, func() {})
+	e.Run()
+	h2 := e.Schedule(1, func() {})
+	if h1.ev == h2.ev && h1.gen == h2.gen {
+		t.Fatal("recycled record kept its generation; stale handles would alias")
+	}
+	e.Cancel(h1) // stale — must be a no-op
+	if !h2.Live() {
+		t.Fatal("fresh handle reported dead")
+	}
+	e.Run()
+}
+
+// The post-step hook runs once per fired event, never for cancelled ones.
+func TestSetPostStep(t *testing.T) {
+	e := NewEngine()
+	calls := 0
+	e.SetPostStep(func() { calls++ })
+	ev := e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	e.Schedule(3, func() {})
+	e.Cancel(ev)
+	e.Run()
+	if calls != 2 {
+		t.Fatalf("post-step hook ran %d times, want 2", calls)
+	}
+	e.SetPostStep(nil)
+	e.Schedule(1, func() {})
+	e.Run()
+	if calls != 2 {
+		t.Fatalf("post-step hook ran after removal: %d calls", calls)
 	}
 }
 

@@ -108,6 +108,62 @@ func MultiSet(rpm float64, seed int64) Set {
 	return Generate(fmt.Sprintf("multi-%03d", int(rpm)), function.Apps(), int(rpm), rpm, seed)
 }
 
+// AzureShaped builds an n-invocation trace whose app mix follows the
+// heavy-tailed popularity of the Azure Functions study rather than the
+// uniform mix of Generate: a handful of hot functions dominate while the
+// tail sees sporadic traffic. Popularity is Zipf with exponent skew over
+// a seeded permutation of apps (so which app is hot varies by seed, not
+// by catalog order), and arrivals remain a Poisson process at the
+// nominal RPM. skew 0 degenerates to the uniform mix. Deterministic in
+// seed.
+func AzureShaped(name string, apps []*function.Spec, n int, rpm, skew float64, seed int64) Set {
+	if rpm <= 0 {
+		panic("trace: RPM must be positive")
+	}
+	if len(apps) == 0 {
+		panic("trace: no applications")
+	}
+	if skew < 0 {
+		panic("trace: skew must be non-negative")
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Rank apps by a seeded shuffle before applying the Zipf weights, so
+	// which app is hot varies with the seed instead of the catalog order.
+	ranked := make([]*function.Spec, len(apps))
+	copy(ranked, apps)
+	rng.Shuffle(len(ranked), func(i, j int) { ranked[i], ranked[j] = ranked[j], ranked[i] })
+	mix := ZipfMix(ranked, skew)
+
+	mean := 60 / rpm
+	t := 0.0
+	set := Set{Name: name, RPM: rpm, Invocations: make([]Invocation, 0, n)}
+	for i := 0; i < n; i++ {
+		t += rng.ExpFloat64() * mean
+		app := mix.Pick(rng)
+		set.Invocations = append(set.Invocations, Invocation{
+			ID:      int64(i),
+			App:     app.Name,
+			Arrival: t,
+			Input:   app.SampleInput(rng),
+		})
+	}
+	return set
+}
+
+// JetstreamSkew is the Zipf exponent of the jetstream-scale replay. 1.05
+// makes the top app draw ~1/3 of all traffic over the ten-app catalog —
+// the "most functions are cold, a few are very hot" shape of the Azure
+// study — without starving the tail entirely.
+const JetstreamSkew = 1.05
+
+// JetstreamSet is the jetstream-scale replay workload (figs2): n
+// invocations at the given aggregate RPM over the Azure-shaped skewed
+// app mix.
+func JetstreamSet(n int, rpm float64, seed int64) Set {
+	return AzureShaped("jetstream", function.Apps(), n, rpm, JetstreamSkew, seed)
+}
+
 // FilteredSet regenerates a set drawing only from the given apps — used by
 // the input-size-sensitivity experiments (§8.7) for the size-related and
 // size-unrelated workloads.

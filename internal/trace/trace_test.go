@@ -172,3 +172,61 @@ func TestDurationEmpty(t *testing.T) {
 		t.Fatal("empty set duration should be 0")
 	}
 }
+
+func TestAzureShapedDeterministicAndSkewed(t *testing.T) {
+	a := AzureShaped("az", function.Apps(), 4000, 120, JetstreamSkew, 7)
+	b := AzureShaped("az", function.Apps(), 4000, 120, JetstreamSkew, 7)
+	if len(a.Invocations) != 4000 {
+		t.Fatalf("got %d invocations, want 4000", len(a.Invocations))
+	}
+	for i := range a.Invocations {
+		if a.Invocations[i] != b.Invocations[i] {
+			t.Fatalf("invocation %d differs between equal-seed generations", i)
+		}
+	}
+	// Heavy head: the hottest app must draw several times the coldest's
+	// share (Zipf 1.05 over ten apps gives ~11x in expectation).
+	counts := a.CountByApp()
+	min, max := len(a.Invocations), 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max < 4*min {
+		t.Fatalf("popularity not skewed: hottest %d, coldest %d", max, min)
+	}
+	// A different seed must be able to crown a different hot app.
+	if c := AzureShaped("az", function.Apps(), 4000, 120, JetstreamSkew, 8); hottest(c) == hottest(a) {
+		if d := AzureShaped("az", function.Apps(), 4000, 120, JetstreamSkew, 9); hottest(d) == hottest(a) {
+			t.Fatalf("hot app %q never moves across seeds; ranking shuffle broken", hottest(a))
+		}
+	}
+	// Zero skew degenerates to a near-uniform mix.
+	u := AzureShaped("az", function.Apps(), 4000, 120, 0, 7)
+	umin, umax := len(u.Invocations), 0
+	for _, c := range u.CountByApp() {
+		if c < umin {
+			umin = c
+		}
+		if c > umax {
+			umax = c
+		}
+	}
+	if umax > 2*umin {
+		t.Fatalf("skew 0 should be near-uniform: hottest %d, coldest %d", umax, umin)
+	}
+}
+
+func hottest(s Set) string {
+	best, bestN := "", -1
+	for app, c := range s.CountByApp() {
+		if c > bestN || (c == bestN && app < best) {
+			best, bestN = app, c
+		}
+	}
+	return best
+}
