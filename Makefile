@@ -36,7 +36,7 @@ bench:
 # Refresh the committed perf-trajectory report (the baseline snapshot in
 # the file is preserved; only the current snapshot is rewritten).
 bench-json:
-	$(GO) run ./cmd/libra-bench -json BENCH_PR4.json
+	$(GO) run ./cmd/libra-bench -json BENCH_PR5.json
 
 quick:
 	$(GO) run ./cmd/libra-bench -quick

@@ -9,7 +9,7 @@
 //	libra-bench -seed 7 -reps 5
 //	libra-bench -parallel 8  # bound the worker pool (default GOMAXPROCS)
 //	libra-bench -exp figo1 -trace out.jsonl
-//	libra-bench -json BENCH_PR4.json   # benchmark mode: perf trajectory report
+//	libra-bench -json BENCH_PR5.json   # benchmark mode: perf trajectory report
 //
 // Each experiment fans its independent (config × repetition) units over
 // a worker pool; the rendered output is byte-identical for every

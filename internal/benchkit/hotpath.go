@@ -26,6 +26,12 @@ func HotPath() []Bench {
 		{Name: "HotShardSelectSaturated50", F: BenchShardSelectSaturated50},
 		{Name: "HotPoolLifecycle", F: BenchPoolLifecycle},
 		{Name: "HotPlatformMultiNode", F: BenchPlatformMultiNode},
+		{Name: "HotDrainGateSaturated", F: platform.BenchDrainHotPath},
+		{Name: "HotOverloadReplay500", F: BenchOverloadReplay500},
+		{Name: "HotOverloadReplay2000", F: BenchOverloadReplay2000},
+		{Name: "HotOverloadReplay8000", F: BenchOverloadReplay8000},
+		{Name: "HotLibraSparse50", F: BenchLibraSparse50},
+		{Name: "HotLibraSparse200", F: BenchLibraSparse200},
 	}
 }
 
@@ -165,3 +171,83 @@ func BenchPlatformMultiNode(b *testing.B) {
 		platform.MustNew(platform.PresetLibra(platform.MultiNode(), 42)).Run(set)
 	}
 }
+
+// benchOverloadReplay replays n invocations at 2× the saturated service
+// rate of a 6-node Jetstream slice (~18 RPM/node ⇒ 216 RPM aggregate).
+// The backlog depth scales with n, so the 500/2000/8000 rungs expose the
+// growth order of the per-completion pending-queue work: quadratic
+// event cost bends the ns/op-per-invocation curve upward, a
+// watermark-gated drain keeps it near-flat.
+func benchOverloadReplay(b *testing.B, n int) {
+	set := trace.JetstreamSet(n, 216, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		platform.MustNew(platform.PresetLibra(platform.Jetstream(6, 2), 42)).Run(set)
+	}
+}
+
+// BenchOverloadReplay500 is the shallow-backlog rung of the overload
+// sweep.
+func BenchOverloadReplay500(b *testing.B) { benchOverloadReplay(b, 500) }
+
+// BenchOverloadReplay2000 is the mid-depth rung.
+func BenchOverloadReplay2000(b *testing.B) { benchOverloadReplay(b, 2000) }
+
+// BenchOverloadReplay8000 is the deep-backlog rung; under the full-rescan
+// drain its cost is dominated by the quadratic pending-queue term.
+func BenchOverloadReplay8000(b *testing.B) { benchOverloadReplay(b, 8000) }
+
+// benchLibraSparse measures one accelerable Libra decision on a cluster
+// where only 4 of nodeCount nodes hold pool entries — the common shape
+// late in a replay, when most pools have drained. A full coverage scan
+// pays O(nodes) regardless; the incremental candidate index should make
+// the decision cost track the 4 live pools, not the cluster width.
+func benchLibraSparse(b *testing.B, nodeCount int) {
+	eng := sim.NewEngine()
+	cap := resources.Vector{CPU: resources.Cores(24), Mem: 24 * 1024}
+	nodes := make([]*cluster.Node, nodeCount)
+	for i := range nodes {
+		nodes[i] = cluster.NewNode(eng, i, cap)
+	}
+	idx := scheduler.NewCoverageIndex(nodeCount)
+	for _, n := range nodes {
+		id := n.ID()
+		n.CPUPool.SetIndexHook(func() { idx.MarkDirty(id) })
+		n.MemPool.SetIndexHook(func() { idx.MarkDirty(id) })
+	}
+	for i := 0; i < 4; i++ {
+		n := nodes[i*nodeCount/4]
+		for j := 0; j < 8; j++ {
+			src := harvest.ID(1000 + i*10 + j)
+			n.CPUPool.Put(0, src, 500, float64(50+j))
+			n.MemPool.Put(0, src, 512, float64(50+j))
+		}
+	}
+	shards := scheduler.NewShards(2, nodes, func() scheduler.Algorithm {
+		return &scheduler.Libra{Index: idx}
+	})
+	inv := &cluster.Invocation{ID: 1, UserAlloc: resources.Vector{CPU: 1000, Mem: 1024}}
+	req := scheduler.Request{
+		Inv:          inv,
+		Extra:        resources.Vector{CPU: 2000, Mem: 2048},
+		PredDuration: 8,
+	}
+	s := shards[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := s.Select(req, nodes)
+		if n == nil {
+			b.Fatal("no node admitted the benchmark request")
+		}
+		s.Release(n.ID(), inv.UserAlloc)
+	}
+}
+
+// BenchLibraSparse50 is the sparse-pool decision at Jetstream width.
+func BenchLibraSparse50(b *testing.B) { benchLibraSparse(b, 50) }
+
+// BenchLibraSparse200 is the same decision at 4× the node count; the
+// 50-vs-200 ratio is the sub-linearity acceptance gate.
+func BenchLibraSparse200(b *testing.B) { benchLibraSparse(b, 200) }

@@ -36,9 +36,11 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "table2", "fig13", "fig14", "fig15", "fig16", "overheads",
-		"figf1", // beyond the paper: fault tolerance (sorts after paper order)
-		"figo1", // beyond the paper: trace-derived latency breakdown
-		"figs2", // beyond the paper: jetstream-scale replay
+		"figf1",  // beyond the paper: fault tolerance (sorts after paper order)
+		"figo1",  // beyond the paper: trace-derived latency breakdown
+		"figs2",  // beyond the paper: jetstream-scale replay
+		"figs2m", // beyond the paper: million-invocation endurance replay
+		"figs3",  // beyond the paper: sustained 2x-overload replay
 	}
 	all := All()
 	if len(all) != len(want) {

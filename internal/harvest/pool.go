@@ -105,6 +105,11 @@ type Pool struct {
 	traceNode int
 	traceAxis string
 
+	// indexHook fires after every mutation (nil = disabled; see
+	// SetIndexHook) so a scheduler-side coverage index can dirty-mark the
+	// node.
+	indexHook func()
+
 	// counters for reports
 	totalPut, totalGot, totalExpired, totalReharvested int64
 
@@ -131,6 +136,26 @@ func (p *Pool) SetTracer(tr obs.Tracer, node int, axis string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.tracer, p.traceNode, p.traceAxis = tr, node, axis
+}
+
+// SetIndexHook registers a callback invoked after every pool mutation
+// (Put, Get, Reharvest, ReleaseSource, ReleaseAll). The scheduler's
+// incremental coverage index uses it to dirty-mark the node when
+// decisions read pool state live. The hook runs with the pool's lock
+// held, so it must be trivial and must not call back into the pool;
+// spurious invocations (mutations that end up changing nothing) are
+// allowed — the index only over-approximates staleness.
+func (p *Pool) SetIndexHook(fn func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.indexHook = fn
+}
+
+// notifyIndex fires the mutation hook; callers hold p.mu.
+func (p *Pool) notifyIndex() {
+	if p.indexHook != nil {
+		p.indexHook()
+	}
 }
 
 func (p *Pool) advance(now float64) {
@@ -166,6 +191,7 @@ func (p *Pool) Put(now float64, src ID, vol int64, expiry float64) {
 		p.tracer.Record(obs.Event{T: now, Inv: int64(src), Kind: obs.KindHarvest,
 			Node: p.traceNode, Axis: p.traceAxis, Val: float64(vol)})
 	}
+	p.notifyIndex()
 }
 
 // Get borrows up to want units for borrower, preferring units whose
@@ -259,6 +285,7 @@ func (p *Pool) Get(now float64, borrower ID, want int64) []*Loan {
 				Node: p.traceNode, Peer: int64(loan.Source), Axis: p.traceAxis, Val: float64(take)})
 		}
 	}
+	p.notifyIndex()
 	return out
 }
 
@@ -269,6 +296,7 @@ func (p *Pool) Get(now float64, borrower ID, want int64) []*Loan {
 func (p *Pool) Reharvest(now float64, loan *Loan) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.notifyIndex()
 	p.advance(now)
 	if !p.removeLoan(loan) {
 		return // source already released; nothing to return
@@ -307,6 +335,7 @@ func (p *Pool) Reharvest(now float64, loan *Loan) {
 func (p *Pool) ReleaseAll(now float64) (pooled int64, revoked []*Loan) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.notifyIndex()
 	p.advance(now)
 	sources := make([]ID, 0, len(p.loans))
 	for src := range p.loans {
@@ -352,6 +381,7 @@ func (p *Pool) LentBy(src ID) int64 {
 func (p *Pool) ReleaseSource(now float64, src ID) (pooled int64, revoked []*Loan) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.notifyIndex()
 	p.advance(now)
 	if e, ok := p.bySource[src]; ok {
 		pooled = e.Vol

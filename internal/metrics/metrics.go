@@ -124,7 +124,11 @@ type UtilizationTracker struct {
 // Stop is called. Sampling keeps the event queue non-empty, so callers
 // must Stop it (or use RunUntil) to let the simulation drain.
 func NewUtilizationTracker(eng *sim.Engine, nodes []*cluster.Node, interval float64) *UtilizationTracker {
-	t := &UtilizationTracker{eng: eng, nodes: nodes}
+	// Long replays collect hours of virtual time at 1-sample-per-second;
+	// seed the buffer so the early growth reallocations never show up in
+	// the per-run allocation profile.
+	t := &UtilizationTracker{eng: eng, nodes: nodes,
+		samples: make([]UtilizationSample, 0, 1024)}
 	for _, n := range nodes {
 		c := n.Capacity()
 		t.capCPU += c.CPU.Cores()

@@ -126,6 +126,12 @@ type Config struct {
 	PingInterval float64
 	// SampleInterval for utilization tracking (default 1s).
 	SampleInterval float64
+	// TrackBacklog records a backlog time series (ready-queue depth,
+	// in-flight count, completions, abandonments) every SampleInterval —
+	// the sustained-overload experiments (figs3) read it. Off by default:
+	// the sampling ticker adds engine events, so enabling it perturbs
+	// event sequence numbers (never outcomes) relative to an untracked run.
+	TrackBacklog bool
 	// Faults is the deterministic fault-injection schedule. The zero
 	// value disables every fault and keeps the platform byte-identical to
 	// a fault-free build; see faults.Config for the knobs.
@@ -241,6 +247,22 @@ type Result struct {
 	// CapacityViolations counts nodes whose committed resources exceeded
 	// their capacity at the end of the run (invariant: always 0).
 	CapacityViolations int
+
+	// PeakPending is the deepest the capacity-blocked ready queue ever
+	// got — the backlog high-water mark under overload.
+	PeakPending int
+	// Backlog is the backlog time series (only when Config.TrackBacklog).
+	Backlog []BacklogSample
+}
+
+// BacklogSample is one point of the overload time series: how much work
+// was queued, running, done and given up at virtual time T.
+type BacklogSample struct {
+	T         float64
+	Pending   int
+	Inflight  int
+	Completed int
+	Abandoned int
 }
 
 // Goodput is the fraction of invocations that eventually completed
@@ -278,7 +300,7 @@ type Platform struct {
 	shards []*scheduler.Shard
 	est    profiler.Estimator
 
-	pending    []*queued
+	ready      readyQueue
 	inflight   map[harvest.ID]*queued
 	freeQ      []*queued
 	sgCounts   map[string]int // per-function safeguard triggers (OOM retreat)
@@ -289,6 +311,63 @@ type Platform struct {
 	tracker    *metrics.UtilizationTracker
 	nextShard  int
 	inj        *faults.Injector
+	covIndex   *scheduler.CoverageIndex
+	libras     []*scheduler.Libra
+
+	backlogTicker *sim.Ticker
+
+	// Test seams for the drain-equivalence property test: when set and
+	// returning true they replace the watermark-gated ready queue with the
+	// reference full-rescan pending list kept in the test file.
+	pushHook  func(*queued) bool
+	drainHook func() bool
+}
+
+// readyQueue holds capacity-blocked invocations, bucketed by (shard,
+// reservation). The drain watermark is bucket-granular: all five
+// algorithms succeed if and only if some node admits the reservation
+// (which node differs; whether differs not), so one failed scan for a
+// reservation blocks its whole bucket until the shard's epoch — bumped
+// on every Release and Rebalance, the only events after which the scan
+// outcome can flip — advances. Items keep a global FIFO sequence so the
+// gated drain attempts exactly the Selects the full rescan would have
+// attempted, in the same order; everything it skips is a provably-nil
+// scan, which mutates no observable state.
+type readyQueue struct {
+	byShard [][]*pendBucket // indexed by shard position
+	size    int
+	nextSeq int64
+}
+
+// pendBucket is one (shard, reservation) class of blocked invocations in
+// arrival order. items[head:] are live; popped slots are nilled and the
+// storage is compacted amortizedly, so steady-state drains allocate
+// nothing.
+type pendBucket struct {
+	user         resources.Vector
+	blockedEpoch int64 // shard epoch of the last provably-futile scan
+	items        []*queued
+	head         int
+}
+
+func (b *pendBucket) empty() bool { return b.head >= len(b.items) }
+
+func (b *pendBucket) push(q *queued) { b.items = append(b.items, q) }
+
+func (b *pendBucket) pop() {
+	b.items[b.head] = nil
+	b.head++
+	if b.head == len(b.items) {
+		b.items = b.items[:0]
+		b.head = 0
+	} else if b.head >= 1024 && b.head*2 >= len(b.items) {
+		n := copy(b.items, b.items[b.head:])
+		for i := n; i < len(b.items); i++ {
+			b.items[i] = nil
+		}
+		b.items = b.items[:n]
+		b.head = 0
+	}
 }
 
 // poolStatus is one node's last health-ping snapshot.
@@ -302,7 +381,8 @@ type queued struct {
 	pred     profiler.Prediction
 	shard    *scheduler.Shard
 	profCost float64
-	attempt  int // completed (failed) execution attempts so far
+	attempt  int   // completed (failed) execution attempts so far
+	seq      int64 // global FIFO position in the ready queue
 }
 
 // New builds a platform from cfg, or reports why the config is invalid
@@ -348,9 +428,25 @@ func New(cfg Config) (*Platform, error) {
 					return st.cpu, st.mem
 				}
 			}
+			// Coverage is whole-node state, so one incremental candidate
+			// index serves every shard (§6.4).
+			if p.covIndex == nil {
+				p.covIndex = scheduler.NewCoverageIndex(cfg.Nodes)
+			}
+			l.Index = p.covIndex
+			p.libras = append(p.libras, l)
 		}
 		return algo
 	})
+	if p.covIndex != nil && p.pings == nil {
+		// Live-pool mode (negative PingInterval): decisions read pool state
+		// directly, so the pools dirty-mark the index on every mutation.
+		for _, n := range p.nodes {
+			id := n.ID()
+			n.CPUPool.SetIndexHook(func() { p.covIndex.MarkDirty(id) })
+			n.MemPool.SetIndexHook(func() { p.covIndex.MarkDirty(id) })
+		}
+	}
 	if cfg.Tracer != nil {
 		for _, s := range p.shards {
 			s.Tracer = cfg.Tracer
@@ -408,7 +504,18 @@ func (p *Platform) Run(set trace.Set) *Result {
 				st := p.pings[n.ID()]
 				st.cpu = n.CPUPool.AppendEntries(st.cpu[:0])
 				st.mem = n.MemPool.AppendEntries(st.mem[:0])
+				if p.covIndex != nil {
+					p.covIndex.UpdateSnapshot(n.ID(), st.cpu, st.mem)
+				}
 			}
+		})
+	}
+	if p.cfg.TrackBacklog {
+		p.backlogTicker = p.eng.Every(p.cfg.SampleInterval, func() {
+			p.result.Backlog = append(p.result.Backlog, BacklogSample{
+				T: p.eng.Now(), Pending: p.ready.size, Inflight: len(p.inflight),
+				Completed: len(p.result.Records), Abandoned: p.result.Faults.Abandoned,
+			})
 		})
 	}
 	if p.cfg.Faults.Enabled() {
@@ -533,7 +640,7 @@ func (p *Platform) enqueue(q *queued, ready float64) {
 		if node := shard.Select(q.req, p.nodes); node != nil {
 			p.dispatch(q, node)
 		} else {
-			p.pending = append(p.pending, q)
+			p.pushPending(q)
 		}
 	})
 }
@@ -699,6 +806,13 @@ func (p *Platform) crashNode(id int) {
 	if p.pings != nil {
 		st := p.pings[id]
 		st.cpu, st.mem = nil, nil
+		if p.covIndex != nil {
+			// The coverage index mirrors the ping snapshots; the darkened
+			// snapshot drops the node from the candidate list. (Live-pool
+			// mode needs nothing here: Crash reconciles the pools, and every
+			// pool mutation reaches the index through its hook.)
+			p.covIndex.UpdateSnapshot(id, nil, nil)
+		}
 	}
 	for _, inv := range aborted {
 		p.onFailure(inv, cluster.FailCrash)
@@ -715,21 +829,89 @@ func (p *Platform) recoverNode(id int) {
 	p.drainPending()
 }
 
-// drainPending retries capacity-blocked invocations in FIFO order.
-func (p *Platform) drainPending() {
-	if len(p.pending) == 0 {
+// pushPending parks a capacity-blocked invocation on the ready queue.
+// The Select that just failed proves the reservation is unplaceable in
+// its shard at the shard's current epoch, so the whole bucket's watermark
+// tightens to that epoch — draining it again before the shard Releases or
+// Rebalances would be a provably-nil scan.
+func (p *Platform) pushPending(q *queued) {
+	if p.pushHook != nil && p.pushHook(q) {
 		return
 	}
-	var still []*queued
-	for _, q := range p.pending {
-		q.req.Now = p.eng.Now()
-		if node := q.shard.Select(q.req, p.nodes); node != nil {
-			p.dispatch(q, node)
-		} else {
-			still = append(still, q)
+	q.seq = p.ready.nextSeq
+	p.ready.nextSeq++
+	si := q.shard.Index()
+	for len(p.ready.byShard) <= si {
+		p.ready.byShard = append(p.ready.byShard, nil)
+	}
+	user := q.inv.Reservation()
+	var b *pendBucket
+	for _, c := range p.ready.byShard[si] {
+		if c.user == user {
+			b = c
+			break
 		}
 	}
-	p.pending = still
+	if b == nil {
+		b = &pendBucket{user: user}
+		p.ready.byShard[si] = append(p.ready.byShard[si], b)
+	}
+	b.blockedEpoch = q.shard.Epoch()
+	b.push(q)
+	p.ready.size++
+	if p.result != nil && p.ready.size > p.result.PeakPending {
+		p.result.PeakPending = p.ready.size
+	}
+}
+
+// drainPending retries capacity-blocked invocations in FIFO order. It is
+// dispatch-for-dispatch identical to rescanning the whole pending list —
+// the sequence of attempted Selects is the same — but it skips every scan
+// the watermarks prove nil: a bucket is eligible only when its shard's
+// epoch advanced past the bucket's last failed scan AND the shard's slack
+// maxima could cover the reservation. Within one pass commits only shrink
+// slack and never bump the epoch, so a bucket blocked mid-pass stays
+// provably blocked for the rest of the pass.
+func (p *Platform) drainPending() {
+	if p.drainHook != nil && p.drainHook() {
+		return
+	}
+	if p.ready.size == 0 {
+		return
+	}
+	now := p.eng.Now()
+	for {
+		var best *pendBucket
+		var bestShard *scheduler.Shard
+		for si, buckets := range p.ready.byShard {
+			sh := p.shards[si]
+			ep := sh.Epoch()
+			for _, b := range buckets {
+				if b.empty() || b.blockedEpoch >= ep {
+					continue
+				}
+				if !sh.MightFit(b.user) {
+					b.blockedEpoch = ep
+					continue
+				}
+				if best == nil || b.items[b.head].seq < best.items[best.head].seq {
+					best, bestShard = b, sh
+				}
+			}
+		}
+		if best == nil {
+			return
+		}
+		q := best.items[best.head]
+		q.req.Now = now
+		if node := bestShard.Select(q.req, p.nodes); node != nil {
+			best.pop()
+			p.ready.size--
+			p.dispatch(q, node)
+		} else {
+			best.blockedEpoch = bestShard.Epoch()
+		}
+	}
 }
 
 // finish closes out the run once every invocation completed or was
@@ -739,6 +921,9 @@ func (p *Platform) finish() {
 	p.result.CompletionTime = p.eng.Now()
 	p.tracker.Stop()
 	p.stopPing()
+	if p.backlogTicker != nil {
+		p.backlogTicker.Stop()
+	}
 	if p.inj != nil {
 		p.inj.Stop()
 		p.result.Faults.Crashes = p.inj.Crashes()

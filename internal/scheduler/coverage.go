@@ -7,8 +7,6 @@
 package scheduler
 
 import (
-	"hash/fnv"
-
 	"libra/internal/cluster"
 	"libra/internal/harvest"
 	"libra/internal/resources"
@@ -88,11 +86,18 @@ type Algorithm interface {
 	Select(req Request, nodes []*cluster.Node, admit func(*cluster.Node, resources.Vector) bool) *cluster.Node
 }
 
-// hashOf gives a stable per-function hash for placement.
+// hashOf gives a stable per-function hash for placement: FNV-1a computed
+// inline (identical to hash/fnv.New64a, which would heap-allocate its
+// hasher on every decision — the hash path runs once per non-accelerable
+// invocation, including every drain retry).
 func hashOf(name string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	return h.Sum64()
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return h
 }
 
 // HashDefault is OpenWhisk's default placement: a unique hash per
@@ -207,7 +212,15 @@ type Libra struct {
 	// node's periodic health pings (§6.4), so it may be slightly stale;
 	// nil reads the pools live.
 	Status func(n *cluster.Node) (cpu, mem []harvest.Entry)
-	hash   HashDefault
+	// Index, when non-nil, replaces the O(nodes) coverage scan with the
+	// incremental candidate sweep (see CoverageIndex). Selections are
+	// byte-identical to the full scan; the index only skips nodes that
+	// provably score the empty-pool baseline. Requires an id-positional
+	// node slice (nodes[i].ID() == i, the platform's layout); any other
+	// shape falls back to the full scan. nil keeps the full scan — the
+	// reference behaviour the equivalence tests compare against.
+	Index *CoverageIndex
+	hash  HashDefault
 
 	// lastScore is the weighted coverage of the most recent successful
 	// coverage-path selection (0 after a hash-path decision); Shard reads
@@ -234,6 +247,11 @@ func (l *Libra) Select(req Request, nodes []*cluster.Node, admit func(*cluster.N
 	if !req.Accelerable() {
 		return l.hash.Select(req, nodes, admit)
 	}
+	if l.Index != nil {
+		if n, ok := l.selectIndexed(req, nodes, admit, alpha); ok {
+			return n
+		}
+	}
 	start := req.Now
 	end := req.Now + req.PredDuration
 	var best *cluster.Node
@@ -242,22 +260,8 @@ func (l *Libra) Select(req Request, nodes []*cluster.Node, admit func(*cluster.N
 		if !admit(n, req.Inv.Reservation()) {
 			continue
 		}
-		var cpuEntries, memEntries []harvest.Entry
-		if l.Status != nil {
-			cpuEntries, memEntries = l.Status(n)
-		} else {
-			l.cpuBuf = n.CPUPool.AppendEntries(l.cpuBuf[:0])
-			l.memBuf = n.MemPool.AppendEntries(l.memBuf[:0])
-			cpuEntries, memEntries = l.cpuBuf, l.memBuf
-		}
-		if l.VolumeOnly {
-			l.cpuFlat = flattenExpiry(l.cpuFlat[:0], cpuEntries, end)
-			l.memFlat = flattenExpiry(l.memFlat[:0], memEntries, end)
-			cpuEntries, memEntries = l.cpuFlat, l.memFlat
-		}
-		dc := Coverage(cpuEntries, int64(req.Extra.CPU), start, end)
-		dm := Coverage(memEntries, int64(req.Extra.Mem), start, end)
-		if d := WeightedCoverage(dc, dm, alpha); d > bestD {
+		cpuEntries, memEntries := l.nodeEntries(n)
+		if d := l.score(cpuEntries, memEntries, req, start, end, alpha); d > bestD {
 			best, bestD = n, d
 		}
 	}
@@ -265,6 +269,116 @@ func (l *Libra) Select(req Request, nodes []*cluster.Node, admit func(*cluster.N
 		l.lastScore = bestD
 	}
 	return best
+}
+
+// nodeEntries resolves the pool snapshots coverage reads: the ping-status
+// callback when set, the live pools otherwise (into the shared scratch
+// buffers, valid until the next call).
+func (l *Libra) nodeEntries(n *cluster.Node) (cpu, mem []harvest.Entry) {
+	if l.Status != nil {
+		return l.Status(n)
+	}
+	l.cpuBuf = n.CPUPool.AppendEntries(l.cpuBuf[:0])
+	l.memBuf = n.MemPool.AppendEntries(l.memBuf[:0])
+	return l.cpuBuf, l.memBuf
+}
+
+// score computes one node's weighted demand coverage. Both the full scan
+// and the indexed sweep call this with identical inputs, so their float
+// results are bit-equal — the property the byte-identical-render
+// guarantee rests on.
+func (l *Libra) score(cpuEntries, memEntries []harvest.Entry, req Request, start, end, alpha float64) float64 {
+	if l.VolumeOnly {
+		l.cpuFlat = flattenExpiry(l.cpuFlat[:0], cpuEntries, end)
+		l.memFlat = flattenExpiry(l.memFlat[:0], memEntries, end)
+		cpuEntries, memEntries = l.cpuFlat, l.memFlat
+	}
+	dc := Coverage(cpuEntries, int64(req.Extra.CPU), start, end)
+	dm := Coverage(memEntries, int64(req.Extra.Mem), start, end)
+	return WeightedCoverage(dc, dm, alpha)
+}
+
+// selectIndexed is the sub-linear coverage decision: sweep the index's
+// candidates instead of every node. ok is false when the node slice is
+// not id-positional and the caller must run the full scan.
+//
+// Equivalence argument (each step preserves the full scan's outcome):
+// a node outside the candidate list has no pool entries the active
+// snapshot source knows about, so both axes score Coverage == 0 for a
+// wanted axis and == 1 for an unwanted one — exactly the empty-pool
+// baseline `base`. A candidate whose wanted axes are all dead (no
+// entries, or every expiry ≤ start with timeliness on) scores base by
+// the same computation. The full scan keeps the *first* strictly-best
+// node, so when the sweep's best exceeds base it is the unique answer
+// (position tie-broken); otherwise every admissible node ties at base
+// and the winner is the first admissible node in slice order.
+func (l *Libra) selectIndexed(req Request, nodes []*cluster.Node, admit func(*cluster.Node, resources.Vector) bool, alpha float64) (*cluster.Node, bool) {
+	x := l.Index
+	user := req.Inv.Reservation()
+	start := req.Now
+	end := req.Now + req.PredDuration
+	base := WeightedCoverage(
+		Coverage(nil, int64(req.Extra.CPU), start, end),
+		Coverage(nil, int64(req.Extra.Mem), start, end), alpha)
+	var best *cluster.Node
+	bestD := -1.0
+	bestPos := int(^uint(0) >> 1)
+	for i := 0; i < len(x.candidates); {
+		id := x.candidates[i]
+		if id >= len(nodes) || nodes[id].ID() != id {
+			return nil, false
+		}
+		n := nodes[id]
+		e := &x.nodes[id]
+		var cpuE, memE []harvest.Entry
+		fetched := false
+		if e.dirty {
+			// Live mode: the pool mutated since the last sweep; refresh
+			// the summary from the same entries a scoring pass would read.
+			cpuE, memE = l.nodeEntries(n)
+			x.refresh(id, cpuE, memE)
+			fetched = true
+		}
+		cpuAlive := axisAlive(e.cpuCount, e.cpuBound, start, l.VolumeOnly)
+		memAlive := axisAlive(e.memCount, e.memBound, start, l.VolumeOnly)
+		if !cpuAlive && !memAlive {
+			// Fully expired (or emptied): scores base now and forever
+			// until a mutation or snapshot refresh re-adds it — virtual
+			// time is monotone, so lazy eviction is permanent-safe.
+			x.dropCandidate(i)
+			continue
+		}
+		if !((req.Extra.CPU > 0 && cpuAlive) || (req.Extra.Mem > 0 && memAlive)) {
+			// Alive only on axes this request does not want: scores base.
+			i++
+			continue
+		}
+		if !admit(n, user) {
+			i++
+			continue
+		}
+		if !fetched {
+			cpuE, memE = l.nodeEntries(n)
+		}
+		if d := l.score(cpuE, memE, req, start, end, alpha); d > bestD || (d == bestD && id < bestPos) {
+			best, bestD, bestPos = n, d, id
+		}
+		i++
+	}
+	if best != nil && bestD > base {
+		l.lastScore = bestD
+		return best, true
+	}
+	// Nothing beats the empty-pool baseline: every admissible node ties
+	// at base, and the full scan's strict-improvement rule would keep the
+	// first admissible node in slice order.
+	for _, n := range nodes {
+		if admit(n, user) {
+			l.lastScore = base
+			return n, true
+		}
+	}
+	return nil, true
 }
 
 func flattenExpiry(buf, es []harvest.Entry, end float64) []harvest.Entry {

@@ -1,0 +1,152 @@
+package scheduler
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"libra/internal/cluster"
+	"libra/internal/function"
+	"libra/internal/harvest"
+	"libra/internal/resources"
+	"libra/internal/sim"
+)
+
+// hashOf is FNV-1a inlined for allocation-freedom; it must stay
+// bit-identical to hash/fnv, which the hash-placement golden renders
+// were produced with.
+func TestHashOfMatchesFnv(t *testing.T) {
+	names := []string{"", "a", "video-processing", "ml-inference", "αβγ"}
+	for _, name := range names {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		if want, got := h.Sum64(), hashOf(name); got != want {
+			t.Fatalf("hashOf(%q) = %d, fnv = %d", name, got, want)
+		}
+	}
+}
+
+// The incremental coverage index must reproduce the full scan's
+// selection — same node, same score bits — under randomized pool
+// histories, admission patterns, request mixes and both coverage
+// variants, in both live-pool and ping-snapshot modes. The reference
+// Libra (Index == nil) runs the original full scan over every node.
+func TestIndexedSelectMatchesFullScan(t *testing.T) {
+	const nodeCount = 12
+	spec := function.Apps()[0]
+	for _, mode := range []string{"live", "ping"} {
+		for _, volumeOnly := range []bool{false, true} {
+			for seed := int64(0); seed < 6; seed++ {
+				name := fmt.Sprintf("%s/volumeOnly=%v/seed=%d", mode, volumeOnly, seed)
+				t.Run(name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(seed))
+					eng := sim.NewEngine()
+					cap := resources.Vector{CPU: resources.Cores(24), Mem: 24 * 1024}
+					nodes := make([]*cluster.Node, nodeCount)
+					for i := range nodes {
+						nodes[i] = cluster.NewNode(eng, i, cap)
+					}
+
+					idx := NewCoverageIndex(nodeCount)
+					ref := &Libra{VolumeOnly: volumeOnly}
+					opt := &Libra{VolumeOnly: volumeOnly, Index: idx}
+
+					snaps := make([][2][]harvest.Entry, nodeCount)
+					if mode == "ping" {
+						status := func(n *cluster.Node) ([]harvest.Entry, []harvest.Entry) {
+							s := snaps[n.ID()]
+							return s[0], s[1]
+						}
+						ref.Status, opt.Status = status, status
+					} else {
+						for _, n := range nodes {
+							id := n.ID()
+							n.CPUPool.SetIndexHook(func() { idx.MarkDirty(id) })
+							n.MemPool.SetIndexHook(func() { idx.MarkDirty(id) })
+						}
+					}
+
+					now := 0.0
+					for step := 0; step < 400; step++ {
+						now += rng.Float64() * 3
+						// Mutate a few pools: harvest puts with a mix of live,
+						// soon-to-expire and already-expired windows, lends, and
+						// full releases.
+						for m := rng.Intn(4); m > 0; m-- {
+							n := nodes[rng.Intn(nodeCount)]
+							pool := n.CPUPool
+							if rng.Intn(2) == 0 {
+								pool = n.MemPool
+							}
+							switch rng.Intn(4) {
+							case 0, 1:
+								pool.Put(now, harvest.ID(rng.Intn(40)), int64(rng.Intn(4000)+1), now+rng.Float64()*20-2)
+							case 2:
+								pool.Get(now, harvest.ID(100+rng.Intn(40)), int64(rng.Intn(3000)+1))
+							case 3:
+								pool.ReleaseSource(now, harvest.ID(rng.Intn(40)))
+							}
+						}
+						if mode == "ping" && rng.Intn(3) == 0 {
+							// Health-ping tick: refresh every snapshot and the index,
+							// exactly as the platform does.
+							for _, n := range nodes {
+								id := n.ID()
+								snaps[id][0] = n.CPUPool.AppendEntries(snaps[id][0][:0])
+								snaps[id][1] = n.MemPool.AppendEntries(snaps[id][1][:0])
+								idx.UpdateSnapshot(id, snaps[id][0], snaps[id][1])
+							}
+						}
+
+						extra := resources.Vector{}
+						switch rng.Intn(4) {
+						case 0:
+							extra = resources.Vector{CPU: resources.Millicores(rng.Intn(4000) + 1)}
+						case 1:
+							extra = resources.Vector{Mem: resources.MegaBytes(rng.Intn(2048) + 1)}
+						case 2:
+							extra = resources.Vector{
+								CPU: resources.Millicores(rng.Intn(4000) + 1),
+								Mem: resources.MegaBytes(rng.Intn(2048) + 1),
+							}
+						}
+						req := Request{
+							Inv: &cluster.Invocation{ID: harvest.ID(step), App: spec,
+								UserAlloc: resources.Vector{CPU: 500, Mem: 256}},
+							Extra:        extra,
+							PredDuration: rng.Float64()*15 + 0.1,
+							Now:          now,
+						}
+						mask := rng.Uint64()
+						admit := func(n *cluster.Node, user resources.Vector) bool {
+							return mask&(1<<uint(n.ID())) != 0
+						}
+
+						want := ref.Select(req, nodes, admit)
+						wantScore := ref.lastScore
+						got := opt.Select(req, nodes, admit)
+						gotScore := opt.lastScore
+						if want != got {
+							t.Fatalf("step %d: full scan picked %v, indexed picked %v (req %+v)",
+								step, nodeID(want), nodeID(got), req)
+						}
+						if wantScore != gotScore {
+							t.Fatalf("step %d: full scan score %v, indexed score %v", step, wantScore, gotScore)
+						}
+					}
+					if idx.Candidates() > nodeCount {
+						t.Fatalf("candidate list grew past the node count: %d", idx.Candidates())
+					}
+				})
+			}
+		}
+	}
+}
+
+func nodeID(n *cluster.Node) int {
+	if n == nil {
+		return -1
+	}
+	return n.ID()
+}

@@ -41,6 +41,23 @@ type Shard struct {
 	argMem     int
 	slackDirty bool
 
+	// epoch counts the shard's capacity-increase events: it bumps on every
+	// Release and Rebalance — the only two operations after which a
+	// previously failing Select for some reservation could start
+	// succeeding. (Admission is the conjunction of the shard-fit rule and
+	// the node's physical free capacity; shares partition node capacity,
+	// so for an up node shard-fit implies node-fit, and node state changes
+	// reach the shards through exactly these two methods: completions and
+	// failure recoveries Release, crash and repair Rebalance.) The
+	// platform's ready queue keys its re-scan watermarks on this counter:
+	// a reservation bucket whose last scan failed at the current epoch is
+	// provably still unplaceable.
+	epoch int64
+
+	// admitFn is the bound Admit method, created once — taking the method
+	// value inside Select would heap-allocate a closure per decision.
+	admitFn func(*cluster.Node, resources.Vector) bool
+
 	// BusyUntil is the virtual time until which this scheduler is
 	// occupied handling earlier invocations; the platform uses it to
 	// model decision queueing (strong/weak scaling, Fig 12).
@@ -81,6 +98,7 @@ func NewShards(k int, nodes []*cluster.Node, algo func() Algorithm) []*Shard {
 		for _, n := range nodes {
 			s.share[n.ID()] = shardSlice(n.Capacity(), k, i)
 		}
+		s.admitFn = s.Admit
 		shards[i] = s
 	}
 	return shards
@@ -128,6 +146,7 @@ func (s *Shard) Rebalance(nodes []*cluster.Node) {
 		}
 	}
 	s.slackDirty = true
+	s.epoch++
 }
 
 // Index returns the shard's position among its peers.
@@ -174,6 +193,17 @@ func (s *Shard) mightFit(user resources.Vector) bool {
 	return user.CPU <= s.maxSlack.CPU && user.Mem <= s.maxSlack.Mem
 }
 
+// MightFit is the exported candidate-index probe: false proves no node
+// currently admits the reservation in this shard, true means a full
+// Select is worth attempting. The ready queue uses it to gate drain
+// passes without touching algorithm state.
+func (s *Shard) MightFit(user resources.Vector) bool { return s.mightFit(user) }
+
+// Epoch returns the capacity-release watermark counter (see the epoch
+// field): it advances exactly when a failed placement could start
+// succeeding.
+func (s *Shard) Epoch() int64 { return s.epoch }
+
 // Admit reports whether the user reservation fits in this shard's slice
 // of the node AND in the node's physical free capacity.
 func (s *Shard) Admit(n *cluster.Node, user resources.Vector) bool {
@@ -199,7 +229,7 @@ func (s *Shard) Select(req Request, nodes []*cluster.Node) *cluster.Node {
 	if !s.mightFit(user) {
 		return nil
 	}
-	n := s.algorithm.Select(req, nodes, s.Admit)
+	n := s.algorithm.Select(req, nodes, s.admitFn)
 	if n == nil {
 		return nil
 	}
@@ -234,6 +264,7 @@ func (s *Shard) Release(nodeID int, user resources.Vector) {
 		panic(fmt.Sprintf("scheduler: shard %d released more than committed on node %d", s.index, nodeID))
 	}
 	s.committed[nodeID] = c
+	s.epoch++
 	if !s.slackDirty {
 		// Slack only grew; the maxima can be raised in place.
 		sl := s.slackAt(nodeID)
