@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"libra/internal/benchkit"
+	"libra/internal/cliflags"
 	"libra/internal/experiments"
 	"libra/internal/obs"
 )
@@ -79,18 +80,18 @@ func runBenchmarks(path string, cells bool) error {
 
 func main() {
 	var (
+		common   = cliflags.AddCommon(flag.CommandLine)
+		parallel = cliflags.AddParallel(flag.CommandLine)
 		exp      = flag.String("exp", "", "run a single experiment by id (e.g. fig6)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		quick    = flag.Bool("quick", false, "trimmed sweeps and single repetitions")
-		seed     = flag.Int64("seed", 42, "random seed")
 		reps     = flag.Int("reps", 0, "repetitions per configuration (0 = default 3)")
-		parallel = flag.Int("parallel", 0, "worker pool size for experiment units (0 = GOMAXPROCS, 1 = serial)")
 		progress = flag.Bool("progress", true, "report per-unit completion on stderr")
-		traceOut = flag.String("trace", "", "write the invocation-lifecycle trace of every unit as JSONL to this file")
 		jsonOut  = flag.String("json", "", "benchmark mode: run the hot-path benchmark registry and write the perf report to this file")
 		cells    = flag.Bool("cells", true, "benchmark mode: also time a quick-mode run of every experiment cell")
 	)
 	flag.Parse()
+	seed, traceOut := &common.Seed, &common.Trace
 
 	if *jsonOut != "" {
 		if err := runBenchmarks(*jsonOut, *cells); err != nil {

@@ -1,0 +1,374 @@
+// Command libra-serve runs the Libra platform live: the same front
+// end, profiler, sharded schedulers and harvest pools the simulations
+// replay, driven by the wall clock behind an HTTP ingress.
+//
+// Usage:
+//
+//	libra-serve                         # serve HTTP on :8080
+//	libra-serve -addr :9090 -variant libra -nodes 96 -schedulers 64
+//	libra-serve -rate 100000 -duration 30 -trace live.jsonl
+//	libra-serve -rate 5000 -duration 2 -selfcheck   # CI smoke
+//
+//	curl -X POST 'localhost:8080/invoke/DH?size=4000'
+//	curl localhost:8080/registry
+//	curl localhost:8080/stats
+//
+// With -rate the built-in open-loop generator injects -app requests per
+// second directly into the event loop (no HTTP overhead), for -duration
+// seconds; the command then drains, prints a summary and exits. Without
+// -duration it serves until SIGINT/SIGTERM.
+//
+// The synthetic micro-function SYN (constant demand, -syn-* flags) is
+// registered alongside the paper's ten apps — the load generator's
+// default target.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"syscall"
+	"time"
+
+	"libra/internal/cliflags"
+	"libra/internal/function"
+	"libra/internal/obs"
+	"libra/internal/resources"
+	"libra/internal/serve"
+)
+
+func main() {
+	var (
+		common   = cliflags.AddCommon(flag.CommandLine)
+		plat     = cliflags.AddPlatform(flag.CommandLine, "libra", "jetstream")
+		addr     = flag.String("addr", ":8080", "HTTP listen address (empty disables HTTP)")
+		dispatch = flag.Float64("dispatch", 2e-5, "per-decision scheduler handling time in seconds (live tuning; the simulated default of 0.025 would throttle a live shard to 40 decisions/s)")
+		rate     = flag.Float64("rate", 0, "open-loop load generator rate in req/s (0 = off)")
+		duration = flag.Float64("duration", 0, "load generation window in seconds (with -rate; exit after draining)")
+		app      = flag.String("app", "SYN", "load generator target function")
+		synDur   = flag.Float64("syn-dur", 0.05, "SYN execution duration in seconds")
+		synCPU   = flag.Int64("syn-cpu", 100, "SYN demand in millicores")
+		synMem   = flag.Int64("syn-mem", 64, "SYN demand in MB")
+		benchOut = flag.String("bench-out", "", "write a JSON bench summary to this file on exit")
+		rotate   = flag.Int64("trace-rotate", 0, "rotate the trace file after this many MB, keeping the current segment plus one predecessor at <path>.1 (0 = grow unboundedly)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		check    = flag.Bool("selfcheck", false, "probe the HTTP ingress, assert nonzero goodput and a clean drained shutdown; exit nonzero on failure")
+	)
+	flag.Parse()
+
+	if err := function.Register(function.Synthetic("SYN",
+		resources.Millicores(*synCPU), resources.MegaBytes(*synMem), *synDur, 0)); err != nil {
+		fatal(err)
+	}
+
+	cfg := plat.CoreConfig(common.Seed)
+	if cfg.Nodes == 0 && cfg.Testbed == "jetstream" {
+		cfg.Nodes = 96 // wide enough that a 100k req/s synthetic load fits
+	}
+	if cfg.Schedulers == 0 && cfg.Testbed == "jetstream" {
+		cfg.Schedulers = 64 // decision serialization must not be the ceiling
+	}
+	pc, err := cfg.PlatformConfig()
+	if err != nil {
+		fatal(err)
+	}
+	pc.DispatchTime = *dispatch
+
+	var (
+		tracer    *obs.StreamTracer
+		traceFile io.Closer
+	)
+	if common.Trace != "" {
+		f, err := os.Create(common.Trace)
+		if err != nil {
+			fatal(err)
+		}
+		var w io.Writer = f
+		traceFile = f
+		if *rotate > 0 {
+			rw := &rotateWriter{f: f, path: common.Trace, limit: *rotate << 20}
+			w, traceFile = rw, rw
+		}
+		tracer = obs.NewStreamTracer(w)
+	}
+
+	baseline := runtime.NumGoroutine()
+	scfg := serve.Config{Platform: pc, Addr: *addr}
+	if tracer != nil { // a typed-nil *StreamTracer in the interface would pass the != nil gates downstream
+		scfg.Tracer = tracer
+	}
+	srv, err := serve.New(scfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		fatal(err)
+	}
+	if *addr != "" {
+		fmt.Fprintf(os.Stderr, "libra-serve: %s on %s (%d nodes, %d schedulers)\n",
+			pc.Name, srv.Addr(), pc.Nodes, pc.Schedulers)
+	}
+
+	checkFailures := 0
+	if *check {
+		checkFailures += probeHTTP(srv)
+	}
+
+	var lg *serve.LoadGen
+	if *rate > 0 {
+		lg, err = srv.StartLoad(serve.LoadGenConfig{
+			App: *app, Rate: *rate, Duration: *duration, Seed: common.Seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "libra-serve: loadgen %s at %.0f req/s", *app, *rate)
+		if *duration > 0 {
+			fmt.Fprintf(os.Stderr, " for %.0fs", *duration)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	progress := time.NewTicker(5 * time.Second)
+	defer progress.Stop()
+
+	start := time.Now()
+	running := true
+	for running {
+		select {
+		case <-sig:
+			if lg != nil {
+				lg.Stop()
+			}
+			running = false
+		case <-progress.C:
+			st := srv.Snapshot()
+			fmt.Fprintf(os.Stderr, "libra-serve: t=%.0fs ingested=%d completed=%d in-flight=%d goodput=%.0f/s lat=%.1fms\n",
+				st.Uptime, st.Ingested, st.Completed, st.InFlight, st.Goodput, st.LatencyMeanMs)
+		case <-loadDone(lg, *duration):
+			running = false
+		}
+	}
+	wall := time.Since(start).Seconds()
+
+	res, stopErr := srv.Stop(context.Background())
+	st := srv.Snapshot()
+	drained := stopErr == nil
+	if stopErr != nil {
+		fmt.Fprintln(os.Stderr, "libra-serve:", stopErr)
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "libra-serve: wrote %d trace events to %s\n", tracer.Count(), common.Trace)
+	}
+
+	goodput := 0.0
+	if wall > 0 {
+		goodput = float64(st.Completed) / wall
+	}
+	fmt.Printf("%s: served %d invocations in %.1fs — goodput %.0f req/s, mean latency %.1fms, %d abandoned, %d cold starts, avg cpu util %.0f%%\n",
+		pc.Name, st.Completed, wall, goodput, st.LatencyMeanMs, st.Abandoned, res.ColdStarts, res.AvgCPUUtil*100)
+
+	if *benchOut != "" {
+		writeBench(*benchOut, benchSummary{
+			Schema: "libra-serve-bench/v1", GoVersion: runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Platform:   pc.Name, Nodes: pc.Nodes, Schedulers: pc.Schedulers,
+			App: *app, OfferedRPS: *rate, Duration: *duration,
+			WallSeconds: wall, Ingested: st.Ingested, Completed: st.Completed,
+			Abandoned: st.Abandoned, GoodputRPS: goodput,
+			LatencyMeanMs: st.LatencyMeanMs, EventsFired: st.EventsFired,
+			TraceEvents: st.TraceEvents, Drained: drained,
+			ColdStarts: res.ColdStarts, AvgCPUUtil: res.AvgCPUUtil,
+		})
+	}
+
+	if *check {
+		checkFailures += selfcheck(st, drained, baseline)
+		if checkFailures > 0 {
+			fmt.Fprintf(os.Stderr, "libra-serve: selfcheck FAILED (%d checks)\n", checkFailures)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "libra-serve: selfcheck ok")
+	}
+	if !drained {
+		os.Exit(1)
+	}
+}
+
+// loadDone returns the generator's completion channel, or a never-ready
+// channel when no bounded load is running (so the select blocks on
+// signals alone).
+func loadDone(lg *serve.LoadGen, duration float64) <-chan struct{} {
+	if lg == nil || duration <= 0 {
+		return nil
+	}
+	return lg.Done()
+}
+
+// probeHTTP exercises the ingress end to end: one synchronous invoke,
+// the registry, and the stats endpoint.
+func probeHTTP(srv *serve.Server) (failures int) {
+	base := "http://" + srv.Addr()
+	resp, err := http.Post(base+"/invoke/SYN", "", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "libra-serve: selfcheck: POST /invoke/SYN: %v (%v)\n", err, status(resp))
+		failures++
+	}
+	drain(resp)
+	for _, path := range []string{"/registry", "/stats", "/healthz"} {
+		resp, err := http.Get(base + path)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "libra-serve: selfcheck: GET %s: %v (%v)\n", path, err, status(resp))
+			failures++
+		}
+		drain(resp)
+	}
+	http.DefaultClient.CloseIdleConnections()
+	return failures
+}
+
+// selfcheck asserts the run's outcome: work flowed, everything drained,
+// and the process is back to its pre-server goroutine count (the loop,
+// the listener and every handler exited — no leaks).
+func selfcheck(st serve.Stats, drained bool, baseline int) (failures int) {
+	if st.Completed == 0 {
+		fmt.Fprintln(os.Stderr, "libra-serve: selfcheck: zero goodput")
+		failures++
+	}
+	if !drained || st.InFlight != 0 {
+		fmt.Fprintf(os.Stderr, "libra-serve: selfcheck: not drained (%d in flight)\n", st.InFlight)
+		failures++
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	goroutines := runtime.NumGoroutine()
+	for goroutines > baseline+1 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		goroutines = runtime.NumGoroutine()
+	}
+	if goroutines > baseline+1 {
+		fmt.Fprintf(os.Stderr, "libra-serve: selfcheck: %d goroutines leaked (baseline %d, now %d)\n",
+			goroutines-baseline, baseline, goroutines)
+		failures++
+	}
+	return failures
+}
+
+func status(resp *http.Response) string {
+	if resp == nil {
+		return "no response"
+	}
+	return resp.Status
+}
+
+func drain(resp *http.Response) {
+	if resp != nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// rotateWriter caps the live trace's disk (and, on tmpfs, memory)
+// footprint: once the current segment exceeds limit bytes it is renamed
+// to <path>.1 — replacing, and thereby freeing, the previous rotation —
+// and a fresh segment starts at <path>. The tracer hands over whole
+// chunks of complete JSONL lines, so every segment parses on its own.
+// Only the tracer's writer goroutine calls Write.
+type rotateWriter struct {
+	f     *os.File
+	path  string
+	limit int64
+	n     int64
+}
+
+func (w *rotateWriter) Write(p []byte) (int, error) {
+	if w.n > 0 && w.n+int64(len(p)) > w.limit {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := w.f.Write(p)
+	w.n += int64(n)
+	return n, err
+}
+
+func (w *rotateWriter) rotate() error {
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(w.path, w.path+".1"); err != nil {
+		return err
+	}
+	f, err := os.Create(w.path)
+	if err != nil {
+		return err
+	}
+	w.f, w.n = f, 0
+	return nil
+}
+
+func (w *rotateWriter) Close() error { return w.f.Close() }
+
+type benchSummary struct {
+	Schema        string  `json:"schema"`
+	GoVersion     string  `json:"go_version"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Platform      string  `json:"platform"`
+	Nodes         int     `json:"nodes"`
+	Schedulers    int     `json:"schedulers"`
+	App           string  `json:"app"`
+	OfferedRPS    float64 `json:"offered_rps"`
+	Duration      float64 `json:"duration_s"`
+	WallSeconds   float64 `json:"wall_s"`
+	Ingested      int64   `json:"ingested"`
+	Completed     int64   `json:"completed"`
+	Abandoned     int64   `json:"abandoned"`
+	GoodputRPS    float64 `json:"goodput_rps"`
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	EventsFired   uint64  `json:"events_fired"`
+	TraceEvents   uint64  `json:"trace_events"`
+	Drained       bool    `json:"drained"`
+	ColdStarts    int     `json:"cold_starts"`
+	AvgCPUUtil    float64 `json:"avg_cpu_util"`
+}
+
+func writeBench(path string, s benchSummary) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "libra-serve: wrote bench summary to %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "libra-serve:", err)
+	os.Exit(1)
+}

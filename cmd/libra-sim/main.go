@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"libra/internal/cliflags"
 	"libra/internal/core"
 	"libra/internal/function"
 	"libra/internal/obs"
@@ -26,23 +27,17 @@ import (
 
 func main() {
 	var (
-		variant     = flag.String("variant", "libra", "platform variant: default|freyr|libra|libra-ns|libra-np|libra-nsp")
-		testbed     = flag.String("testbed", "single", "testbed: single|multi|jetstream")
-		algorithm   = flag.String("algorithm", "", "scheduling algorithm override: Default|RR|JSQ|MWS|Libra")
-		nodes       = flag.Int("nodes", 0, "node count override")
-		schedulers  = flag.Int("schedulers", 0, "sharding scheduler count override")
+		common      = cliflags.AddCommon(flag.CommandLine)
+		plat        = cliflags.AddPlatform(flag.CommandLine, "libra", "single")
 		rpm         = flag.Float64("rpm", 120, "workload request rate (requests/minute)")
 		invocations = flag.Int("invocations", 165, "workload size")
-		threshold   = flag.Float64("threshold", 0, "safeguard threshold override (0 = default 0.8)")
-		alpha       = flag.Float64("alpha", 0, "demand coverage weight override (0 = default 0.9)")
-		seed        = flag.Int64("seed", 42, "random seed")
 		compare     = flag.Bool("compare", false, "run all six platform variants")
 		jsonOut     = flag.Bool("json", false, "print reports as JSON")
 		replayFile  = flag.String("replay", "", "replay a workload file produced by libra-trace instead of generating one")
-		traceOut    = flag.String("trace", "", "write the invocation-lifecycle trace as JSONL to this file")
 		mixSkew     = flag.Float64("mix-skew", 0, "Zipf skew of the function mix (0 = uniform)")
 	)
 	flag.Parse()
+	traceOut := &common.Trace
 
 	var set trace.Set
 	if *replayFile != "" {
@@ -55,21 +50,12 @@ func main() {
 			fatal(err)
 		}
 	} else if *mixSkew > 0 {
-		set = trace.GenerateMix("cli", trace.ZipfMix(function.Apps(), *mixSkew), *invocations, *rpm, *seed)
+		set = trace.GenerateMix("cli", trace.ZipfMix(function.Apps(), *mixSkew), *invocations, *rpm, common.Seed)
 	} else {
-		set = trace.Generate("cli", function.Apps(), *invocations, *rpm, *seed)
+		set = trace.Generate("cli", function.Apps(), *invocations, *rpm, common.Seed)
 	}
 
-	cfg := core.Config{
-		Variant:            core.Variant(*variant),
-		Testbed:            core.Testbed(*testbed),
-		Algorithm:          *algorithm,
-		Nodes:              *nodes,
-		Schedulers:         *schedulers,
-		SafeguardThreshold: *threshold,
-		CoverageWeight:     *alpha,
-		Seed:               *seed,
-	}
+	cfg := plat.CoreConfig(common.Seed)
 
 	var rec *obs.Recorder
 	if *traceOut != "" {

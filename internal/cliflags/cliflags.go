@@ -1,0 +1,72 @@
+// Package cliflags is the shared flag surface of the libra commands.
+// libra-sim, libra-bench and libra-serve all take the same workload
+// seed, trace output and platform-preset flags; defining them once
+// keeps names, defaults and help strings from drifting apart across
+// binaries.
+package cliflags
+
+import (
+	"flag"
+
+	"libra/internal/core"
+)
+
+// Common holds the flags every command shares.
+type Common struct {
+	Seed  int64
+	Trace string
+}
+
+// AddCommon registers -seed and -trace on fs.
+func AddCommon(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.Int64Var(&c.Seed, "seed", 42, "random seed")
+	fs.StringVar(&c.Trace, "trace", "", "write the invocation-lifecycle trace as JSONL to this file")
+	return c
+}
+
+// AddParallel registers -parallel on fs (the commands that fan units
+// over a worker pool).
+func AddParallel(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", 0, "worker pool size for experiment units (0 = GOMAXPROCS, 1 = serial)")
+}
+
+// Platform holds the platform-preset selection flags.
+type Platform struct {
+	Variant    string
+	Testbed    string
+	Algorithm  string
+	Nodes      int
+	Schedulers int
+	Threshold  float64
+	Alpha      float64
+}
+
+// AddPlatform registers the platform-preset flags on fs with the given
+// variant/testbed defaults (libra-sim defaults to the paper's
+// single-node testbed, libra-serve to a wide Jetstream slice).
+func AddPlatform(fs *flag.FlagSet, defaultVariant, defaultTestbed string) *Platform {
+	p := &Platform{}
+	fs.StringVar(&p.Variant, "variant", defaultVariant, "platform variant: default|freyr|libra|libra-ns|libra-np|libra-nsp")
+	fs.StringVar(&p.Testbed, "testbed", defaultTestbed, "testbed: single|multi|jetstream")
+	fs.StringVar(&p.Algorithm, "algorithm", "", "scheduling algorithm override: Default|RR|JSQ|MWS|Libra")
+	fs.IntVar(&p.Nodes, "nodes", 0, "node count override")
+	fs.IntVar(&p.Schedulers, "schedulers", 0, "sharding scheduler count override")
+	fs.Float64Var(&p.Threshold, "threshold", 0, "safeguard threshold override (0 = default 0.8)")
+	fs.Float64Var(&p.Alpha, "alpha", 0, "demand coverage weight override (0 = default 0.9)")
+	return p
+}
+
+// CoreConfig resolves the selection into a core.Config.
+func (p *Platform) CoreConfig(seed int64) core.Config {
+	return core.Config{
+		Variant:            core.Variant(p.Variant),
+		Testbed:            core.Testbed(p.Testbed),
+		Algorithm:          p.Algorithm,
+		Nodes:              p.Nodes,
+		Schedulers:         p.Schedulers,
+		SafeguardThreshold: p.Threshold,
+		CoverageWeight:     p.Alpha,
+		Seed:               seed,
+	}
+}

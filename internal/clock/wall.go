@@ -1,0 +1,464 @@
+package clock
+
+import (
+	"container/heap"
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Source abstracts physical time for the wall Driver, so tests can run
+// the driver deterministically against a mocked clock. A Source's time
+// is monotonic seconds since an arbitrary epoch.
+type Source interface {
+	// Now returns the source's current time in seconds.
+	Now() float64
+	// WaitUntil blocks until source time reaches t, or until wake
+	// delivers (an earlier event was scheduled, or the driver is
+	// stopping). t may be +Inf, meaning "wait for a wake only". Mock
+	// sources may instead jump their clock forward to t and return
+	// immediately — that is what makes a Driver run deterministic.
+	WaitUntil(t float64, wake <-chan struct{})
+}
+
+// realSource is the production Source: time.Now anchored at an epoch,
+// time.Timer-backed waits.
+type realSource struct {
+	epoch time.Time
+}
+
+// NewRealSource returns a Source backed by the machine's monotonic
+// clock, with its epoch at the moment of the call.
+func NewRealSource() Source { return &realSource{epoch: time.Now()} }
+
+func (s *realSource) Now() float64 { return time.Since(s.epoch).Seconds() }
+
+// spinMargin is how far before the deadline the timer path hands over
+// to spin-waiting. Go timers wake 1–2 ms late on a busy single-core box
+// (measured: a 20 µs timer wait costs ~1.9 ms wall), which an event
+// loop firing every few microseconds cannot absorb — the serve
+// throughput ceiling would be timer latency, not event cost. Spinning
+// the last stretch costs at most spinMargin of one core per wait and
+// only when the loop is otherwise idle; Gosched keeps the ingress
+// goroutines runnable meanwhile.
+const spinMargin = 2e-3
+
+func (s *realSource) WaitUntil(t float64, wake <-chan struct{}) {
+	if math.IsInf(t, 1) {
+		<-wake
+		return
+	}
+	if d := t - s.Now() - spinMargin; d > 0 {
+		tm := time.NewTimer(time.Duration(d * float64(time.Second)))
+		select {
+		case <-tm.C:
+		case <-wake:
+			tm.Stop()
+			return // an earlier event arrived; let the loop re-examine
+		}
+		tm.Stop()
+	}
+	for i := 0; s.Now() < t; i++ {
+		select {
+		case <-wake:
+			return
+		default:
+		}
+		if i&7 == 7 { // yield sparingly; each Gosched costs a scheduler round-trip
+			runtime.Gosched()
+		}
+	}
+}
+
+// ManualSource is a mocked Source for deterministic driver runs: Now
+// stands still until a WaitUntil jumps it to the requested instant. A
+// Driver over a ManualSource fires events in exactly the (time, seq)
+// order the sim engine would — the equivalence tests pin this.
+type ManualSource struct {
+	mu  sync.Mutex
+	now float64
+}
+
+// NewManualSource returns a ManualSource at time zero.
+func NewManualSource() *ManualSource { return &ManualSource{} }
+
+// Now returns the mocked time.
+func (s *ManualSource) Now() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Advance moves the mocked clock forward by d seconds (no-op for d ≤ 0).
+func (s *ManualSource) Advance(d float64) {
+	s.mu.Lock()
+	if d > 0 {
+		s.now += d
+	}
+	s.mu.Unlock()
+}
+
+// WaitUntil jumps the mocked clock to t and returns immediately. An
+// infinite t blocks on wake, mirroring the real source's idle wait.
+func (s *ManualSource) WaitUntil(t float64, wake <-chan struct{}) {
+	if math.IsInf(t, 1) {
+		<-wake
+		return
+	}
+	s.mu.Lock()
+	if t > s.now {
+		s.now = t
+	}
+	s.mu.Unlock()
+}
+
+// wallEvent is a scheduled callback record owned by the Driver and
+// recycled after it fires, exactly like the sim engine's event records.
+type wallEvent struct {
+	at       float64
+	seq      uint64
+	gen      uint32
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Gen implements clock.Record.
+func (ev *wallEvent) Gen() uint32 { return ev.gen }
+
+// EventCanceled implements clock.Record.
+func (ev *wallEvent) EventCanceled() bool { return ev.canceled }
+
+// EventTime implements clock.Record.
+func (ev *wallEvent) EventTime() float64 { return ev.at }
+
+type wallHeap []*wallEvent
+
+func (h wallHeap) Len() int { return len(h) }
+func (h wallHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h wallHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *wallHeap) Push(x any) {
+	ev := x.(*wallEvent)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *wallHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// wallCompactMin mirrors the sim engine's lazy-cancel compaction floor.
+const wallCompactMin = 64
+
+// Driver is the wall-clock Clock implementation: the same (time, seq)
+// event queue as the sim engine, driven by physical timers instead of a
+// virtual clock. Unlike the engine it is goroutine-safe — Schedule, At,
+// Cancel and Now may be called from any goroutine (HTTP handlers submit
+// work this way) — but callbacks are serialized on the single goroutine
+// running Run or Serve, preserving the Clock contract the lock-free
+// platform code depends on.
+//
+// Construct with NewDriver (mockable Source) or NewWallDriver (machine
+// clock).
+type Driver struct {
+	mu        sync.Mutex
+	src       Source
+	now       float64 // high-water mark of observed/fired time
+	inCB      bool    // a callback is running; Now is pinned to its fire time
+	seq       uint64
+	queue     wallHeap
+	ncanceled int
+	free      []*wallEvent
+	fired     uint64
+	stopped   bool
+	wake      chan struct{}
+}
+
+// NewDriver returns a Driver over the given time source.
+func NewDriver(src Source) *Driver {
+	return &Driver{src: src, wake: make(chan struct{}, 1)}
+}
+
+// NewWallDriver returns a Driver over the machine's monotonic clock,
+// with time zero at the moment of the call.
+func NewWallDriver() *Driver { return NewDriver(NewRealSource()) }
+
+// nudge wakes the run loop without blocking; a single pending token is
+// enough — the loop re-examines the queue head after every wake.
+func (d *Driver) nudge() {
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Now returns the driver's current time in seconds since its epoch. It
+// is monotonically non-decreasing even if the source briefly reads
+// behind a fired event's timestamp (the loop may slip past due events).
+func (d *Driver) Now() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nowLocked()
+}
+
+// nowLocked reads the source lazily: while a callback runs, time is
+// pinned to the callback's fire time, exactly like the sim engine's
+// Now. That is both contract-compliant (Now during a callback must be
+// ≥ the fire time; the engine reports it exactly) and the difference
+// between one source read per event and one per Now call — platform
+// callbacks read the clock a dozen times per event, and at hundreds of
+// thousands of events per second the nanotime calls alone were ~15% of
+// the serve loop's CPU.
+func (d *Driver) nowLocked() float64 {
+	if d.inCB {
+		return d.now
+	}
+	if t := d.src.Now(); t > d.now {
+		d.now = t
+	}
+	return d.now
+}
+
+// Pending returns the number of live events still queued (cancelled
+// events lazily parked in the queue are not counted). The serve smoke
+// check reads it after shutdown to prove the queue drained.
+func (d *Driver) Pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.queue) - d.ncanceled
+}
+
+// Fired returns how many events have executed so far.
+func (d *Driver) Fired() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fired
+}
+
+func (d *Driver) alloc() *wallEvent {
+	if n := len(d.free); n > 0 {
+		ev := d.free[n-1]
+		d.free[n-1] = nil
+		d.free = d.free[:n-1]
+		return ev
+	}
+	return &wallEvent{}
+}
+
+func (d *Driver) release(ev *wallEvent) {
+	ev.gen++
+	ev.fn = nil
+	ev.canceled = false
+	ev.index = -1
+	d.free = append(d.free, ev)
+}
+
+// Schedule queues fn to run after delay seconds. Safe from any
+// goroutine; fn itself always runs on the driver's loop goroutine.
+func (d *Driver) Schedule(delay float64, fn func()) Handle {
+	if delay < 0 {
+		delay = 0
+	}
+	d.mu.Lock()
+	h := d.atLocked(d.nowLocked()+delay, fn)
+	inCB := d.inCB
+	d.mu.Unlock()
+	if !inCB { // the loop schedules most events from callbacks; it is already awake
+		d.nudge()
+	}
+	return h
+}
+
+// At queues fn to run at absolute driver time t. Wall time cannot be
+// replayed, so unlike the sim engine a past t clamps to "immediately"
+// rather than panicking — a loadgen running behind schedule catches up
+// by firing back-to-back.
+func (d *Driver) At(t float64, fn func()) Handle {
+	if math.IsNaN(t) {
+		panic("clock: scheduling event at NaN time")
+	}
+	d.mu.Lock()
+	if now := d.nowLocked(); t < now {
+		t = now
+	}
+	h := d.atLocked(t, fn)
+	inCB := d.inCB
+	d.mu.Unlock()
+	if !inCB {
+		d.nudge()
+	}
+	return h
+}
+
+func (d *Driver) atLocked(t float64, fn func()) Handle {
+	ev := d.alloc()
+	ev.at, ev.seq, ev.fn = t, d.seq, fn
+	d.seq++
+	heap.Push(&d.queue, ev)
+	return NewHandle(ev, ev.gen)
+}
+
+// Submit runs fn on the driver's loop goroutine as soon as possible.
+// It is how external goroutines (HTTP handlers, signal handlers) mutate
+// platform state without racing the event loop.
+func (d *Driver) Submit(fn func()) { d.Schedule(0, fn) }
+
+// Cancel marks the handled event so it will not fire. Same lazy-delete
+// discipline as the sim engine: O(1), collected at the queue top or by
+// compaction once dead records pile up.
+func (d *Driver) Cancel(h Handle) {
+	ev, ok := h.Impl().(*wallEvent)
+	if !ok {
+		return
+	}
+	d.mu.Lock()
+	if ev.gen != h.Gen() || ev.canceled { // stale or already cancelled
+		d.mu.Unlock()
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		d.ncanceled++
+		if d.ncanceled > wallCompactMin && d.ncanceled*2 > len(d.queue) {
+			d.compact()
+		}
+	}
+	d.mu.Unlock()
+}
+
+func (d *Driver) compact() {
+	live := d.queue[:0]
+	for _, ev := range d.queue {
+		if ev.canceled {
+			d.release(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(d.queue); i++ {
+		d.queue[i] = nil
+	}
+	d.queue = live
+	for i, ev := range d.queue {
+		ev.index = i
+	}
+	heap.Init(&d.queue)
+	d.ncanceled = 0
+}
+
+// peekLocked returns the next live event, collecting cancelled records
+// that surfaced at the top. Caller holds d.mu.
+func (d *Driver) peekLocked() *wallEvent {
+	for len(d.queue) > 0 {
+		if d.queue[0].canceled {
+			ev := heap.Pop(&d.queue).(*wallEvent)
+			d.ncanceled--
+			d.release(ev)
+			continue
+		}
+		return d.queue[0]
+	}
+	return nil
+}
+
+// step pops and runs the next due event if one exists. It returns
+// (fired, nextAt): fired is whether a callback ran; nextAt is the head
+// event's time to wait for (NaN when the queue is empty).
+func (d *Driver) step() (bool, float64) {
+	d.mu.Lock()
+	d.inCB = false // the previous callback (if any) has returned
+	ev := d.peekLocked()
+	if ev == nil {
+		d.mu.Unlock()
+		return false, math.NaN()
+	}
+	if now := d.nowLocked(); ev.at > now {
+		at := ev.at
+		d.mu.Unlock()
+		return false, at
+	}
+	heap.Pop(&d.queue)
+	if ev.at > d.now {
+		d.now = ev.at
+	}
+	d.inCB = true
+	d.fired++
+	fn := ev.fn
+	// Recycle before running the callback, like the sim engine: any
+	// handle to this event is dead the instant it fires, and the
+	// callback's own Schedule calls may reuse the record immediately.
+	d.release(ev)
+	d.mu.Unlock()
+	fn()
+	return true, 0
+}
+
+// Run executes events until the queue drains, waiting out the gaps on
+// the time source. Under a ManualSource the waits jump time forward
+// instead, so Run is a deterministic synchronous replay — the same
+// contract as sim.Engine.Run, which is what lets Platform.Run drive
+// either implementation.
+func (d *Driver) Run() {
+	for {
+		fired, nextAt := d.step()
+		if fired {
+			continue
+		}
+		if math.IsNaN(nextAt) {
+			return
+		}
+		d.src.WaitUntil(nextAt, d.wake)
+	}
+}
+
+// Serve executes events until ctx is cancelled or Stop is called,
+// idling (not returning) while the queue is empty — the live-serving
+// loop. Pending events at stop time stay queued; callers that need a
+// drained queue check Pending after Serve returns.
+func (d *Driver) Serve(ctx context.Context) {
+	if ctx != nil {
+		defer context.AfterFunc(ctx, d.Stop)()
+	}
+	for {
+		d.mu.Lock()
+		stopped := d.stopped
+		d.mu.Unlock()
+		if stopped {
+			return
+		}
+		fired, nextAt := d.step()
+		if fired {
+			continue
+		}
+		if math.IsNaN(nextAt) {
+			nextAt = math.Inf(1)
+		}
+		d.src.WaitUntil(nextAt, d.wake)
+	}
+}
+
+// Stop makes Serve return after the in-flight callback (if any)
+// completes. Idempotent and safe from any goroutine, including a
+// callback on the loop itself.
+func (d *Driver) Stop() {
+	d.mu.Lock()
+	d.stopped = true
+	d.mu.Unlock()
+	d.nudge()
+}

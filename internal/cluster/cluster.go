@@ -16,12 +16,12 @@ import (
 	"fmt"
 	"sort"
 
+	"libra/internal/clock"
 	"libra/internal/function"
 	"libra/internal/harvest"
 	"libra/internal/obs"
 	"libra/internal/resources"
 	"libra/internal/safeguard"
-	"libra/internal/sim"
 )
 
 // Invocation carries one function invocation through the platform.
@@ -146,10 +146,10 @@ type exec struct {
 	remaining  float64 // work left, in rate-1 seconds
 	rate       float64
 	lastUpdate float64
-	initEv     sim.Handle // pending container-init completion
-	doneEv     sim.Handle
-	sgEv       sim.Handle
-	oomEv      sim.Handle
+	initEv     clock.Handle // pending container-init completion
+	doneEv     clock.Handle
+	sgEv       clock.Handle
+	oomEv      clock.Handle
 	started    bool // code execution began (past cold start)
 }
 
@@ -157,12 +157,14 @@ func (e *exec) alloc() resources.Vector { return e.own.Add(e.borrowed).Add(e.bon
 
 // Node is one worker.
 type Node struct {
-	eng *sim.Engine
+	clk clock.Clock
 	id  int
 	cap resources.Vector
 
 	committed resources.Vector // Σ user reservations of running invocations
 	bonusOut  resources.Vector // Σ outstanding revocable bonus grants
+	aggUsage  resources.Vector // Σ usage of started execs (incremental, see aggAdd)
+	aggAlloc  resources.Vector // Σ alloc of all running execs (incremental)
 	running   map[harvest.ID]*exec
 	warm      map[string][]float64 // per-app warm-container expiry times
 	warmTTL   float64
@@ -206,9 +208,9 @@ type Node struct {
 const DefaultWarmTTL = 600.0
 
 // NewNode creates a worker node with the given capacity.
-func NewNode(eng *sim.Engine, id int, cap resources.Vector) *Node {
+func NewNode(clk clock.Clock, id int, cap resources.Vector) *Node {
 	return &Node{
-		eng:     eng,
+		clk:     clk,
 		id:      id,
 		cap:     cap,
 		warmTTL: DefaultWarmTTL,
@@ -258,7 +260,7 @@ func (n *Node) WarmContainers(app string) int {
 // pruneWarm evicts warm containers whose idle TTL elapsed. Entries are
 // appended in completion order, so the expired prefix is contiguous.
 func (n *Node) pruneWarm(app string) {
-	now := n.eng.Now()
+	now := n.clk.Now()
 	ws := n.warm[app]
 	i := 0
 	for i < len(ws) && ws[i] <= now {
@@ -283,24 +285,52 @@ func (n *Node) CanAdmit(user resources.Vector) bool {
 func (n *Node) Down() bool { return n.down }
 
 // UsageNow returns the resources invocations are actually keeping busy.
-func (n *Node) UsageNow() resources.Vector {
-	var u resources.Vector
+// It reads an incrementally-maintained aggregate (see aggAdd/aggSub):
+// both axes are integers, so the running sum is exactly the scan it
+// replaced — the usage integrals feed accumulate after every event, and
+// an O(running) rescan there dominated live-serving throughput.
+func (n *Node) UsageNow() resources.Vector { return n.aggUsage }
+
+// AllocatedNow returns the summed current allocations (own + borrowed),
+// from the same incremental aggregate as UsageNow.
+func (n *Node) AllocatedNow() resources.Vector { return n.aggAlloc }
+
+// RecomputeUsage rescans the running set and returns the usage and
+// allocation sums UsageNow/AllocatedNow must equal. It exists for the
+// property tests: every exec mutation site has to keep the incremental
+// aggregates in lock-step, and a missed site shows up as a mismatch
+// here, not as a silently skewed utilization figure.
+func (n *Node) RecomputeUsage() (usage, alloc resources.Vector) {
 	for _, e := range n.running {
-		if !e.started {
-			continue
+		a := e.alloc()
+		alloc = alloc.Add(a)
+		if e.started {
+			usage = usage.Add(function.Usage(a, e.inv.Actual))
 		}
-		u = u.Add(function.Usage(e.alloc(), e.inv.Actual))
 	}
-	return u
+	return usage, alloc
 }
 
-// AllocatedNow returns the summed current allocations (own + borrowed).
-func (n *Node) AllocatedNow() resources.Vector {
-	var a resources.Vector
-	for _, e := range n.running {
-		a = a.Add(e.alloc())
+// aggAdd counts e into the usage/allocation aggregates. Call it whenever
+// an exec enters the running set or after its alloc()/started state
+// changed (paired with a preceding aggSub).
+func (n *Node) aggAdd(e *exec) {
+	a := e.alloc()
+	n.aggAlloc = n.aggAlloc.Add(a)
+	if e.started {
+		n.aggUsage = n.aggUsage.Add(function.Usage(a, e.inv.Actual))
 	}
-	return a
+}
+
+// aggSub removes e's current contribution from the aggregates. Must run
+// before any mutation of e.own/e.borrowed/e.bonus/e.started, while the
+// contribution still matches what aggAdd counted.
+func (n *Node) aggSub(e *exec) {
+	a := e.alloc()
+	n.aggAlloc = n.aggAlloc.Sub(a)
+	if e.started {
+		n.aggUsage = n.aggUsage.Sub(function.Usage(a, e.inv.Actual))
+	}
 }
 
 // BonusOut returns the summed outstanding revocable bonus grants.
@@ -325,7 +355,7 @@ func (n *Node) AuditAllocations() (own, borrowed, bonus resources.Vector) {
 
 // accumulate advances the usage/allocation integrals to now.
 func (n *Node) accumulate() {
-	now := n.eng.Now()
+	now := n.clk.Now()
 	dt := now - n.lastSample
 	if dt <= 0 {
 		return
@@ -379,6 +409,7 @@ func (n *Node) Start(inv *Invocation, opts StartOptions) {
 	e.own = opts.OwnAlloc
 	e.remaining = inv.Actual.Duration
 	n.running[inv.ID] = e
+	n.aggAdd(e)
 
 	// Container acquisition: reuse a warm container if one survives its
 	// idle TTL, else pay the cold start. The freshest container is
@@ -399,7 +430,7 @@ func (n *Node) Start(inv *Invocation, opts StartOptions) {
 		if cold {
 			kind = obs.KindColdStart
 		}
-		n.Tracer.Record(obs.Event{T: n.eng.Now(), Inv: int64(inv.ID), Kind: kind, Node: n.id, Val: delay})
+		n.Tracer.Record(obs.Event{T: n.clk.Now(), Inv: int64(inv.ID), Kind: kind, Node: n.id, Val: delay})
 	}
 
 	// Harvest the reserved-but-predicted-unused remainder immediately:
@@ -407,15 +438,15 @@ func (n *Node) Start(inv *Invocation, opts StartOptions) {
 	// available to others even while the container initializes.
 	spare := inv.UserAlloc.Sub(opts.OwnAlloc)
 	if spare.CPU > 0 {
-		n.CPUPool.Put(n.eng.Now(), inv.ID, int64(spare.CPU), opts.HarvestExpiry)
+		n.CPUPool.Put(n.clk.Now(), inv.ID, int64(spare.CPU), opts.HarvestExpiry)
 		inv.Harvested = true
 	}
 	if spare.Mem > 0 {
-		n.MemPool.Put(n.eng.Now(), inv.ID, int64(spare.Mem), opts.HarvestExpiry)
+		n.MemPool.Put(n.clk.Now(), inv.ID, int64(spare.Mem), opts.HarvestExpiry)
 		inv.Harvested = true
 	}
 
-	e.initEv = n.eng.Schedule(delay, func() { n.beginExecution(e, opts) })
+	e.initEv = n.clk.Schedule(delay, func() { n.beginExecution(e, opts) })
 	n.replenish()
 }
 
@@ -423,7 +454,7 @@ func (n *Node) Start(inv *Invocation, opts StartOptions) {
 // acceleration target is not met, earliest arrival first. It runs after
 // every event that can add supply (a new harvest, a re-harvest).
 func (n *Node) replenish() {
-	now := n.eng.Now()
+	now := n.clk.Now()
 	if n.CPUPool.Available(now) == 0 && n.MemPool.Available(now) == 0 {
 		return
 	}
@@ -477,9 +508,10 @@ func (n *Node) replenish() {
 }
 
 func (n *Node) beginExecution(e *exec, opts StartOptions) {
-	now := n.eng.Now()
+	now := n.clk.Now()
 	n.accumulate() // close the cold-start interval before usage changes
-	e.initEv = sim.Handle{}
+	n.aggSub(e)    // re-counted below once loans/bonus/started settle
+	e.initEv = clock.Handle{}
 	e.inv.ExecStart = now
 	e.started = true
 	if n.Tracer != nil {
@@ -523,6 +555,7 @@ func (n *Node) beginExecution(e *exec, opts StartOptions) {
 	if e.borrowed.CPU > 0 || e.borrowed.Mem > 0 || !e.bonus.IsZero() {
 		e.inv.Accelerate = true
 	}
+	n.aggAdd(e)
 
 	e.lastUpdate = now
 	e.rate = function.Rate(e.alloc(), e.inv.Actual)
@@ -536,7 +569,7 @@ func (n *Node) beginExecution(e *exec, opts StartOptions) {
 		if win <= 0 {
 			win = 0.1
 		}
-		e.sgEv = n.eng.Schedule(win, func() { n.safeguardCheck(e, opts.SafeguardThreshold) })
+		e.sgEv = n.clk.Schedule(win, func() { n.safeguardCheck(e, opts.SafeguardThreshold) })
 	}
 
 	// OOM-kill fault model: the invocation reaches its memory peak
@@ -546,7 +579,7 @@ func (n *Node) beginExecution(e *exec, opts StartOptions) {
 	// and §5.2's safeguard exist to mitigate — the safeguard restores the
 	// allocation at the monitor window, disarming this check).
 	if opts.OOMDelay > 0 && e.own.Mem < e.inv.UserAlloc.Mem {
-		e.oomEv = n.eng.Schedule(opts.OOMDelay, func() { n.oomCheck(e) })
+		e.oomEv = n.clk.Schedule(opts.OOMDelay, func() { n.oomCheck(e) })
 	}
 }
 
@@ -566,7 +599,7 @@ func (n *Node) oomCheck(e *exec) {
 		return
 	}
 	if n.Tracer != nil {
-		n.Tracer.Record(obs.Event{T: n.eng.Now(), Inv: int64(e.inv.ID), Kind: obs.KindOOMKill, Node: n.id})
+		n.Tracer.Record(obs.Event{T: n.clk.Now(), Inv: int64(e.inv.ID), Kind: obs.KindOOMKill, Node: n.id})
 	}
 	n.abort(e)
 	if n.OnFailure != nil {
@@ -577,12 +610,12 @@ func (n *Node) oomCheck(e *exec) {
 // scheduleCompletion (re)schedules e's completion event from its current
 // rate and remaining work.
 func (n *Node) scheduleCompletion(e *exec) {
-	n.eng.Cancel(e.doneEv) // no-op on the zero handle or a fired event
+	n.clk.Cancel(e.doneEv) // no-op on the zero handle or a fired event
 	if e.rate <= 0 {
 		// Starved (should not happen: own allocation is always positive).
 		panic(fmt.Sprintf("cluster: invocation %d starved at rate 0", e.inv.ID))
 	}
-	e.doneEv = n.eng.Schedule(e.remaining/e.rate, func() { n.complete(e) })
+	e.doneEv = n.clk.Schedule(e.remaining/e.rate, func() { n.complete(e) })
 }
 
 // progress advances e's remaining-work account to now and recomputes the
@@ -607,9 +640,11 @@ func (e *exec) progress(now float64) {
 // docker-update analogue.
 func (n *Node) reallocate(e *exec, mutate func()) {
 	n.accumulate()
-	now := n.eng.Now()
+	now := n.clk.Now()
 	e.progress(now)
+	n.aggSub(e)
 	mutate()
+	n.aggAdd(e)
 	e.rate = function.Rate(e.alloc(), e.inv.Actual)
 	if e.started {
 		n.scheduleCompletion(e)
@@ -629,7 +664,7 @@ func (n *Node) safeguardCheck(e *exec, threshold float64) {
 	}
 	e.inv.Safeguard = true
 	if n.Tracer != nil {
-		n.Tracer.Record(obs.Event{T: n.eng.Now(), Inv: int64(e.inv.ID), Kind: obs.KindSafeguard, Node: n.id})
+		n.Tracer.Record(obs.Event{T: n.clk.Now(), Inv: int64(e.inv.ID), Kind: obs.KindSafeguard, Node: n.id})
 	}
 	n.restoreHarvested(e)
 }
@@ -639,7 +674,7 @@ func (n *Node) safeguardCheck(e *exec, threshold float64) {
 // from their borrowers in realtime, and the invocation's own allocation
 // returns to the full user reservation.
 func (n *Node) restoreHarvested(e *exec) {
-	now := n.eng.Now()
+	now := n.clk.Now()
 	pooledCPU, revokedCPU := n.CPUPool.ReleaseSource(now, e.inv.ID)
 	pooledMem, revokedMem := n.MemPool.ReleaseSource(now, e.inv.ID)
 	_ = pooledCPU
@@ -750,16 +785,17 @@ func minMB(a, b resources.MegaBytes) resources.MegaBytes {
 // releases everything harvested from it (timeliness!), re-harvests what
 // it had borrowed, and returns the container to the warm pool.
 func (n *Node) complete(e *exec) {
-	now := n.eng.Now()
+	now := n.clk.Now()
 	n.accumulate()
 	e.progress(now)
-	n.eng.Cancel(e.sgEv)
-	n.eng.Cancel(e.oomEv)
+	n.clk.Cancel(e.sgEv)
+	n.clk.Cancel(e.oomEv)
 	e.inv.End = now
 	if n.Tracer != nil {
 		n.Tracer.Record(obs.Event{T: now, Inv: int64(e.inv.ID), Kind: obs.KindComplete,
 			Node: n.id, Val: e.inv.ResponseLatency()})
 	}
+	n.aggSub(e)
 	delete(n.running, e.inv.ID)
 	n.committed = n.committed.Sub(e.inv.Reservation())
 	if !e.bonus.IsZero() {
@@ -835,11 +871,11 @@ func (n *Node) putExec(e *exec) {
 // cancelEvents disarms every pending event of an exec so an aborted
 // invocation cannot fire a stale completion, safeguard or OOM check.
 func (n *Node) cancelEvents(e *exec) {
-	n.eng.Cancel(e.initEv)
-	n.eng.Cancel(e.doneEv)
-	n.eng.Cancel(e.sgEv)
-	n.eng.Cancel(e.oomEv)
-	e.initEv, e.doneEv, e.sgEv, e.oomEv = sim.Handle{}, sim.Handle{}, sim.Handle{}, sim.Handle{}
+	n.clk.Cancel(e.initEv)
+	n.clk.Cancel(e.doneEv)
+	n.clk.Cancel(e.sgEv)
+	n.clk.Cancel(e.oomEv)
+	e.initEv, e.doneEv, e.sgEv, e.oomEv = clock.Handle{}, clock.Handle{}, clock.Handle{}, clock.Handle{}
 }
 
 // abort removes one failed in-flight invocation from a live node: its
@@ -848,10 +884,11 @@ func (n *Node) cancelEvents(e *exec) {
 // realtime), and everything it borrowed re-enters the pool. The container
 // is destroyed, not parked warm — a retry pays a fresh cold start.
 func (n *Node) abort(e *exec) {
-	now := n.eng.Now()
+	now := n.clk.Now()
 	n.accumulate()
 	e.progress(now)
 	n.cancelEvents(e)
+	n.aggSub(e)
 	delete(n.running, e.inv.ID)
 	n.committed = n.committed.Sub(e.inv.Reservation())
 	if !e.bonus.IsZero() {
@@ -894,7 +931,7 @@ func (n *Node) Crash() []*Invocation {
 	if n.down {
 		return nil
 	}
-	now := n.eng.Now()
+	now := n.clk.Now()
 	n.accumulate()
 	n.down = true
 
@@ -920,6 +957,8 @@ func (n *Node) Crash() []*Invocation {
 	n.warm = make(map[string][]float64)
 	n.committed = resources.Vector{}
 	n.bonusOut = resources.Vector{}
+	n.aggUsage = resources.Vector{}
+	n.aggAlloc = resources.Vector{}
 	n.CPUPool.ReleaseAll(now)
 	n.MemPool.ReleaseAll(now)
 	return aborted

@@ -15,9 +15,11 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"libra/internal/clock"
 	"libra/internal/metrics"
 	"libra/internal/obs"
 	"libra/internal/platform"
+	"libra/internal/sim"
 	"libra/internal/trace"
 )
 
@@ -128,6 +130,11 @@ func (c Config) platformConfig() (platform.Config, error) {
 	return cfg, nil
 }
 
+// PlatformConfig resolves the selection into the low-level platform
+// configuration. The serve layer uses it to apply live-specific knobs
+// (dispatch time, shard width) before constructing the platform itself.
+func (c Config) PlatformConfig() (platform.Config, error) { return c.platformConfig() }
+
 // Report is the metric summary of one run.
 type Report struct {
 	Name        string  `json:"name"`
@@ -148,13 +155,30 @@ type Report struct {
 	ColdStarts  int     `json:"cold_starts"`
 }
 
-// Run replays a workload on the configured platform.
+// Clock is the time substrate a platform runs on, re-exported from
+// internal/clock: sim.NewEngine() gives the deterministic virtual-time
+// replay, clock.NewWallDriver() the live wall-clock driver, and
+// clock.NewDriver(clock.NewManualSource()) a wall driver under mocked
+// time for deterministic live-path tests.
+type Clock = clock.Clock
+
+// Run replays a workload on the configured platform under a fresh
+// private simulation engine — the deterministic path every experiment
+// uses.
 func Run(cfg Config, workload trace.Set) (*Report, error) {
+	return RunOn(sim.NewEngine(), cfg, workload)
+}
+
+// RunOn replays a workload on the configured platform under an explicit
+// clock. The clock must be able to drain its queue synchronously (a
+// clock.Runner): the sim engine, or a wall driver over a manual source —
+// which is how the sim/live equivalence tests drive the wall path.
+func RunOn(clk Clock, cfg Config, workload trace.Set) (*Report, error) {
 	pc, err := cfg.platformConfig()
 	if err != nil {
 		return nil, err
 	}
-	p, err := platform.New(pc)
+	p, err := platform.New(clk, pc)
 	if err != nil {
 		return nil, err
 	}

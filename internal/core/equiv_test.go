@@ -1,0 +1,56 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"libra/internal/clock"
+	"libra/internal/function"
+	"libra/internal/obs"
+	"libra/internal/trace"
+)
+
+// TestWallDriverReplayMatchesSim is the API-redesign acceptance test:
+// the exact same platform code produces the exact same run — report and
+// full invocation-lifecycle trace — whether its Clock is the virtual
+// sim engine or the wall driver under a mocked time source. Live mode
+// is sim mode with a different clock, nothing more.
+func TestWallDriverReplayMatchesSim(t *testing.T) {
+	for _, variant := range []Variant{VariantDefault, VariantLibra} {
+		set := trace.Generate("equiv", function.Apps(), 120, 300, 7)
+
+		simRec := obs.NewRecorder()
+		simCfg := Config{Variant: variant, Testbed: TestbedMultiNode, Seed: 7, Tracer: simRec}
+		simRep, err := Run(simCfg, set)
+		if err != nil {
+			t.Fatalf("%s: sim run: %v", variant, err)
+		}
+
+		wallRec := obs.NewRecorder()
+		wallCfg := Config{Variant: variant, Testbed: TestbedMultiNode, Seed: 7, Tracer: wallRec}
+		wallRep, err := RunOn(clock.NewDriver(clock.NewManualSource()), wallCfg, set)
+		if err != nil {
+			t.Fatalf("%s: wall run: %v", variant, err)
+		}
+
+		if !reflect.DeepEqual(simRep, wallRep) {
+			t.Errorf("%s: reports diverge:\n sim:  %+v\n wall: %+v", variant, simRep, wallRep)
+		}
+		if simRec.Len() == 0 {
+			t.Fatalf("%s: sim run recorded no trace events", variant)
+		}
+		if !reflect.DeepEqual(simRec.Events(), wallRec.Events()) {
+			n := simRec.Len()
+			if wallRec.Len() < n {
+				n = wallRec.Len()
+			}
+			for i := 0; i < n; i++ {
+				if !reflect.DeepEqual(simRec.Events()[i], wallRec.Events()[i]) {
+					t.Fatalf("%s: traces diverge at event %d:\n sim:  %+v\n wall: %+v",
+						variant, i, simRec.Events()[i], wallRec.Events()[i])
+				}
+			}
+			t.Fatalf("%s: trace lengths diverge: sim %d events, wall %d", variant, simRec.Len(), wallRec.Len())
+		}
+	}
+}

@@ -32,7 +32,7 @@ import (
 	"math"
 	"math/rand"
 
-	"libra/internal/sim"
+	"libra/internal/clock"
 )
 
 // Defaults applied by Config.withDefaults when fields are zero.
@@ -197,7 +197,7 @@ type Hooks struct {
 // workload. Construct with NewInjector; Stop cancels the armed events so
 // the engine can drain.
 type Injector struct {
-	eng   *sim.Engine
+	clk   clock.Clock
 	cfg   Config
 	hooks Hooks
 
@@ -212,7 +212,7 @@ type Injector struct {
 type nodeFaults struct {
 	id      int
 	rng     *rand.Rand
-	ev      sim.Handle
+	ev      clock.Handle
 	downAt  float64
 	isDown  bool
 	pending bool
@@ -221,8 +221,8 @@ type nodeFaults struct {
 // NewInjector arms the crash schedule for nodes 0..nodes−1. A config with
 // CrashMTBF == 0 yields an injector that schedules nothing (but still
 // answers the per-invocation sampling queries through its config).
-func NewInjector(eng *sim.Engine, cfg Config, seed int64, nodes int, hooks Hooks) *Injector {
-	inj := &Injector{eng: eng, cfg: cfg.withDefaults(), hooks: hooks}
+func NewInjector(clk clock.Clock, cfg Config, seed int64, nodes int, hooks Hooks) *Injector {
+	inj := &Injector{clk: clk, cfg: cfg.withDefaults(), hooks: hooks}
 	if cfg.CrashMTBF <= 0 {
 		return inj
 	}
@@ -239,12 +239,12 @@ func NewInjector(eng *sim.Engine, cfg Config, seed int64, nodes int, hooks Hooks
 
 func (inj *Injector) armCrash(nf *nodeFaults) {
 	delay := inj.cfg.CrashMTBF * nf.rng.ExpFloat64()
-	nf.ev = inj.eng.Schedule(delay, func() {
+	nf.ev = inj.clk.Schedule(delay, func() {
 		if inj.stopped {
 			return
 		}
 		nf.isDown = true
-		nf.downAt = inj.eng.Now()
+		nf.downAt = inj.clk.Now()
 		inj.crashes++
 		if inj.hooks.Crash != nil {
 			inj.hooks.Crash(nf.id)
@@ -255,13 +255,13 @@ func (inj *Injector) armCrash(nf *nodeFaults) {
 
 func (inj *Injector) armRecover(nf *nodeFaults) {
 	delay := inj.cfg.MTTR * nf.rng.ExpFloat64()
-	nf.ev = inj.eng.Schedule(delay, func() {
+	nf.ev = inj.clk.Schedule(delay, func() {
 		if inj.stopped {
 			return
 		}
 		nf.isDown = false
 		inj.recoveries++
-		inj.downtime += inj.eng.Now() - nf.downAt
+		inj.downtime += inj.clk.Now() - nf.downAt
 		if inj.hooks.Recover != nil {
 			inj.hooks.Recover(nf.id)
 		}
@@ -277,10 +277,10 @@ func (inj *Injector) Stop() {
 		return
 	}
 	inj.stopped = true
-	now := inj.eng.Now()
+	now := inj.clk.Now()
 	for _, nf := range inj.nodes {
-		inj.eng.Cancel(nf.ev)
-		nf.ev = sim.Handle{}
+		inj.clk.Cancel(nf.ev)
+		nf.ev = clock.Handle{}
 		if nf.isDown {
 			inj.downtime += now - nf.downAt
 			nf.isDown = false

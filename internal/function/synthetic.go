@@ -1,0 +1,54 @@
+package function
+
+import (
+	"fmt"
+
+	"libra/internal/resources"
+)
+
+// Synthetic builds a constant-demand micro-function: every invocation
+// peaks at exactly (cpu, mem) and runs for dur seconds under its user
+// allocation, with no content jitter. It is the load-generator workhorse
+// of the live serving mode (cmd/libra-serve), where the interesting
+// pressure is requests per second through the control plane, not demand
+// variety inside one request. The duration still obeys the global 50 ms
+// execution floor of Demand.
+//
+// The spec is not part of the paper's ten-app catalog; callers that want
+// it resolvable by name (platform ingestion looks functions up with
+// ByName) must Register it explicitly.
+func Synthetic(name string, cpu resources.Millicores, mem resources.MegaBytes, dur, coldStart float64) *Spec {
+	return &Spec{
+		Name:        name,
+		LongName:    "Synthetic",
+		Description: fmt.Sprintf("Constant-demand load-generator function (%dmc, %dMB, %.3fs)", cpu, mem, dur),
+		Class:       SizeUnrelated,
+		UserAlloc:   resources.Vector{CPU: cpu, Mem: mem},
+		ColdStart:   coldStart,
+		cpuBase:     float64(cpu),
+		memBase:     float64(mem),
+		durBase:     dur,
+		durShape:    1,
+		sizeLo:      1, sizeHi: 1, sizeUnit: "req",
+	}
+}
+
+// Register adds a spec to the global catalog so ByName (and therefore
+// platform ingestion) resolves it. Registering a name that already
+// exists is an error: the ten paper apps are immutable, and silently
+// shadowing one would skew every experiment that samples the catalog.
+// Registration is not goroutine-safe; do it at process start, before any
+// platform runs.
+func Register(s *Spec) error {
+	if s.Name == "" {
+		return fmt.Errorf("function: Register with empty name")
+	}
+	if _, ok := ByName(s.Name); ok {
+		return fmt.Errorf("function: %q already registered", s.Name)
+	}
+	if s.UserAlloc.CPU <= 0 || s.UserAlloc.Mem <= 0 {
+		return fmt.Errorf("function: %q has no user allocation", s.Name)
+	}
+	catalog = append(catalog, s)
+	return nil
+}

@@ -8,9 +8,9 @@ import (
 	"math"
 	"sort"
 
+	"libra/internal/clock"
 	"libra/internal/cluster"
 	"libra/internal/histogram"
-	"libra/internal/sim"
 )
 
 // Speedup is the paper's unified invocation metric (Eq. 1):
@@ -112,35 +112,35 @@ type UtilizationSample struct {
 // time interval — the data behind the Fig 7 timelines and the Fig 11
 // average/peak utilization bars.
 type UtilizationTracker struct {
-	eng     *sim.Engine
+	clk     clock.Clock
 	nodes   []*cluster.Node
 	samples []UtilizationSample
 	capCPU  float64
 	capMem  float64
-	ticker  *sim.Ticker
+	ticker  *clock.Ticker
 }
 
 // NewUtilizationTracker starts sampling every interval seconds until
 // Stop is called. Sampling keeps the event queue non-empty, so callers
 // must Stop it (or use RunUntil) to let the simulation drain.
-func NewUtilizationTracker(eng *sim.Engine, nodes []*cluster.Node, interval float64) *UtilizationTracker {
+func NewUtilizationTracker(clk clock.Clock, nodes []*cluster.Node, interval float64) *UtilizationTracker {
 	// Long replays collect hours of virtual time at 1-sample-per-second;
 	// seed the buffer so the early growth reallocations never show up in
 	// the per-run allocation profile.
-	t := &UtilizationTracker{eng: eng, nodes: nodes,
+	t := &UtilizationTracker{clk: clk, nodes: nodes,
 		samples: make([]UtilizationSample, 0, 1024)}
 	for _, n := range nodes {
 		c := n.Capacity()
 		t.capCPU += c.CPU.Cores()
 		t.capMem += float64(c.Mem)
 	}
-	t.ticker = eng.Every(interval, t.sample)
+	t.ticker = clock.Every(clk, interval, t.sample)
 	return t
 }
 
 func (t *UtilizationTracker) sample() {
 	var s UtilizationSample
-	s.T = t.eng.Now()
+	s.T = t.clk.Now()
 	for _, n := range t.nodes {
 		u := n.UsageNow()
 		a := n.AllocatedNow()

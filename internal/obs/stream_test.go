@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestStreamTracerRoundTrip pins the hand-rolled encoder to the
+// package's JSONL schema: whatever StreamTracer writes, ReadJSONL must
+// parse back into the events, like a Recorder + WriteJSONL pass. The
+// values here are exactly representable at the encoder's 1 ns
+// fixed-point resolution, so the round trip is bit-exact.
+func TestStreamTracerRoundTrip(t *testing.T) {
+	events := []Event{
+		{T: 0.0146017, Inv: 1, Kind: KindArrival, Node: -1, App: "SYN"},
+		{T: 0.25, Inv: 1, Kind: KindQueued, Node: -1},
+		{T: 0.875, Inv: 1, Kind: KindDecision, Node: 29, Val: 0.875},
+		{T: 1.5, Inv: 2, Kind: KindLoanGrant, Node: 3, Peer: 1, Axis: "cpu", Val: 1500},
+		{T: 2.25, Inv: 2, Kind: KindLoanRevoke, Node: 3, Peer: 1, Axis: "mem", Val: -512},
+		{T: 30.000000001, Inv: 7, Kind: KindComplete, Node: 0, Val: 0.05},
+	}
+
+	var buf bytes.Buffer
+	st := NewStreamTracer(&buf)
+	for _, ev := range events {
+		st.Record(ev)
+	}
+	if got := st.Count(); got != uint64(len(events)) {
+		t.Fatalf("Count = %d, want %d", got, len(events))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL on streamed output: %v", err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip diverged:\n in:  %+v\n out: %+v", events, got)
+	}
+}
+
+// TestStreamTracerNanosecondRounding checks the fixed-point encoder on
+// arbitrary floats: values round-trip to within 0.5 ns, and magnitudes
+// beyond the fixed-point range fall back to exact formatting.
+func TestStreamTracerNanosecondRounding(t *testing.T) {
+	events := []Event{
+		{T: 0.15346748199999998, Inv: 1, Kind: KindQueued, Node: -1},
+		{T: 1e9 / 3, Inv: 2, Kind: KindQueued, Node: -1},         // in range, huge
+		{T: 5e12, Inv: 3, Kind: KindDecision, Node: 0, Val: 6e9}, // fallback path
+	}
+	var buf bytes.Buffer
+	st := NewStreamTracer(&buf)
+	for _, ev := range events {
+		st.Record(ev)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("got %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if d := math.Abs(got[i].T - events[i].T); d > 0.5e-9*math.Max(1, math.Abs(events[i].T)/1e3) {
+			t.Errorf("event %d: T %v round-tripped to %v (off by %g)", i, events[i].T, got[i].T, d)
+		}
+	}
+	if got[2].T != 5e12 || got[2].Val != 6e9 {
+		t.Errorf("fallback path not exact: %+v", got[2])
+	}
+}

@@ -27,7 +27,7 @@ func installReference(p *Platform) {
 		}
 		var still []*queued
 		for _, q := range pending {
-			q.req.Now = p.eng.Now()
+			q.req.Now = p.clk.Now()
 			if node := q.shard.Select(q.req, p.nodes); node != nil {
 				p.dispatch(q, node)
 			} else {

@@ -14,17 +14,17 @@ import (
 func TestValidateRejectsBadFaultConfig(t *testing.T) {
 	cfg := PresetLibra(SingleNode(), 1)
 	cfg.Faults = faults.Config{CrashMTBF: -10}
-	if _, err := New(cfg); err == nil {
+	if _, err := NewSim(cfg); err == nil {
 		t.Fatal("negative CrashMTBF accepted")
 	} else if !strings.Contains(err.Error(), "CrashMTBF") || !strings.Contains(err.Error(), cfg.Name) {
 		t.Fatalf("error %q names neither field nor config", err)
 	}
 	cfg.Faults = faults.Config{StragglerFraction: 2}
-	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "StragglerFraction") {
+	if _, err := NewSim(cfg); err == nil || !strings.Contains(err.Error(), "StragglerFraction") {
 		t.Fatalf("StragglerFraction=2: err = %v, want field-naming error", err)
 	}
 	cfg.Faults = faults.Config{CrashMTBF: 600, MTTR: 30, OOMKill: true, StragglerFraction: 0.1}
-	if _, err := New(cfg); err != nil {
+	if _, err := NewSim(cfg); err != nil {
 		t.Fatalf("valid fault schedule rejected: %v", err)
 	}
 }

@@ -64,6 +64,17 @@ func CheckNode(n *cluster.Node) error {
 	if alloc := own.Add(borrowed).Add(bonus); !alloc.Fits(cap) {
 		return fmt.Errorf("node %d: allocated %v exceeds capacity %v", n.ID(), alloc, cap)
 	}
+
+	// The incremental usage/allocation aggregates must track the running
+	// set exactly — a mutation site that skips aggAdd/aggSub skews every
+	// utilization figure downstream.
+	wantUsage, wantAlloc := n.RecomputeUsage()
+	if got := n.UsageNow(); got != wantUsage {
+		return fmt.Errorf("node %d: incremental usage %v != recomputed %v", n.ID(), got, wantUsage)
+	}
+	if got := n.AllocatedNow(); got != wantAlloc {
+		return fmt.Errorf("node %d: incremental allocation %v != recomputed %v", n.ID(), got, wantAlloc)
+	}
 	return nil
 }
 

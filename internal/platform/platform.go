@@ -11,6 +11,7 @@ import (
 	"math"
 	"strings"
 
+	"libra/internal/clock"
 	"libra/internal/cluster"
 	"libra/internal/faults"
 	"libra/internal/freyr"
@@ -295,7 +296,7 @@ func (r *Result) Speedups() []float64 {
 // Platform is a runnable serverless platform instance.
 type Platform struct {
 	cfg    Config
-	eng    *sim.Engine
+	clk    clock.Clock
 	nodes  []*cluster.Node
 	shards []*scheduler.Shard
 	est    profiler.Estimator
@@ -305,16 +306,23 @@ type Platform struct {
 	freeQ      []*queued
 	sgCounts   map[string]int // per-function safeguard triggers (OOM retreat)
 	pings      map[int]*poolStatus
-	pingTicker *sim.Ticker
+	pingTicker *clock.Ticker
 	remaining  int
+	completed  int
 	result     *Result
-	tracker    *metrics.UtilizationTracker
-	nextShard  int
-	inj        *faults.Injector
-	covIndex   *scheduler.CoverageIndex
-	libras     []*scheduler.Libra
 
-	backlogTicker *sim.Ticker
+	// Live-serving mode (StartServing): arrivals stream in open-endedly,
+	// per-invocation outcomes are reported through hooks instead of being
+	// accumulated in Result.Records, and the run never self-terminates.
+	live      bool
+	hooks     ServeHooks
+	tracker   *metrics.UtilizationTracker
+	nextShard int
+	inj       *faults.Injector
+	covIndex  *scheduler.CoverageIndex
+	libras    []*scheduler.Libra
+
+	backlogTicker *clock.Ticker
 
 	// Test seams for the drain-equivalence property test: when set and
 	// returning true they replace the watermark-gated ready queue with the
@@ -385,21 +393,24 @@ type queued struct {
 	seq      int64 // global FIFO position in the ready queue
 }
 
-// New builds a platform from cfg, or reports why the config is invalid
-// (see Config.Validate).
-func New(cfg Config) (*Platform, error) {
+// New builds a platform from cfg on the given clock, or reports why the
+// config is invalid (see Config.Validate). The clock is an explicit
+// dependency: pass a sim.Engine for a deterministic virtual-time replay,
+// or a clock.Driver for live wall-clock serving — the platform code is
+// identical either way. The caller owns the clock's run loop.
+func New(clk clock.Clock, cfg Config) (*Platform, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg.defaults()
 	p := &Platform{
 		cfg:      cfg,
-		eng:      sim.NewEngine(),
+		clk:      clk,
 		inflight: make(map[harvest.ID]*queued),
 		sgCounts: make(map[string]int),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		n := cluster.NewNode(p.eng, i, cfg.NodeCap)
+		n := cluster.NewNode(p.clk, i, cfg.NodeCap)
 		n.OnComplete = p.onComplete
 		n.OnFailure = p.onFailure
 		n.CPUPool.Order = cfg.PoolLendOrder
@@ -465,24 +476,52 @@ func New(cfg Config) (*Platform, error) {
 	return p, nil
 }
 
-// MustNew builds a platform from cfg and panics on an invalid config —
-// for the presets and tests, whose configs are correct by construction.
+// NewSim builds a platform on a fresh private simulation engine.
+//
+// Deprecated: this is the pre-clock-abstraction constructor path, kept
+// as a thin shim so existing experiments only need mechanical updates.
+// New code should construct the clock explicitly: New(sim.NewEngine(),
+// cfg) for replays, New(driver, cfg) for live serving.
+func NewSim(cfg Config) (*Platform, error) {
+	return New(sim.NewEngine(), cfg)
+}
+
+// MustNew builds a sim-engine-backed platform from cfg and panics on an
+// invalid config — for the presets and tests, whose configs are correct
+// by construction.
+//
+// Deprecated: like NewSim, this reaches the clock through the platform
+// instead of injecting it. Prefer New with an explicit clock.
 func MustNew(cfg Config) *Platform {
-	p, err := New(cfg)
+	p, err := NewSim(cfg)
 	if err != nil {
 		panic(err)
 	}
 	return p
 }
 
-// Engine exposes the simulation engine (examples drive custom scenarios).
-func (p *Platform) Engine() *sim.Engine { return p.eng }
+// Clock exposes the clock the platform runs on.
+func (p *Platform) Clock() clock.Clock { return p.clk }
+
+// Engine exposes the simulation engine when the platform runs on one
+// (examples drive custom scenarios), and nil on a live clock.
+func (p *Platform) Engine() *sim.Engine {
+	e, _ := p.clk.(*sim.Engine)
+	return e
+}
 
 // Nodes exposes the worker nodes.
 func (p *Platform) Nodes() []*cluster.Node { return p.nodes }
 
-// Run replays the trace set to completion and returns the result.
+// Run replays the trace set to completion and returns the result. It
+// needs a clock that can run its queue to exhaustion synchronously — the
+// sim engine, or a wall driver over a manual source (the equivalence
+// tests drive one); live serving uses StartServing/Ingest instead.
 func (p *Platform) Run(set trace.Set) *Result {
+	runner, ok := p.clk.(clock.Runner)
+	if !ok {
+		panic("platform: Run needs a clock.Runner (sim engine or drainable driver); use StartServing for live clocks")
+	}
 	p.result = &Result{Name: p.cfg.Name, Breakdown: make(map[string]*PhaseBreakdown)}
 	// Pre-size the per-invocation accumulators: at Jetstream-replay scale
 	// (figs2: ≥100k invocations per platform) incremental growth of these
@@ -490,13 +529,25 @@ func (p *Platform) Run(set trace.Set) *Result {
 	p.result.Records = make([]InvRecord, 0, len(set.Invocations))
 	p.result.SchedOverheads = make([]float64, 0, len(set.Invocations))
 	p.remaining = len(set.Invocations)
-	p.tracker = metrics.NewUtilizationTracker(p.eng, p.nodes, p.cfg.SampleInterval)
+	p.tracker = metrics.NewUtilizationTracker(p.clk, p.nodes, p.cfg.SampleInterval)
 	if p.remaining == 0 {
 		p.tracker.Stop()
 		return p.result
 	}
+	p.arm()
+	for _, ti := range set.Invocations {
+		ti := ti
+		p.clk.At(ti.Arrival, func() { p.arrive(ti) })
+	}
+	runner.Run()
+	return p.collect()
+}
+
+// arm starts the periodic machinery every run mode needs: health pings,
+// the backlog sampler, and the fault injector.
+func (p *Platform) arm() {
 	if p.pings != nil {
-		p.pingTicker = p.eng.Every(p.cfg.PingInterval, func() {
+		p.pingTicker = clock.Every(p.clk, p.cfg.PingInterval, func() {
 			for _, n := range p.nodes {
 				if n.Down() {
 					continue // a down node sends no health pings
@@ -511,30 +562,30 @@ func (p *Platform) Run(set trace.Set) *Result {
 		})
 	}
 	if p.cfg.TrackBacklog {
-		p.backlogTicker = p.eng.Every(p.cfg.SampleInterval, func() {
+		p.backlogTicker = clock.Every(p.clk, p.cfg.SampleInterval, func() {
 			p.result.Backlog = append(p.result.Backlog, BacklogSample{
-				T: p.eng.Now(), Pending: p.ready.size, Inflight: len(p.inflight),
-				Completed: len(p.result.Records), Abandoned: p.result.Faults.Abandoned,
+				T: p.clk.Now(), Pending: p.ready.size, Inflight: len(p.inflight),
+				Completed: p.completed, Abandoned: p.result.Faults.Abandoned,
 			})
 		})
 	}
 	if p.cfg.Faults.Enabled() {
-		p.inj = faults.NewInjector(p.eng, p.cfg.Faults, p.cfg.Seed, len(p.nodes), faults.Hooks{
+		p.inj = faults.NewInjector(p.clk, p.cfg.Faults, p.cfg.Seed, len(p.nodes), faults.Hooks{
 			Crash:   p.crashNode,
 			Recover: p.recoverNode,
 		})
 	}
-	for _, ti := range set.Invocations {
-		ti := ti
-		p.eng.At(ti.Arrival, func() { p.arrive(ti) })
-	}
-	p.eng.Run()
+}
+
+// collect is the shared run epilogue: fold the trackers and per-node
+// integrals into the result.
+func (p *Platform) collect() *Result {
 	r := p.result
 	r.Samples = p.tracker.Samples()
 	r.AvgCPUUtil, r.PeakCPUUtil, r.AvgMemUtil, r.PeakMemUtil = p.tracker.AveragePeak(r.CompletionTime)
 	for _, n := range p.nodes {
-		r.CPUIdleIntegral += n.CPUPool.IdleIntegral(p.eng.Now())
-		r.MemIdleIntegral += n.MemPool.IdleIntegral(p.eng.Now())
+		r.CPUIdleIntegral += n.CPUPool.IdleIntegral(p.clk.Now())
+		r.MemIdleIntegral += n.MemPool.IdleIntegral(p.clk.Now())
 		r.ColdStarts += n.ColdStarts()
 	}
 	if p.cfg.Faults.Enabled() {
@@ -563,7 +614,7 @@ func (p *Platform) arrive(ti trace.Invocation) {
 		Input:     ti.Input,
 		Actual:    spec.Demand(ti.Input),
 		UserAlloc: spec.UserAlloc,
-		Arrival:   p.eng.Now(),
+		Arrival:   p.clk.Now(),
 	}
 	if p.cfg.Tracer != nil {
 		p.cfg.Tracer.Record(obs.Event{T: inv.Arrival, Inv: int64(inv.ID),
@@ -604,7 +655,7 @@ func (p *Platform) arrive(ti trace.Invocation) {
 	// schedulers round-robin; each scheduler serializes its own decisions.
 	q := p.newQueued()
 	q.inv, q.pred, q.req, q.profCost = inv, pred, p.buildRequest(inv, pred), profCost
-	p.enqueue(q, p.eng.Now()+FrontendOverhead+profCost)
+	p.enqueue(q, p.clk.Now()+FrontendOverhead+profCost)
 }
 
 // enqueue assigns the invocation to the next sharding scheduler
@@ -626,17 +677,19 @@ func (p *Platform) enqueue(q *queued, ready float64) {
 			Kind: obs.KindQueued, Node: -1, Val: float64(q.attempt)})
 	}
 
-	p.eng.At(shard.BusyUntil, func() {
+	p.clk.At(shard.BusyUntil, func() {
 		inv.SchedPick = pick
-		inv.SchedDone = p.eng.Now()
-		p.result.SchedOverheads = append(p.result.SchedOverheads, DecisionOverhead)
+		inv.SchedDone = p.clk.Now()
+		if !p.live {
+			p.result.SchedOverheads = append(p.result.SchedOverheads, DecisionOverhead)
+		}
 		if q.attempt == 0 {
 			// The Fig 15 scheduling-phase breakdown counts the first
 			// attempt only; retry queueing is recovery time, not overhead.
 			bd := p.breakdown(inv.App.Name)
 			bd.Scheduler += inv.SchedDone - inv.Arrival - FrontendOverhead - q.profCost
 		}
-		q.req.Now = p.eng.Now()
+		q.req.Now = p.clk.Now()
 		if node := shard.Select(q.req, p.nodes); node != nil {
 			p.dispatch(q, node)
 		} else {
@@ -697,7 +750,7 @@ func (p *Platform) dispatch(q *queued, node *cluster.Node) {
 			if p.cfg.TimelinessBlind {
 				opts.HarvestExpiry = math.Inf(1)
 			} else {
-				opts.HarvestExpiry = p.eng.Now() + initDelay + pred.Demand.Duration
+				opts.HarvestExpiry = p.clk.Now() + initDelay + pred.Demand.Duration
 			}
 			if p.cfg.Safeguard {
 				opts.SafeguardThreshold = p.cfg.Threshold
@@ -735,7 +788,13 @@ func (p *Platform) onComplete(inv *cluster.Invocation) {
 	rec := InvRecord{Inv: inv, Latency: inv.ResponseLatency()}
 	rec.TUser = (inv.ExecStart - inv.Arrival) + function.DurationUnder(inv.UserAlloc, inv.Actual)
 	rec.Speedup = metrics.Speedup(rec.TUser, rec.Latency)
-	p.result.Records = append(p.result.Records, rec)
+	if !p.live {
+		// Live servers run open-endedly: retaining every record would be
+		// an unbounded leak, so the serve layer aggregates via hooks.Done
+		// instead and only the replay path accumulates Records.
+		p.result.Records = append(p.result.Records, rec)
+	}
+	p.completed++
 	if inv.Safeguard {
 		p.result.Safeguarded++
 		p.sgCounts[inv.App.Name]++
@@ -754,9 +813,15 @@ func (p *Platform) onComplete(inv *cluster.Invocation) {
 	bd.Init += inv.ExecStart - inv.SchedDone
 	bd.Exec += inv.End - inv.ExecStart
 
-	p.remaining--
-	if p.remaining == 0 {
-		p.finish()
+	if p.live {
+		if p.hooks.Done != nil {
+			p.hooks.Done(rec)
+		}
+	} else {
+		p.remaining--
+		if p.remaining == 0 {
+			p.finish()
+		}
 	}
 	p.drainPending()
 }
@@ -778,20 +843,26 @@ func (p *Platform) onFailure(inv *cluster.Invocation, kind cluster.FailureKind) 
 	q.attempt++
 	if q.attempt > p.cfg.Faults.Retries() {
 		if p.cfg.Tracer != nil {
-			p.cfg.Tracer.Record(obs.Event{T: p.eng.Now(), Inv: int64(inv.ID),
+			p.cfg.Tracer.Record(obs.Event{T: p.clk.Now(), Inv: int64(inv.ID),
 				Kind: obs.KindAbandon, Node: -1, Val: float64(q.attempt - 1)})
 		}
 		p.result.Faults.Abandoned++
 		p.putQueued(q)
-		p.remaining--
-		if p.remaining == 0 {
-			p.finish()
+		if p.live {
+			if p.hooks.Abandon != nil {
+				p.hooks.Abandon(inv)
+			}
+		} else {
+			p.remaining--
+			if p.remaining == 0 {
+				p.finish()
+			}
 		}
 		return
 	}
 	p.result.Faults.Retries++
 	delay := p.cfg.Faults.Backoff(p.cfg.Seed, int64(inv.ID), q.attempt)
-	p.eng.Schedule(delay, func() { p.enqueue(q, p.eng.Now()) })
+	p.clk.Schedule(delay, func() { p.enqueue(q, p.clk.Now()) })
 }
 
 // crashNode is the injector's crash hook: the node aborts its in-flight
@@ -879,7 +950,7 @@ func (p *Platform) drainPending() {
 	if p.ready.size == 0 {
 		return
 	}
-	now := p.eng.Now()
+	now := p.clk.Now()
 	for {
 		var best *pendBucket
 		var bestShard *scheduler.Shard
@@ -918,7 +989,7 @@ func (p *Platform) drainPending() {
 // abandoned: it freezes the clock-dependent trackers and stops the fault
 // injector so the event queue can drain.
 func (p *Platform) finish() {
-	p.result.CompletionTime = p.eng.Now()
+	p.result.CompletionTime = p.clk.Now()
 	p.tracker.Stop()
 	p.stopPing()
 	if p.backlogTicker != nil {
@@ -964,4 +1035,70 @@ func (p *Platform) breakdown(app string) *PhaseBreakdown {
 		p.result.Breakdown[app] = bd
 	}
 	return bd
+}
+
+// ServeHooks are the live-serving callbacks: Done fires when an
+// invocation completes, Abandon when its retry budget is spent. Both run
+// on the clock's callback goroutine, in event order — implementations
+// must not block (hand off to channels for cross-goroutine delivery).
+type ServeHooks struct {
+	Done    func(rec InvRecord)
+	Abandon func(inv *cluster.Invocation)
+}
+
+// StartServing switches the platform into live-serving mode and arms the
+// periodic machinery (health pings, backlog sampler, fault injector).
+// Arrivals then stream in through Ingest; per-invocation outcomes are
+// delivered through hooks instead of accumulating in memory, so a server
+// can run indefinitely. Must be called on the clock's goroutine (or
+// before its loop starts).
+func (p *Platform) StartServing(hooks ServeHooks) {
+	if p.live {
+		panic("platform: StartServing called twice")
+	}
+	p.live = true
+	p.hooks = hooks
+	p.result = &Result{Name: p.cfg.Name, Breakdown: make(map[string]*PhaseBreakdown)}
+	p.tracker = metrics.NewUtilizationTracker(p.clk, p.nodes, p.cfg.SampleInterval)
+	p.arm()
+}
+
+// Ingest accepts one invocation arriving now. It is the live analogue of
+// a trace arrival event: front end, profiler, scheduler shard, node —
+// the exact watermark-gated pipeline the replay path uses. The id must
+// be unique for the server's lifetime (the serve layer hands out a
+// monotone sequence). Must run on the clock's callback goroutine.
+func (p *Platform) Ingest(id int64, app string, input function.Input) error {
+	if !p.live {
+		return fmt.Errorf("platform: Ingest outside live-serving mode")
+	}
+	if _, ok := function.ByName(app); !ok {
+		return fmt.Errorf("platform: unknown function %q", app)
+	}
+	p.arrive(trace.Invocation{ID: id, App: app, Input: input, Arrival: p.clk.Now()})
+	return nil
+}
+
+// InFlight returns how many accepted invocations have not completed or
+// been abandoned yet (scheduler queues + ready queue + executing).
+func (p *Platform) InFlight() int { return len(p.inflight) + p.ready.size }
+
+// Completed returns how many invocations have completed so far.
+func (p *Platform) Completed() int { return p.completed }
+
+// PendingReady returns the current capacity-blocked ready-queue depth.
+func (p *Platform) PendingReady() int { return p.ready.size }
+
+// StopServing freezes the periodic machinery and returns the aggregate
+// result of the serving session (Records stays empty — the hooks
+// reported per-invocation outcomes as they happened). In-flight
+// invocations are not waited for; callers drain by watching InFlight
+// before stopping. Must run on the clock's callback goroutine, or after
+// its loop has fully stopped.
+func (p *Platform) StopServing() *Result {
+	if !p.live {
+		panic("platform: StopServing without StartServing")
+	}
+	p.finish()
+	return p.collect()
 }

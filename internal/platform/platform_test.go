@@ -6,6 +6,7 @@ import (
 
 	"libra/internal/function"
 	"libra/internal/metrics"
+	"libra/internal/sim"
 	"libra/internal/trace"
 )
 
@@ -212,7 +213,7 @@ func TestNewValidatesConfig(t *testing.T) {
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("Validate(%+v) = nil, want error", cfg)
 		}
-		if p, err := New(cfg); err == nil || p != nil {
+		if p, err := NewSim(cfg); err == nil || p != nil {
 			t.Errorf("New(%+v) = (%v, %v), want error", cfg, p, err)
 		}
 	}
@@ -220,7 +221,7 @@ func TestNewValidatesConfig(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Fatalf("Validate(%+v) = %v, want nil (empty Algorithm defaults)", good, err)
 	}
-	if _, err := New(good); err != nil {
+	if _, err := New(sim.NewEngine(), good); err != nil {
 		t.Fatalf("New(%+v) = %v, want ok", good, err)
 	}
 }

@@ -1,0 +1,425 @@
+// Package serve is the live control plane: the same platform pipeline
+// the simulations replay — front end, profiler, sharded schedulers,
+// watermark-gated ready queue, harvest pools — driven by the wall-clock
+// driver (internal/clock) instead of the virtual-time engine, with an
+// HTTP ingress in front of it.
+//
+// Architecture (DESIGN.md §8): every piece of platform state lives on
+// the driver's single loop goroutine, exactly as it lives on the sim
+// engine's goroutine during a replay. HTTP handlers and the load
+// generator never touch it directly — they submit closures onto the
+// loop (Driver.Submit) and wait on channels for the outcome. That keeps
+// the scheduler, cluster and harvest code lock-free and byte-for-byte
+// identical between the simulated and the live paths.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"libra/internal/clock"
+	"libra/internal/cluster"
+	"libra/internal/function"
+	"libra/internal/obs"
+	"libra/internal/platform"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Platform is the platform configuration to serve on; validated by
+	// platform.New. Live serving wants a much smaller DispatchTime than
+	// the simulated default (the 25 ms OpenWhisk-calibrated handling
+	// time becomes real queueing delay here) and enough scheduler shards
+	// that decision serialization is not the throughput ceiling.
+	Platform platform.Config
+	// Addr is the HTTP listen address; empty disables the HTTP ingress
+	// (load-generator-only operation).
+	Addr string
+	// Tracer, if non-nil, receives the live invocation-lifecycle events
+	// on the loop goroutine (typically an obs.StreamTracer).
+	Tracer obs.Tracer
+	// Source overrides the driver's time source; nil uses the machine's
+	// monotonic clock. Tests inject clock.NewManualSource() to run the
+	// whole server deterministically.
+	Source clock.Source
+	// DrainTimeout bounds how long Stop waits for in-flight invocations
+	// before giving up on them (default 30s).
+	DrainTimeout time.Duration
+}
+
+// Server runs one live platform behind an HTTP ingress.
+type Server struct {
+	cfg Config
+	drv *clock.Driver
+	p   *platform.Platform
+
+	httpSrv *http.Server
+	ln      net.Listener
+
+	nextID    atomic.Int64
+	ingested  atomic.Int64
+	completed atomic.Int64
+	abandoned atomic.Int64
+	latMicro  atomic.Int64 // Σ response latency in µs
+
+	mu      sync.Mutex
+	waiters map[int64]chan waitResult
+
+	started  atomic.Bool
+	startAt  time.Time
+	loopDone chan struct{}
+}
+
+type waitResult struct {
+	rec platform.InvRecord
+	err error
+}
+
+// New builds a Server. The platform is constructed immediately (so
+// configuration errors surface here), but nothing runs until Start.
+func New(cfg Config) (*Server, error) {
+	src := cfg.Source
+	if src == nil {
+		src = clock.NewRealSource()
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	drv := clock.NewDriver(src)
+	pc := cfg.Platform
+	pc.Tracer = cfg.Tracer
+	p, err := platform.New(drv, pc)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		drv:      drv,
+		p:        p,
+		waiters:  make(map[int64]chan waitResult),
+		loopDone: make(chan struct{}),
+	}, nil
+}
+
+// Driver exposes the server's clock driver (the load generator and
+// tests schedule against it).
+func (s *Server) Driver() *clock.Driver { return s.drv }
+
+// Platform exposes the underlying platform. Only touch it from closures
+// submitted onto the loop.
+func (s *Server) Platform() *platform.Platform { return s.p }
+
+// Start switches the platform into live-serving mode, launches the
+// event loop, and (when configured) begins serving HTTP.
+func (s *Server) Start() error {
+	if !s.started.CompareAndSwap(false, true) {
+		return errors.New("serve: Start called twice")
+	}
+	s.p.StartServing(platform.ServeHooks{Done: s.onDone, Abandon: s.onAbandon})
+	s.startAt = time.Now()
+	go func() {
+		s.drv.Serve(context.Background())
+		close(s.loopDone)
+	}()
+	if s.cfg.Addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		s.drv.Stop()
+		<-s.loopDone
+		return err
+	}
+	s.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /invoke/{fn}", s.handleInvoke)
+	mux.HandleFunc("GET /registry", s.handleRegistry)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	s.httpSrv = &http.Server{Handler: mux}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound HTTP address (useful with ":0" listeners), or
+// "" when HTTP is disabled.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// onDone runs on the loop goroutine for every completed invocation.
+func (s *Server) onDone(rec platform.InvRecord) {
+	s.completed.Add(1)
+	s.latMicro.Add(int64(rec.Latency * 1e6))
+	s.deliver(int64(rec.Inv.ID), waitResult{rec: rec})
+}
+
+// onAbandon runs on the loop goroutine when an invocation's retry
+// budget is spent under fault injection.
+func (s *Server) onAbandon(inv *cluster.Invocation) {
+	s.abandoned.Add(1)
+	s.deliver(int64(inv.ID), waitResult{err: fmt.Errorf("serve: invocation %d abandoned after %d failures", inv.ID, inv.Failures)})
+}
+
+func (s *Server) deliver(id int64, res waitResult) {
+	s.mu.Lock()
+	ch, ok := s.waiters[id]
+	if ok {
+		delete(s.waiters, id)
+	}
+	s.mu.Unlock()
+	if ok {
+		ch <- res // buffered; never blocks the loop
+	}
+}
+
+// Ingested, Completed and Abandoned report the server's lifetime
+// counters; InFlight is their difference. All safe from any goroutine.
+func (s *Server) Ingested() int64  { return s.ingested.Load() }
+func (s *Server) Completed() int64 { return s.completed.Load() }
+func (s *Server) Abandoned() int64 { return s.abandoned.Load() }
+func (s *Server) InFlight() int64 {
+	return s.ingested.Load() - s.completed.Load() - s.abandoned.Load()
+}
+
+// ingest runs on the loop goroutine: it pushes one invocation into the
+// platform and keeps the counters straight.
+func (s *Server) ingest(id int64, app string, in function.Input) error {
+	if err := s.p.Ingest(id, app, in); err != nil {
+		return err
+	}
+	s.ingested.Add(1)
+	return nil
+}
+
+// NextID hands out the next invocation ID (monotone, unique for the
+// server's lifetime).
+func (s *Server) NextID() int64 { return s.nextID.Add(1) }
+
+// Invoke submits one invocation from any goroutine and waits for its
+// completion (or ctx cancellation). It is the programmatic twin of the
+// POST /invoke handler.
+func (s *Server) Invoke(ctx context.Context, app string, in function.Input) (platform.InvRecord, error) {
+	if _, ok := function.ByName(app); !ok {
+		return platform.InvRecord{}, fmt.Errorf("serve: unknown function %q", app)
+	}
+	id := s.NextID()
+	ch := make(chan waitResult, 1)
+	s.mu.Lock()
+	s.waiters[id] = ch
+	s.mu.Unlock()
+	s.drv.Submit(func() {
+		if err := s.ingest(id, app, in); err != nil {
+			s.deliver(id, waitResult{err: err})
+		}
+	})
+	select {
+	case res := <-ch:
+		return res.rec, res.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		delete(s.waiters, id)
+		s.mu.Unlock()
+		return platform.InvRecord{}, ctx.Err()
+	}
+}
+
+// Stats is the /stats snapshot.
+type Stats struct {
+	Uptime        float64 `json:"uptime_s"`
+	Ingested      int64   `json:"ingested"`
+	Completed     int64   `json:"completed"`
+	Abandoned     int64   `json:"abandoned"`
+	InFlight      int64   `json:"in_flight"`
+	Goodput       float64 `json:"goodput_rps"` // completions per wall second
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	EventsFired   uint64  `json:"events_fired"`
+	TraceEvents   uint64  `json:"trace_events,omitempty"`
+}
+
+// Snapshot assembles the current Stats from the atomic counters.
+func (s *Server) Snapshot() Stats {
+	up := time.Since(s.startAt).Seconds()
+	done := s.completed.Load()
+	st := Stats{
+		Uptime:      up,
+		Ingested:    s.ingested.Load(),
+		Completed:   done,
+		Abandoned:   s.abandoned.Load(),
+		EventsFired: s.drv.Fired(),
+	}
+	st.InFlight = st.Ingested - st.Completed - st.Abandoned
+	if up > 0 {
+		st.Goodput = float64(done) / up
+	}
+	if done > 0 {
+		st.LatencyMeanMs = float64(s.latMicro.Load()) / float64(done) / 1e3
+	}
+	if t, ok := s.cfg.Tracer.(*obs.StreamTracer); ok && t != nil {
+		st.TraceEvents = t.Count()
+	}
+	return st
+}
+
+// Stop shuts the ingress down, waits (up to DrainTimeout) for in-flight
+// invocations to finish, stops the event loop and returns the
+// aggregated serving result. The server cannot be restarted.
+func (s *Server) Stop(ctx context.Context) (*platform.Result, error) {
+	if !s.started.Load() {
+		return nil, errors.New("serve: Stop before Start")
+	}
+	if s.httpSrv != nil {
+		sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		_ = s.httpSrv.Shutdown(sctx)
+		cancel()
+	}
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	for s.InFlight() > 0 && time.Now().Before(deadline) && ctx.Err() == nil {
+		time.Sleep(2 * time.Millisecond)
+	}
+	drained := s.InFlight() == 0
+	s.drv.Stop()
+	<-s.loopDone
+	res := s.p.StopServing()
+	if !drained {
+		return res, fmt.Errorf("serve: %d invocations still in flight after %v drain", s.InFlight(), s.cfg.DrainTimeout)
+	}
+	return res, nil
+}
+
+// --- HTTP handlers ---
+
+// invokeResponse is the POST /invoke/{fn} reply.
+type invokeResponse struct {
+	ID        int64   `json:"id"`
+	App       string  `json:"app"`
+	LatencyMs float64 `json:"latency_ms,omitempty"`
+	Speedup   float64 `json:"speedup,omitempty"`
+	Node      int     `json:"node,omitempty"`
+	ColdStart bool    `json:"cold_start,omitempty"`
+	Accepted  bool    `json:"accepted,omitempty"` // nowait mode: queued, not awaited
+}
+
+func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	app := r.PathValue("fn")
+	spec, ok := function.ByName(app)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown function %q", app), http.StatusNotFound)
+		return
+	}
+	in, err := inputFromQuery(spec, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if r.URL.Query().Get("nowait") != "" {
+		id := s.NextID()
+		s.drv.Submit(func() { _ = s.ingest(id, app, in) })
+		w.WriteHeader(http.StatusAccepted)
+		writeJSON(w, invokeResponse{ID: id, App: app, Accepted: true})
+		return
+	}
+	rec, err := s.Invoke(r.Context(), app, in)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, invokeResponse{
+		ID:        int64(rec.Inv.ID),
+		App:       app,
+		LatencyMs: rec.Latency * 1e3,
+		Speedup:   rec.Speedup,
+		Node:      rec.Inv.NodeID,
+		ColdStart: rec.Inv.ColdStart,
+	})
+}
+
+// inputFromQuery builds the invocation input from ?size= and ?seed=.
+// Size defaults to the bottom of the app's dataset range; seed defaults
+// to a fresh ID so repeated unseeded invokes vary like real content.
+func inputFromQuery(spec *function.Spec, r *http.Request) (function.Input, error) {
+	lo, _ := spec.SizeRange()
+	in := function.Input{Size: lo, Seed: uint64(time.Now().UnixNano())}
+	q := r.URL.Query()
+	if v := q.Get("size"); v != "" {
+		size, err := strconv.ParseFloat(v, 64)
+		if err != nil || size <= 0 {
+			return in, fmt.Errorf("bad size %q", v)
+		}
+		in.Size = size
+	}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return in, fmt.Errorf("bad seed %q", v)
+		}
+		in.Seed = seed
+	}
+	return in, nil
+}
+
+// registryEntry is one function in the GET /registry listing.
+type registryEntry struct {
+	Name      string  `json:"name"`
+	LongName  string  `json:"long_name"`
+	Class     string  `json:"class"`
+	CPU       int64   `json:"user_cpu_millicores"`
+	Mem       int64   `json:"user_mem_mb"`
+	ColdStart float64 `json:"cold_start_s"`
+	SizeUnit  string  `json:"size_unit"`
+	SizeLo    float64 `json:"size_lo"`
+	SizeHi    float64 `json:"size_hi"`
+}
+
+func (s *Server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
+	names := function.Names()
+	out := make([]registryEntry, 0, len(names))
+	for _, name := range names {
+		spec, ok := function.ByName(name)
+		if !ok {
+			continue
+		}
+		lo, hi := spec.SizeRange()
+		out = append(out, registryEntry{
+			Name:      spec.Name,
+			LongName:  spec.LongName,
+			Class:     spec.Class.String(),
+			CPU:       int64(spec.UserAlloc.CPU),
+			Mem:       int64(spec.UserAlloc.Mem),
+			ColdStart: spec.ColdStart,
+			SizeUnit:  spec.SizeUnit(),
+			SizeLo:    lo,
+			SizeHi:    hi,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

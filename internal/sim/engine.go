@@ -8,6 +8,12 @@
 // for the same instant fire in scheduling order (a monotone sequence number
 // breaks ties), so a run is a pure function of (workload, seed).
 //
+// Engine is the virtual-time implementation of clock.Clock — the same
+// platform code runs live on the wall-clock driver in internal/clock.
+// Both implementations obey the Clock contract spelled out in that
+// package's doc: monotonic Now, FIFO ordering of same-instant events,
+// serialized callbacks, and generation-checked no-op cancellation.
+//
 // Event records are pooled: once an event fires or a cancelled event is
 // dropped from the queue, its record is recycled for the next Schedule
 // call. Handles are generation-checked so a caller holding a handle to a
@@ -20,6 +26,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"libra/internal/clock"
 )
 
 // Event is a scheduled callback record, owned by the engine and recycled
@@ -34,35 +42,21 @@ type Event struct {
 	index    int // heap index, -1 once popped
 }
 
-// Handle identifies a scheduled event for cancellation. The zero Handle
-// is inert: Cancel on it is a no-op and Live reports false. A handle
+// Gen implements clock.Record.
+func (ev *Event) Gen() uint32 { return ev.gen }
+
+// EventCanceled implements clock.Record.
+func (ev *Event) EventCanceled() bool { return ev.canceled }
+
+// EventTime implements clock.Record.
+func (ev *Event) EventTime() float64 { return ev.at }
+
+// Handle identifies a scheduled event for cancellation. It is the
+// driver-agnostic clock.Handle: the zero Handle is inert, and a handle
 // expires as soon as its event fires or its cancellation is collected —
 // the underlying record may then be recycled, and the stale handle keeps
 // refusing to act on the new occupant (generation check).
-type Handle struct {
-	ev  *Event
-	gen uint32
-}
-
-// Live reports whether the handle still refers to a queued event, i.e.
-// the event has neither fired nor been dropped after cancellation. A
-// cancelled event that is still lazily parked in the queue counts as
-// live in the bookkeeping sense; use Canceled to distinguish.
-func (h Handle) Live() bool { return h.ev != nil && h.ev.gen == h.gen }
-
-// Canceled reports whether Cancel was called on the event the handle
-// refers to. Once the event fires or its record is recycled this
-// returns false, matching the zero Handle.
-func (h Handle) Canceled() bool { return h.Live() && h.ev.canceled }
-
-// Time returns the virtual fire time of the event, or NaN if the handle
-// no longer refers to a queued event.
-func (h Handle) Time() float64 {
-	if !h.Live() {
-		return math.NaN()
-	}
-	return h.ev.at
-}
+type Handle = clock.Handle
 
 type eventHeap []*Event
 
@@ -110,12 +104,17 @@ type Engine struct {
 	postStep  func()
 }
 
+// Engine satisfies the clock contract the platform is written against.
+var _ clock.Runner = (*Engine)(nil)
+
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
 	return &Engine{}
 }
 
-// Now returns the current virtual time in seconds.
+// Now returns the current virtual time in seconds. Per the Clock
+// contract it is monotonically non-decreasing, and during a callback it
+// reads exactly the callback's scheduled fire time.
 func (e *Engine) Now() float64 { return e.now }
 
 // Pending returns the number of live events still queued. Cancelled
@@ -166,7 +165,8 @@ func (e *Engine) Schedule(delay float64, fn func()) Handle {
 
 // At queues fn to run at absolute virtual time t. Scheduling into the past
 // panics: that is always a logic bug in the caller, and silently clamping
-// would corrupt causality in the experiments.
+// would corrupt causality in the experiments. (The wall-clock driver
+// clamps instead — real time cannot be replayed; see clock.Driver.At.)
 func (e *Engine) At(t float64, fn func()) Handle {
 	if math.IsNaN(t) {
 		panic("sim: scheduling event at NaN time")
@@ -181,21 +181,24 @@ func (e *Engine) At(t float64, fn func()) Handle {
 	if len(e.queue) > e.maxLen {
 		e.maxLen = len(e.queue)
 	}
-	return Handle{ev: ev, gen: ev.gen}
+	return clock.NewHandle(ev, ev.gen)
 }
 
-// Cancel marks the handled event so it will not fire. Cancelling an
-// already-fired, already-cancelled or zero handle is a no-op. The event
-// record stays parked in the queue (lazy deletion) and is collected
-// either when it surfaces at the top or when cancelled records pile up
-// past the compaction threshold — so a cancel is O(1) instead of the
-// O(log n) heap.Remove, which dominates the cluster's re-rating churn.
+// Cancel marks the handled event so it will not fire, per the Clock
+// contract: cancelling an already-fired, already-cancelled, stale
+// (recycled) or zero handle is a no-op, as is a handle issued by another
+// clock implementation. The event record stays parked in the queue (lazy
+// deletion) and is collected either when it surfaces at the top or when
+// cancelled records pile up past the compaction threshold — so a cancel
+// is O(1) instead of the O(log n) heap.Remove, which dominates the
+// cluster's re-rating churn.
 func (e *Engine) Cancel(h Handle) {
-	if !h.Live() || h.ev.canceled {
+	ev, ok := h.Impl().(*Event)
+	if !ok || ev.gen != h.Gen() || ev.canceled {
 		return
 	}
-	h.ev.canceled = true
-	if h.ev.index >= 0 {
+	ev.canceled = true
+	if ev.index >= 0 {
 		e.ncanceled++
 		if e.ncanceled > compactMin && e.ncanceled*2 > len(e.queue) {
 			e.compact()
@@ -260,7 +263,11 @@ func (e *Engine) Run() {
 }
 
 // RunUntil executes events with fire time ≤ t, then advances the clock to
-// exactly t (even if no event fired there).
+// exactly t (even if no event fired there). The Clock contract's
+// monotonic-Now guarantee holds throughout: the clock only ever moves
+// forward, first event by event and then in one jump to t. Events
+// cancelled before their fire time never run, even if their record is
+// still parked in the queue when their instant passes.
 func (e *Engine) RunUntil(t float64) {
 	for {
 		ev := e.peek()
@@ -298,48 +305,18 @@ func (e *Engine) MaxQueueLen() int { return e.maxLen }
 func (e *Engine) SetPostStep(fn func()) { e.postStep = fn }
 
 // Ticker fires a callback on a fixed virtual-time period until stopped.
-// It is the building block for periodic behaviours: utilization sampling,
-// health pings, safeguard monitor windows.
-type Ticker struct {
-	eng     *Engine
-	period  float64
-	fn      func()
-	ev      Handle
-	stopped bool
-}
+// It is the driver-agnostic clock.Ticker: the building block for
+// periodic behaviours — utilization sampling, health pings, safeguard
+// monitor windows — on either clock implementation. Its contract is
+// pinned to the Clock spec: the first fire comes one period after
+// creation, re-arming happens after the callback returns (so a callback
+// that stops its own ticker leaves nothing queued), and Stop cancels the
+// armed event so a stopped ticker never holds the queue open.
+type Ticker = clock.Ticker
 
 // Every schedules fn to run every period seconds, starting one period
 // from now. It panics on a non-positive period (that would loop the
 // clock in place).
 func (e *Engine) Every(period float64, fn func()) *Ticker {
-	if period <= 0 {
-		panic("sim: Every period must be positive")
-	}
-	t := &Ticker{eng: e, period: period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.eng.Schedule(t.period, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
-}
-
-// Stop halts the ticker and cancels its pending fire, so a stopped
-// ticker leaves nothing live in the event queue: Run terminates as soon
-// as the real work drains instead of stepping one more empty period.
-func (t *Ticker) Stop() {
-	if t.stopped {
-		return
-	}
-	t.stopped = true
-	t.eng.Cancel(t.ev)
-	t.ev = Handle{}
+	return clock.Every(e, period, fn)
 }

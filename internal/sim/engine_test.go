@@ -380,7 +380,7 @@ func TestEventRecordsAreRecycled(t *testing.T) {
 	h1 := e.Schedule(1, func() {})
 	e.Run()
 	h2 := e.Schedule(1, func() {})
-	if h1.ev == h2.ev && h1.gen == h2.gen {
+	if h1.Impl() == h2.Impl() && h1.Gen() == h2.Gen() {
 		t.Fatal("recycled record kept its generation; stale handles would alias")
 	}
 	e.Cancel(h1) // stale — must be a no-op
