@@ -41,6 +41,17 @@ bench-json:
 quick:
 	$(GO) run ./cmd/libra-bench -quick
 
+# Live-resilience run (EXPERIMENTS.md Fig R1): 2.5× overload plus the
+# default chaos schedule on the wall clock, admission-controlled. The
+# selfcheck gates on clean drain, zero leaked loans, zero capacity
+# violations and a respected pending budget; the measured summary
+# refreshes BENCH_FIGR1.json.
+figr1:
+	$(GO) run ./cmd/libra-serve -addr 127.0.0.1:0 -nodes 4 -schedulers 8 \
+	  -rate 12000 -duration 5 -syn-cpu 400 -chaos \
+	  -max-pending 2000 -deadline 500 -degrade-hi 500 \
+	  -selfcheck -bench-out BENCH_FIGR1.json
+
 report:
 	$(GO) run ./cmd/libra-report -out results
 

@@ -8,8 +8,11 @@
 //	libra-serve -addr :9090 -variant libra -nodes 96 -schedulers 64
 //	libra-serve -rate 100000 -duration 30 -trace live.jsonl
 //	libra-serve -rate 5000 -duration 2 -selfcheck   # CI smoke
+//	libra-serve -rate 12000 -max-pending 2000 -deadline 500 -chaos \
+//	    -degrade-hi 500 -selfcheck      # overload + faults, bounded
 //
 //	curl -X POST 'localhost:8080/invoke/DH?size=4000'
+//	curl -X POST 'localhost:8080/invoke/DH?deadline_ms=250'
 //	curl localhost:8080/registry
 //	curl localhost:8080/stats
 //
@@ -17,6 +20,15 @@
 // second directly into the event loop (no HTTP overhead), for -duration
 // seconds; the command then drains, prints a summary and exits. Without
 // -duration it serves until SIGINT/SIGTERM.
+//
+// The ingress is overload-safe: -max-pending bounds admitted work
+// (excess shed with 429 + Retry-After), -deadline drops queued work
+// that can no longer answer in time (504), and -degrade-hi/-degrade-lo
+// suppress harvest acceleration under backlog. -chaos arms the fault
+// injector (node crashes, OOM kills, stragglers; -fault-* flags tune
+// it) on the wall clock. Shutdown is a two-phase audited drain bounded
+// by -drain-timeout; -selfcheck additionally gates on zero leaked
+// loans, zero capacity violations and a respected pending budget.
 //
 // The synthetic micro-function SYN (constant demand, -syn-* flags) is
 // registered alongside the paper's ten apps — the load generator's
@@ -40,26 +52,33 @@ import (
 	"libra/internal/cliflags"
 	"libra/internal/function"
 	"libra/internal/obs"
+	"libra/internal/platform"
 	"libra/internal/resources"
 	"libra/internal/serve"
 )
 
 func main() {
 	var (
-		common   = cliflags.AddCommon(flag.CommandLine)
-		plat     = cliflags.AddPlatform(flag.CommandLine, "libra", "jetstream")
-		addr     = flag.String("addr", ":8080", "HTTP listen address (empty disables HTTP)")
-		dispatch = flag.Float64("dispatch", 2e-5, "per-decision scheduler handling time in seconds (live tuning; the simulated default of 0.025 would throttle a live shard to 40 decisions/s)")
-		rate     = flag.Float64("rate", 0, "open-loop load generator rate in req/s (0 = off)")
-		duration = flag.Float64("duration", 0, "load generation window in seconds (with -rate; exit after draining)")
-		app      = flag.String("app", "SYN", "load generator target function")
-		synDur   = flag.Float64("syn-dur", 0.05, "SYN execution duration in seconds")
-		synCPU   = flag.Int64("syn-cpu", 100, "SYN demand in millicores")
-		synMem   = flag.Int64("syn-mem", 64, "SYN demand in MB")
-		benchOut = flag.String("bench-out", "", "write a JSON bench summary to this file on exit")
-		rotate   = flag.Int64("trace-rotate", 0, "rotate the trace file after this many MB, keeping the current segment plus one predecessor at <path>.1 (0 = grow unboundedly)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		check    = flag.Bool("selfcheck", false, "probe the HTTP ingress, assert nonzero goodput and a clean drained shutdown; exit nonzero on failure")
+		common     = cliflags.AddCommon(flag.CommandLine)
+		plat       = cliflags.AddPlatform(flag.CommandLine, "libra", "jetstream")
+		flt        = cliflags.AddFaults(flag.CommandLine)
+		addr       = flag.String("addr", ":8080", "HTTP listen address (empty disables HTTP)")
+		dispatch   = flag.Float64("dispatch", 2e-5, "per-decision scheduler handling time in seconds (live tuning; the simulated default of 0.025 would throttle a live shard to 40 decisions/s)")
+		rate       = flag.Float64("rate", 0, "open-loop load generator rate in req/s (0 = off)")
+		duration   = flag.Float64("duration", 0, "load generation window in seconds (with -rate; exit after draining)")
+		app        = flag.String("app", "SYN", "load generator target function")
+		synDur     = flag.Float64("syn-dur", 0.05, "SYN execution duration in seconds")
+		synCPU     = flag.Int64("syn-cpu", 100, "SYN demand in millicores")
+		synMem     = flag.Int64("syn-mem", 64, "SYN demand in MB")
+		maxPending = flag.Int("max-pending", 0, "admission budget: cap on admitted-but-unfinished invocations, beyond it requests are shed with 429 (0 = unbounded)")
+		deadlineMs = flag.Float64("deadline", 0, "default per-request deadline in milliseconds; queued invocations past it are dropped with 504 (0 = none)")
+		degradeHi  = flag.Int("degrade-hi", 0, "ready-queue depth entering degraded mode (no harvest acceleration); 0 disables")
+		degradeLo  = flag.Int("degrade-lo", 0, "ready-queue depth leaving degraded mode (0 = half of -degrade-hi)")
+		drainSecs  = flag.Float64("drain-timeout", 30, "two-phase shutdown budget in seconds (ingress + in-flight drain)")
+		benchOut   = flag.String("bench-out", "", "write a JSON bench summary to this file on exit")
+		rotate     = flag.Int64("trace-rotate", 0, "rotate the trace file after this many MB, keeping the current segment plus one predecessor at <path>.1 (0 = grow unboundedly)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		check      = flag.Bool("selfcheck", false, "probe the HTTP ingress, assert nonzero goodput and a clean drained shutdown; exit nonzero on failure")
 	)
 	flag.Parse()
 
@@ -69,6 +88,7 @@ func main() {
 	}
 
 	cfg := plat.CoreConfig(common.Seed)
+	cfg.Faults = flt.Config()
 	if cfg.Nodes == 0 && cfg.Testbed == "jetstream" {
 		cfg.Nodes = 96 // wide enough that a 100k req/s synthetic load fits
 	}
@@ -100,7 +120,17 @@ func main() {
 	}
 
 	baseline := runtime.NumGoroutine()
-	scfg := serve.Config{Platform: pc, Addr: *addr}
+	scfg := serve.Config{
+		Platform:     pc,
+		Addr:         *addr,
+		DrainTimeout: time.Duration(*drainSecs * float64(time.Second)),
+		Admission: serve.AdmissionConfig{
+			MaxPending: *maxPending,
+			Deadline:   time.Duration(*deadlineMs * float64(time.Millisecond)),
+			DegradeHi:  *degradeHi,
+			DegradeLo:  *degradeLo,
+		},
+	}
 	if tracer != nil { // a typed-nil *StreamTracer in the interface would pass the != nil gates downstream
 		scfg.Tracer = tracer
 	}
@@ -118,7 +148,7 @@ func main() {
 
 	checkFailures := 0
 	if *check {
-		checkFailures += probeHTTP(srv)
+		checkFailures += probeHTTP(srv, cfg.Faults.Enabled())
 	}
 
 	var lg *serve.LoadGen
@@ -171,12 +201,13 @@ func main() {
 	}
 	wall := time.Since(start).Seconds()
 
-	res, stopErr := srv.Stop(context.Background())
-	st := srv.Snapshot()
-	drained := stopErr == nil
+	res, drainRep, stopErr := srv.Stop(context.Background())
 	if stopErr != nil {
-		fmt.Fprintln(os.Stderr, "libra-serve:", stopErr)
+		fatal(stopErr)
 	}
+	st := srv.Snapshot()
+	drained := drainRep.Drained
+	fmt.Fprintf(os.Stderr, "libra-serve: shutdown %s\n", drainRep)
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {
 			fatal(err)
@@ -191,8 +222,12 @@ func main() {
 	if wall > 0 {
 		goodput = float64(st.Completed) / wall
 	}
-	fmt.Printf("%s: served %d invocations in %.1fs — goodput %.0f req/s, mean latency %.1fms, %d abandoned, %d cold starts, avg cpu util %.0f%%\n",
-		pc.Name, st.Completed, wall, goodput, st.LatencyMeanMs, st.Abandoned, res.ColdStarts, res.AvgCPUUtil*100)
+	fmt.Printf("%s: served %d invocations in %.1fs — goodput %.0f req/s, mean latency %.1fms, %d abandoned, %d expired, %d shed, %d cold starts, avg cpu util %.0f%%\n",
+		pc.Name, st.Completed, wall, goodput, st.LatencyMeanMs, st.Abandoned, st.Expired, st.Shed, res.ColdStarts, res.AvgCPUUtil*100)
+	if cfg.Faults.Enabled() {
+		fmt.Printf("faults: %d crashes, %d oom kills, %d retries, mttr %.2fs, leaked loans %d, capacity violations %d\n",
+			res.Faults.Crashes, res.Faults.OOMKills, res.Faults.Retries, res.Faults.MTTR(), res.LeakedLoans, res.CapacityViolations)
+	}
 
 	if *benchOut != "" {
 		writeBench(*benchOut, benchSummary{
@@ -201,15 +236,22 @@ func main() {
 			Platform:   pc.Name, Nodes: pc.Nodes, Schedulers: pc.Schedulers,
 			App: *app, OfferedRPS: *rate, Duration: *duration,
 			WallSeconds: wall, Ingested: st.Ingested, Completed: st.Completed,
-			Abandoned: st.Abandoned, GoodputRPS: goodput,
-			LatencyMeanMs: st.LatencyMeanMs, EventsFired: st.EventsFired,
-			TraceEvents: st.TraceEvents, Drained: drained,
+			Abandoned: st.Abandoned, Expired: st.Expired, Shed: st.Shed,
+			PeakPending: st.PeakPending, GoodputRPS: goodput,
+			LatencyMeanMs: st.LatencyMeanMs, LatencyP99Ms: st.LatencyP99Ms,
+			EventsFired: st.EventsFired,
+			TraceEvents: st.TraceEvents, TraceBlocked: st.TraceBlocked,
+			Drained: drained, DrainSeconds: drainRep.WaitedSeconds,
+			Crashes: res.Faults.Crashes, OOMKills: res.Faults.OOMKills,
+			Retries: res.Faults.Retries, MTTRSeconds: res.Faults.MTTR(),
+			LeakedLoans: res.LeakedLoans, CapacityViolations: res.CapacityViolations,
 			ColdStarts: res.ColdStarts, AvgCPUUtil: res.AvgCPUUtil,
 		})
 	}
 
 	if *check {
 		checkFailures += selfcheck(st, drained, baseline)
+		checkFailures += checkSafety(res, st, *maxPending)
 		if checkFailures > 0 {
 			fmt.Fprintf(os.Stderr, "libra-serve: selfcheck FAILED (%d checks)\n", checkFailures)
 			os.Exit(1)
@@ -232,11 +274,18 @@ func loadDone(lg *serve.LoadGen, duration float64) <-chan struct{} {
 }
 
 // probeHTTP exercises the ingress end to end: one synchronous invoke,
-// the registry, and the stats endpoint.
-func probeHTTP(srv *serve.Server) (failures int) {
+// the registry, and the stats endpoint. Under chaos any well-formed
+// outcome passes the invoke probe — the invocation may legitimately be
+// abandoned (500), shed (429) or expire (504); what the probe asserts
+// is that the ingress answers, not that the cluster is healthy.
+func probeHTTP(srv *serve.Server, chaos bool) (failures int) {
 	base := "http://" + srv.Addr()
 	resp, err := http.Post(base+"/invoke/SYN", "", nil)
-	if err != nil || resp.StatusCode != http.StatusOK {
+	okStatus := err == nil && resp.StatusCode == http.StatusOK
+	if chaos {
+		okStatus = err == nil && resp.StatusCode > 0
+	}
+	if !okStatus {
 		fmt.Fprintf(os.Stderr, "libra-serve: selfcheck: POST /invoke/SYN: %v (%v)\n", err, status(resp))
 		failures++
 	}
@@ -274,6 +323,31 @@ func selfcheck(st serve.Stats, drained bool, baseline int) (failures int) {
 	if goroutines > baseline+1 {
 		fmt.Fprintf(os.Stderr, "libra-serve: selfcheck: %d goroutines leaked (baseline %d, now %d)\n",
 			goroutines-baseline, baseline, goroutines)
+		failures++
+	}
+	return failures
+}
+
+// checkSafety asserts the paper's safety invariants held for the whole
+// run — chaos or not: every harvest loan reconciled, no node ever over
+// capacity, and when an admission budget was set, it was never
+// overshot (the server shed instead of collapsing).
+func checkSafety(res *platform.Result, st serve.Stats, maxPending int) (failures int) {
+	if res.LeakedLoans != 0 {
+		fmt.Fprintf(os.Stderr, "libra-serve: selfcheck: %d harvest-loan units leaked\n", res.LeakedLoans)
+		failures++
+	}
+	if res.CapacityViolations != 0 {
+		fmt.Fprintf(os.Stderr, "libra-serve: selfcheck: %d node capacity violations\n", res.CapacityViolations)
+		failures++
+	}
+	if maxPending > 0 && st.PeakPending > int64(maxPending) {
+		fmt.Fprintf(os.Stderr, "libra-serve: selfcheck: peak pending %d exceeded budget %d\n", st.PeakPending, maxPending)
+		failures++
+	}
+	// Conservation: everything admitted left through exactly one exit.
+	if got := st.Completed + st.Abandoned + st.Expired; st.Ingested != got {
+		fmt.Fprintf(os.Stderr, "libra-serve: selfcheck: conservation broken: ingested %d != completed+abandoned+expired %d\n", st.Ingested, got)
 		failures++
 	}
 	return failures
@@ -335,26 +409,38 @@ func (w *rotateWriter) rotate() error {
 func (w *rotateWriter) Close() error { return w.f.Close() }
 
 type benchSummary struct {
-	Schema        string  `json:"schema"`
-	GoVersion     string  `json:"go_version"`
-	GOMAXPROCS    int     `json:"gomaxprocs"`
-	Platform      string  `json:"platform"`
-	Nodes         int     `json:"nodes"`
-	Schedulers    int     `json:"schedulers"`
-	App           string  `json:"app"`
-	OfferedRPS    float64 `json:"offered_rps"`
-	Duration      float64 `json:"duration_s"`
-	WallSeconds   float64 `json:"wall_s"`
-	Ingested      int64   `json:"ingested"`
-	Completed     int64   `json:"completed"`
-	Abandoned     int64   `json:"abandoned"`
-	GoodputRPS    float64 `json:"goodput_rps"`
-	LatencyMeanMs float64 `json:"latency_mean_ms"`
-	EventsFired   uint64  `json:"events_fired"`
-	TraceEvents   uint64  `json:"trace_events"`
-	Drained       bool    `json:"drained"`
-	ColdStarts    int     `json:"cold_starts"`
-	AvgCPUUtil    float64 `json:"avg_cpu_util"`
+	Schema             string  `json:"schema"`
+	GoVersion          string  `json:"go_version"`
+	GOMAXPROCS         int     `json:"gomaxprocs"`
+	Platform           string  `json:"platform"`
+	Nodes              int     `json:"nodes"`
+	Schedulers         int     `json:"schedulers"`
+	App                string  `json:"app"`
+	OfferedRPS         float64 `json:"offered_rps"`
+	Duration           float64 `json:"duration_s"`
+	WallSeconds        float64 `json:"wall_s"`
+	Ingested           int64   `json:"ingested"`
+	Completed          int64   `json:"completed"`
+	Abandoned          int64   `json:"abandoned"`
+	Expired            int64   `json:"deadline_expired"`
+	Shed               int64   `json:"shed"`
+	PeakPending        int64   `json:"peak_pending"`
+	GoodputRPS         float64 `json:"goodput_rps"`
+	LatencyMeanMs      float64 `json:"latency_mean_ms"`
+	LatencyP99Ms       float64 `json:"latency_p99_ms"`
+	EventsFired        uint64  `json:"events_fired"`
+	TraceEvents        uint64  `json:"trace_events"`
+	TraceBlocked       uint64  `json:"trace_blocked_flushes"`
+	Drained            bool    `json:"drained"`
+	DrainSeconds       float64 `json:"drain_s"`
+	Crashes            int     `json:"crashes"`
+	OOMKills           int     `json:"oom_kills"`
+	Retries            int     `json:"retries"`
+	MTTRSeconds        float64 `json:"mttr_s"`
+	LeakedLoans        int64   `json:"leaked_loans"`
+	CapacityViolations int     `json:"capacity_violations"`
+	ColdStarts         int     `json:"cold_starts"`
+	AvgCPUUtil         float64 `json:"avg_cpu_util"`
 }
 
 func writeBench(path string, s benchSummary) {

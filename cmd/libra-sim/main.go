@@ -29,6 +29,7 @@ func main() {
 	var (
 		common      = cliflags.AddCommon(flag.CommandLine)
 		plat        = cliflags.AddPlatform(flag.CommandLine, "libra", "single")
+		flt         = cliflags.AddFaults(flag.CommandLine)
 		rpm         = flag.Float64("rpm", 120, "workload request rate (requests/minute)")
 		invocations = flag.Int("invocations", 165, "workload size")
 		compare     = flag.Bool("compare", false, "run all six platform variants")
@@ -56,6 +57,7 @@ func main() {
 	}
 
 	cfg := plat.CoreConfig(common.Seed)
+	cfg.Faults = flt.Config()
 
 	var rec *obs.Recorder
 	if *traceOut != "" {

@@ -9,6 +9,7 @@ import (
 	"flag"
 
 	"libra/internal/core"
+	"libra/internal/faults"
 )
 
 // Common holds the flags every command shares.
@@ -69,4 +70,53 @@ func (p *Platform) CoreConfig(seed int64) core.Config {
 		CoverageWeight:     p.Alpha,
 		Seed:               seed,
 	}
+}
+
+// Faults holds the fault-injection flags shared by libra-sim (replay
+// chaos) and libra-serve (-chaos live).
+type Faults struct {
+	Chaos             bool
+	CrashMTBF         float64
+	MTTR              float64
+	OOMKill           bool
+	StragglerFraction float64
+	StragglerFactor   float64
+	MaxRetries        int
+}
+
+// AddFaults registers the -chaos and -fault-* flags on fs.
+func AddFaults(fs *flag.FlagSet) *Faults {
+	f := &Faults{}
+	fs.BoolVar(&f.Chaos, "chaos", false, "enable the default chaos schedule (node crashes MTBF 20s, OOM kills, 5% stragglers); -fault-* flags refine it")
+	fs.Float64Var(&f.CrashMTBF, "fault-crash-mtbf", 0, "per-node mean time between crashes in seconds (0 = no crashes unless -chaos)")
+	fs.Float64Var(&f.MTTR, "fault-mttr", 0, "mean node repair time in seconds (0 = default)")
+	fs.BoolVar(&f.OOMKill, "fault-oom", false, "enable invocation OOM kills at the memory peak while harvested memory is on loan")
+	fs.Float64Var(&f.StragglerFraction, "fault-straggler", 0, "fraction of executions sampled as stragglers in [0,1]")
+	fs.Float64Var(&f.StragglerFactor, "fault-straggler-factor", 0, "straggler duration multiplier (0 = default)")
+	fs.IntVar(&f.MaxRetries, "fault-retries", 0, "per-invocation retry budget (0 = default, negative = fail fast)")
+	return f
+}
+
+// Config resolves the flags into a faults.Config. -chaos fills in a
+// default schedule that exercises every fault class; explicit -fault-*
+// values win over the chaos defaults.
+func (f *Faults) Config() faults.Config {
+	cfg := faults.Config{
+		CrashMTBF:         f.CrashMTBF,
+		MTTR:              f.MTTR,
+		OOMKill:           f.OOMKill,
+		StragglerFraction: f.StragglerFraction,
+		StragglerFactor:   f.StragglerFactor,
+		MaxRetries:        f.MaxRetries,
+	}
+	if f.Chaos {
+		if cfg.CrashMTBF == 0 {
+			cfg.CrashMTBF = 20
+		}
+		if cfg.StragglerFraction == 0 {
+			cfg.StragglerFraction = 0.05
+		}
+		cfg.OOMKill = true
+	}
+	return cfg
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"libra/internal/clock"
+	"libra/internal/faults"
 	"libra/internal/metrics"
 	"libra/internal/obs"
 	"libra/internal/platform"
@@ -67,7 +68,10 @@ type Config struct {
 	SafeguardThreshold float64
 	// CoverageWeight overrides the demand-coverage α = 0.9 (§8.8).
 	CoverageWeight float64
-	Seed           int64
+	// Faults is the deterministic fault-injection schedule (node crashes,
+	// OOM kills, stragglers). The zero value disables every fault.
+	Faults faults.Config
+	Seed   int64
 	// Tracer, when non-nil, receives the run's invocation-lifecycle
 	// events (DESIGN.md §6e). nil disables tracing with zero overhead.
 	Tracer obs.Tracer
@@ -126,6 +130,10 @@ func (c Config) platformConfig() (platform.Config, error) {
 	if c.CoverageWeight > 0 {
 		cfg.CoverageAlpha = c.CoverageWeight
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return platform.Config{}, err
+	}
+	cfg.Faults = c.Faults
 	cfg.Tracer = c.Tracer
 	return cfg, nil
 }
@@ -153,6 +161,11 @@ type Report struct {
 	Accelerated int     `json:"accelerated"`
 	Safeguarded int     `json:"safeguarded"`
 	ColdStarts  int     `json:"cold_starts"`
+	// Fault-injection outcomes; all zero (and omitted) on failure-free runs.
+	Crashes   int `json:"crashes,omitempty"`
+	OOMKills  int `json:"oom_kills,omitempty"`
+	Retries   int `json:"retries,omitempty"`
+	Abandoned int `json:"abandoned,omitempty"`
 }
 
 // Clock is the time substrate a platform runs on, re-exported from
@@ -202,6 +215,10 @@ func RunOn(clk Clock, cfg Config, workload trace.Set) (*Report, error) {
 		Accelerated: r.Accelerated,
 		Safeguarded: r.Safeguarded,
 		ColdStarts:  r.ColdStarts,
+		Crashes:     r.Faults.Crashes,
+		OOMKills:    r.Faults.OOMKills,
+		Retries:     r.Faults.Retries,
+		Abandoned:   r.Faults.Abandoned,
 	}, nil
 }
 

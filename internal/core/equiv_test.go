@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"libra/internal/clock"
+	"libra/internal/faults"
 	"libra/internal/function"
 	"libra/internal/obs"
 	"libra/internal/trace"
@@ -52,5 +53,46 @@ func TestWallDriverReplayMatchesSim(t *testing.T) {
 			}
 			t.Fatalf("%s: trace lengths diverge: sim %d events, wall %d", variant, simRec.Len(), wallRec.Len())
 		}
+	}
+}
+
+// TestWallDriverReplayMatchesSimChaos is the chaos acceptance test: the
+// same fault schedule — node crashes, OOM kills, stragglers — fires at
+// the same virtual instants and produces the same report and trace
+// whether the clock is the sim engine or the wall driver under a manual
+// source. Chaos is deterministic replay input, not wall-clock noise.
+func TestWallDriverReplayMatchesSimChaos(t *testing.T) {
+	chaos := faults.Config{CrashMTBF: 40, MTTR: 5, OOMKill: true, StragglerFraction: 0.1}
+	set := trace.Generate("equiv-chaos", function.Apps(), 150, 400, 11)
+
+	simRec := obs.NewRecorder()
+	simCfg := Config{Variant: VariantLibra, Testbed: TestbedMultiNode, Seed: 11, Faults: chaos, Tracer: simRec}
+	simRep, err := Run(simCfg, set)
+	if err != nil {
+		t.Fatalf("sim run: %v", err)
+	}
+	if simRep.Crashes == 0 {
+		t.Fatal("chaos schedule injected no crashes; the test exercises nothing")
+	}
+
+	wallRec := obs.NewRecorder()
+	wallCfg := Config{Variant: VariantLibra, Testbed: TestbedMultiNode, Seed: 11, Faults: chaos, Tracer: wallRec}
+	wallRep, err := RunOn(clock.NewDriver(clock.NewManualSource()), wallCfg, set)
+	if err != nil {
+		t.Fatalf("wall run: %v", err)
+	}
+
+	if !reflect.DeepEqual(simRep, wallRep) {
+		t.Errorf("reports diverge under chaos:\n sim:  %+v\n wall: %+v", simRep, wallRep)
+	}
+	if !reflect.DeepEqual(simRec.Events(), wallRec.Events()) {
+		n := min(simRec.Len(), wallRec.Len())
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(simRec.Events()[i], wallRec.Events()[i]) {
+				t.Fatalf("traces diverge at event %d:\n sim:  %+v\n wall: %+v",
+					i, simRec.Events()[i], wallRec.Events()[i])
+			}
+		}
+		t.Fatalf("trace lengths diverge: sim %d events, wall %d", simRec.Len(), wallRec.Len())
 	}
 }

@@ -87,13 +87,16 @@ func (c Config) Enabled() bool {
 }
 
 // Validate reports the first invalid field by name. The zero Config is
-// valid (it disables all faults).
+// valid (it disables all faults). Every float must be finite: an
+// infinite MTBF or backoff silently degenerates (events that never
+// fire, retries that never happen) instead of erroring where the
+// mistake was made.
 func (c Config) Validate() error {
-	if c.CrashMTBF < 0 || math.IsNaN(c.CrashMTBF) {
-		return fmt.Errorf("faults: CrashMTBF must be non-negative (got %g; 0 disables crashes)", c.CrashMTBF)
+	if !finiteNonNegative(c.CrashMTBF) {
+		return fmt.Errorf("faults: CrashMTBF must be finite and non-negative (got %g; 0 disables crashes)", c.CrashMTBF)
 	}
-	if c.MTTR < 0 || math.IsNaN(c.MTTR) {
-		return fmt.Errorf("faults: MTTR must be non-negative (got %g; 0 selects the %gs default)", c.MTTR, DefaultMTTR)
+	if !finiteNonNegative(c.MTTR) {
+		return fmt.Errorf("faults: MTTR must be finite and non-negative (got %g; 0 selects the %gs default)", c.MTTR, DefaultMTTR)
 	}
 	if c.CrashMTBF > 0 && c.withDefaults().MTTR <= 0 {
 		return fmt.Errorf("faults: MTTR must be positive when CrashMTBF > 0 (got %g)", c.MTTR)
@@ -101,16 +104,25 @@ func (c Config) Validate() error {
 	if c.StragglerFraction < 0 || c.StragglerFraction > 1 || math.IsNaN(c.StragglerFraction) {
 		return fmt.Errorf("faults: StragglerFraction must be in [0, 1] (got %g)", c.StragglerFraction)
 	}
-	if c.StragglerFactor != 0 && (c.StragglerFactor < 1 || math.IsNaN(c.StragglerFactor)) {
-		return fmt.Errorf("faults: StragglerFactor must be ≥ 1 (got %g; 0 selects the %g default)", c.StragglerFactor, DefaultStragglerFactor)
+	if c.StragglerFactor != 0 && (c.StragglerFactor < 1 || math.IsNaN(c.StragglerFactor) || math.IsInf(c.StragglerFactor, 0)) {
+		return fmt.Errorf("faults: StragglerFactor must be finite and ≥ 1 (got %g; 0 selects the %g default)", c.StragglerFactor, DefaultStragglerFactor)
 	}
-	if c.BackoffBase < 0 || math.IsNaN(c.BackoffBase) {
-		return fmt.Errorf("faults: BackoffBase must be non-negative (got %g)", c.BackoffBase)
+	if !finiteNonNegative(c.BackoffBase) || c.BackoffBase > maxBackoff {
+		return fmt.Errorf("faults: BackoffBase must be non-negative and at most %g seconds (got %g)", float64(maxBackoff), c.BackoffBase)
 	}
-	if c.BackoffCap < 0 || math.IsNaN(c.BackoffCap) {
-		return fmt.Errorf("faults: BackoffCap must be non-negative (got %g)", c.BackoffCap)
+	if !finiteNonNegative(c.BackoffCap) || c.BackoffCap > maxBackoff {
+		return fmt.Errorf("faults: BackoffCap must be non-negative and at most %g seconds (got %g)", float64(maxBackoff), c.BackoffCap)
 	}
 	return nil
+}
+
+// maxBackoff bounds retry delays to something a drain can survive
+// (about 10 years): larger values are configuration mistakes, and
+// values near MaxFloat64 would overflow the jitter arithmetic.
+const maxBackoff = 3e8
+
+func finiteNonNegative(v float64) bool {
+	return v >= 0 && !math.IsInf(v, 0) // NaN fails v >= 0
 }
 
 // withDefaults resolves the zero-value sentinels.

@@ -1,0 +1,69 @@
+package faults
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzConfigValidate drives Validate over arbitrary field values and
+// pins its contract: it never panics, every rejection names the
+// offending field with a "faults:" prefix, and any config it accepts
+// resolves to usable defaults — positive retry delays, a multiplier
+// that never speeds an execution up, and sampling probabilities the
+// per-invocation draws can consume without going out of range.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(0.0, 0.0, false, 0.0, 0.0, 0, 0.0, 0.0)
+	f.Add(120.0, 30.0, true, 0.05, 4.0, 3, 1.0, 30.0)
+	f.Add(-1.0, -1.0, true, 2.0, 0.5, -5, -1.0, -1.0)
+	f.Add(math.NaN(), math.Inf(1), false, math.NaN(), math.NaN(), 1<<30, math.NaN(), math.Inf(-1))
+	f.Fuzz(func(t *testing.T, mtbf, mttr float64, oom bool, sFrac, sFactor float64, retries int, bBase, bCap float64) {
+		cfg := Config{
+			CrashMTBF:         mtbf,
+			MTTR:              mttr,
+			OOMKill:           oom,
+			StragglerFraction: sFrac,
+			StragglerFactor:   sFactor,
+			MaxRetries:        retries,
+			BackoffBase:       bBase,
+			BackoffCap:        bCap,
+		}
+		err := cfg.Validate()
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "faults: ") {
+				t.Fatalf("rejection does not name the package: %v", err)
+			}
+			return
+		}
+		// Accepted configs must be safe to query from the hot path.
+		if cfg.Retries() < 0 {
+			t.Fatalf("valid config resolves to negative retry budget %d", cfg.Retries())
+		}
+		for id := int64(0); id < 4; id++ {
+			if m := cfg.StragglerMultiplier(1, id); m < 1 || math.IsNaN(m) {
+				t.Fatalf("straggler multiplier %g < 1 for valid config %+v", m, cfg)
+			}
+			if p := cfg.OOMPoint(1, id); p < 0 || p >= 1 {
+				t.Fatalf("OOM point %g outside [0,1)", p)
+			}
+			for attempt := 1; attempt <= 3; attempt++ {
+				if d := cfg.Backoff(1, id, attempt); d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+					t.Fatalf("backoff %g not positive-finite for valid config %+v", d, cfg)
+				}
+			}
+		}
+	})
+}
+
+// TestConfigValidateZeroIsValid pins the compatibility contract from
+// the package doc: the zero Config must always validate and disable
+// every fault.
+func TestConfigValidateZeroIsValid(t *testing.T) {
+	var cfg Config
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+	if cfg.Enabled() {
+		t.Fatal("zero config reports faults enabled")
+	}
+}

@@ -81,6 +81,10 @@ const (
 	KindComplete
 	// KindAbandon: the retry budget is spent; the invocation is given up.
 	KindAbandon
+	// KindDeadline: the invocation's admission deadline passed while it
+	// was still queued; it was dropped instead of executed late. Val is
+	// the attempt count at expiry.
+	KindDeadline
 
 	kindCount // sentinel, keep last
 )
@@ -89,7 +93,7 @@ var kindNames = [kindCount]string{
 	"arrival", "queued", "decision", "cold_start", "warm_start",
 	"exec_start", "harvest", "loan_grant", "loan_revoke", "reharvest",
 	"expire", "bonus", "safeguard", "oom_kill", "crash_abort",
-	"complete", "abandon",
+	"complete", "abandon", "deadline_expired",
 }
 
 // String names the kind as it appears in the JSONL export.

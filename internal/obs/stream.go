@@ -40,12 +40,13 @@ const streamChunks = 4
 // any goroutine (the stats endpoint polls it). Flush and Close are not:
 // call them only after the loop has stopped or from the loop itself.
 type StreamTracer struct {
-	active []byte
-	ch     chan streamOp
-	free   chan []byte
-	done   chan struct{}
-	n      atomic.Uint64
-	closed bool
+	active  []byte
+	ch      chan streamOp
+	free    chan []byte
+	done    chan struct{}
+	n       atomic.Uint64
+	blocked atomic.Uint64
+	closed  bool
 }
 
 // streamOp is one instruction to the writer goroutine: a chunk to
@@ -120,7 +121,16 @@ func (t *StreamTracer) Record(ev Event) {
 	t.active = b
 	if len(b) >= streamChunkSize-512 { // no event line comes near 512 B
 		t.ch <- streamOp{data: b}
-		t.active = <-t.free
+		select {
+		case t.active = <-t.free:
+		default:
+			// Every spare chunk is in flight to the writer: the device is
+			// not absorbing the stream and the event loop is about to
+			// stall on it. Counted so the stall is visible at /stats
+			// instead of manifesting as silent goodput loss.
+			t.blocked.Add(1)
+			t.active = <-t.free
+		}
 	}
 	t.n.Add(1)
 }
@@ -160,6 +170,11 @@ func appendSeconds(b []byte, v float64) []byte {
 
 // Count returns how many events have been recorded so far.
 func (t *StreamTracer) Count() uint64 { return t.n.Load() }
+
+// BlockedFlushes returns how many chunk flushes found every spare buffer
+// still in flight to the writer — each one is a Record call that stalled
+// the event loop on trace I/O. Safe from any goroutine.
+func (t *StreamTracer) BlockedFlushes() uint64 { return t.blocked.Load() }
 
 // Flush pushes everything recorded so far through the writer goroutine,
 // waits for it to land, and reports the first write error encountered

@@ -249,6 +249,17 @@ type Result struct {
 	// their capacity at the end of the run (invariant: always 0).
 	CapacityViolations int
 
+	// DeadlineExpired counts invocations abandoned because their
+	// admission deadline passed while they were still queued (decision
+	// queue, retry backoff or ready queue) — they were dropped instead of
+	// executed late. Always 0 unless deadlines are ingested (live mode).
+	DeadlineExpired int
+	// AccelSuppressed counts dispatches whose harvest acceleration was
+	// withheld because the platform was in degraded mode: the invocation
+	// ran under its own (possibly still harvested-from) allocation, but
+	// borrowed nothing, protecting user-demand capacity under overload.
+	AccelSuppressed int
+
 	// PeakPending is the deepest the capacity-blocked ready queue ever
 	// got — the backlog high-water mark under overload.
 	PeakPending int
@@ -315,6 +326,7 @@ type Platform struct {
 	// per-invocation outcomes are reported through hooks instead of being
 	// accumulated in Result.Records, and the run never self-terminates.
 	live      bool
+	degraded  bool
 	hooks     ServeHooks
 	tracker   *metrics.UtilizationTracker
 	nextShard int
@@ -389,8 +401,9 @@ type queued struct {
 	pred     profiler.Prediction
 	shard    *scheduler.Shard
 	profCost float64
-	attempt  int   // completed (failed) execution attempts so far
-	seq      int64 // global FIFO position in the ready queue
+	attempt  int     // completed (failed) execution attempts so far
+	seq      int64   // global FIFO position in the ready queue
+	deadline float64 // absolute clock time after which it expires unexecuted (0 = none)
 }
 
 // New builds a platform from cfg on the given clock, or reports why the
@@ -537,7 +550,7 @@ func (p *Platform) Run(set trace.Set) *Result {
 	p.arm()
 	for _, ti := range set.Invocations {
 		ti := ti
-		p.clk.At(ti.Arrival, func() { p.arrive(ti) })
+		p.clk.At(ti.Arrival, func() { p.arrive(ti, 0) })
 	}
 	runner.Run()
 	return p.collect()
@@ -602,8 +615,10 @@ func (p *Platform) collect() *Result {
 }
 
 // arrive is Step 2 of the workflow: the front end accepts the invocation
-// and forwards it to the profiler, then to a sharding scheduler.
-func (p *Platform) arrive(ti trace.Invocation) {
+// and forwards it to the profiler, then to a sharding scheduler. A
+// non-zero deadline is the absolute clock time past which the invocation
+// is dropped instead of executed (live admission control; replays pass 0).
+func (p *Platform) arrive(ti trace.Invocation, deadline float64) {
 	spec, ok := function.ByName(ti.App)
 	if !ok {
 		panic("platform: trace names unknown app " + ti.App)
@@ -655,6 +670,7 @@ func (p *Platform) arrive(ti trace.Invocation) {
 	// schedulers round-robin; each scheduler serializes its own decisions.
 	q := p.newQueued()
 	q.inv, q.pred, q.req, q.profCost = inv, pred, p.buildRequest(inv, pred), profCost
+	q.deadline = deadline
 	p.enqueue(q, p.clk.Now()+FrontendOverhead+profCost)
 }
 
@@ -678,6 +694,12 @@ func (p *Platform) enqueue(q *queued, ready float64) {
 	}
 
 	p.clk.At(shard.BusyUntil, func() {
+		if q.deadline > 0 && p.clk.Now() > q.deadline {
+			// The decision queue outlived the request: drop it at pickup
+			// instead of spending a placement on work nobody is waiting for.
+			p.expireQueued(q)
+			return
+		}
 		inv.SchedPick = pick
 		inv.SchedDone = p.clk.Now()
 		if !p.live {
@@ -762,6 +784,14 @@ func (p *Platform) dispatch(q *queued, node *cluster.Node) {
 			// the true peaks become observable without crowding admissions.
 			opts.BonusUpTo = function.MaxAlloc.Sub(inv.UserAlloc).Max(resources.Vector{})
 		}
+	}
+	if p.degraded && (!opts.ExtraWant.IsZero() || !opts.BonusUpTo.IsZero()) {
+		// Degraded mode sheds harvest-accelerated work first: the
+		// invocation still runs, but borrows nothing, so harvested
+		// capacity keeps serving user-demand reservations instead.
+		opts.ExtraWant = resources.Vector{}
+		opts.BonusUpTo = resources.Vector{}
+		p.result.AccelSuppressed++
 	}
 	if p.cfg.Faults.OOMKill {
 		// The memory peak is reached at a seed-derived fraction of the
@@ -974,6 +1004,12 @@ func (p *Platform) drainPending() {
 			return
 		}
 		q := best.items[best.head]
+		if q.deadline > 0 && now > q.deadline {
+			best.pop()
+			p.ready.size--
+			p.expireQueued(q)
+			continue
+		}
 		q.req.Now = now
 		if node := bestShard.Select(q.req, p.nodes); node != nil {
 			best.pop()
@@ -984,6 +1020,77 @@ func (p *Platform) drainPending() {
 		}
 	}
 }
+
+// expireQueued abandons an invocation whose deadline passed before it
+// reached a node: it is dropped from wherever it was queued, reported
+// through the Expired hook (live) or counted toward completion (replay),
+// and never charged a placement. Executing invocations are not expired —
+// work already on a node runs to completion.
+func (p *Platform) expireQueued(q *queued) {
+	inv := q.inv
+	if p.cfg.Tracer != nil {
+		p.cfg.Tracer.Record(obs.Event{T: p.clk.Now(), Inv: int64(inv.ID),
+			Kind: obs.KindDeadline, Node: -1, Val: float64(q.attempt)})
+	}
+	p.result.DeadlineExpired++
+	p.putQueued(q)
+	if p.live {
+		if p.hooks.Expired != nil {
+			p.hooks.Expired(inv)
+		} else if p.hooks.Abandon != nil {
+			p.hooks.Abandon(inv)
+		}
+		return
+	}
+	p.remaining--
+	if p.remaining == 0 {
+		p.finish()
+	}
+}
+
+// ExpireOverdue sweeps the capacity-blocked ready queue and expires every
+// invocation whose deadline has passed, returning how many were dropped.
+// The pickup and drain paths already refuse to execute overdue work; this
+// sweep adds timeliness — a blocked invocation's waiter hears about the
+// expiry when the deadline passes, not when capacity next frees up. The
+// serve layer calls it on a reaper ticker; it must run on the clock's
+// callback goroutine.
+func (p *Platform) ExpireOverdue() int {
+	if p.ready.size == 0 {
+		return 0
+	}
+	now := p.clk.Now()
+	n := 0
+	for _, buckets := range p.ready.byShard {
+		for _, b := range buckets {
+			live := b.items[:b.head]
+			for _, q := range b.items[b.head:] {
+				if q.deadline > 0 && now > q.deadline {
+					p.ready.size--
+					n++
+					p.expireQueued(q)
+				} else {
+					live = append(live, q)
+				}
+			}
+			for i := len(live); i < len(b.items); i++ {
+				b.items[i] = nil
+			}
+			b.items = live
+		}
+	}
+	return n
+}
+
+// SetDegraded toggles overload-degraded dispatch: while set, new
+// placements receive no harvest acceleration (no borrowed extras, no
+// profiling-window burst grants), so harvested capacity protects
+// user-demand reservations. The serve layer drives it from ready-queue
+// watermarks. Must be called on the clock's callback goroutine.
+func (p *Platform) SetDegraded(v bool) { p.degraded = v }
+
+// Degraded reports whether degraded dispatch is active.
+func (p *Platform) Degraded() bool { return p.degraded }
 
 // finish closes out the run once every invocation completed or was
 // abandoned: it freezes the clock-dependent trackers and stops the fault
@@ -1044,6 +1151,9 @@ func (p *Platform) breakdown(app string) *PhaseBreakdown {
 type ServeHooks struct {
 	Done    func(rec InvRecord)
 	Abandon func(inv *cluster.Invocation)
+	// Expired fires when a queued invocation's deadline passes before
+	// execution; nil falls back to Abandon.
+	Expired func(inv *cluster.Invocation)
 }
 
 // StartServing switches the platform into live-serving mode and arms the
@@ -1069,13 +1179,22 @@ func (p *Platform) StartServing(hooks ServeHooks) {
 // be unique for the server's lifetime (the serve layer hands out a
 // monotone sequence). Must run on the clock's callback goroutine.
 func (p *Platform) Ingest(id int64, app string, input function.Input) error {
+	return p.IngestDeadline(id, app, input, 0)
+}
+
+// IngestDeadline is Ingest with an absolute clock-time deadline: if the
+// invocation is still queued (decision queue, retry backoff or ready
+// queue) when the clock passes deadline, it is dropped and reported
+// through the Expired hook instead of being executed late. A zero
+// deadline means none.
+func (p *Platform) IngestDeadline(id int64, app string, input function.Input, deadline float64) error {
 	if !p.live {
 		return fmt.Errorf("platform: Ingest outside live-serving mode")
 	}
 	if _, ok := function.ByName(app); !ok {
 		return fmt.Errorf("platform: unknown function %q", app)
 	}
-	p.arrive(trace.Invocation{ID: id, App: app, Input: input, Arrival: p.clk.Now()})
+	p.arrive(trace.Invocation{ID: id, App: app, Input: input, Arrival: p.clk.Now()}, deadline)
 	return nil
 }
 

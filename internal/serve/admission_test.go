@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAdmissionValidate table-tests the config contract: the zero
+// value is valid, each field rejects its own bad values by name.
+func TestAdmissionValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     AdmissionConfig
+		wantErr string // substring; "" = valid
+	}{
+		{"zero", AdmissionConfig{}, ""},
+		{"full", AdmissionConfig{MaxPending: 100, Deadline: time.Second, DegradeHi: 50, DegradeLo: 10, RetryAfter: 2 * time.Second}, ""},
+		{"negative-pending", AdmissionConfig{MaxPending: -1}, "MaxPending"},
+		{"negative-deadline", AdmissionConfig{Deadline: -time.Second}, "Deadline"},
+		{"negative-hi", AdmissionConfig{DegradeHi: -1}, "DegradeHi"},
+		{"negative-lo", AdmissionConfig{DegradeLo: -1}, "DegradeLo"},
+		{"lo-without-hi", AdmissionConfig{DegradeLo: 5}, "DegradeLo"},
+		{"lo-above-hi", AdmissionConfig{DegradeHi: 5, DegradeLo: 6}, "DegradeLo"},
+		{"negative-retry-after", AdmissionConfig{RetryAfter: -time.Second}, "RetryAfter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate: %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate: %v, want error naming %s", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// FuzzAdmissionValidate pins Validate's contract over arbitrary values:
+// no panic, rejections carry the "serve:" prefix, and any accepted
+// config resolves to coherent defaults (hysteresis band ordered, a
+// positive Retry-After hint).
+func FuzzAdmissionValidate(f *testing.F) {
+	f.Add(0, int64(0), 0, 0, int64(0))
+	f.Add(1000, int64(time.Second), 200, 50, int64(time.Second))
+	f.Add(-1, int64(-1), -1, -1, int64(-1))
+	f.Add(1<<40, int64(1)<<62, 1<<40, 1<<40, int64(1)<<62)
+	f.Fuzz(func(t *testing.T, maxPending int, deadline int64, hi, lo int, retryAfter int64) {
+		cfg := AdmissionConfig{
+			MaxPending: maxPending,
+			Deadline:   time.Duration(deadline),
+			DegradeHi:  hi,
+			DegradeLo:  lo,
+			RetryAfter: time.Duration(retryAfter),
+		}
+		err := cfg.Validate()
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "serve: ") {
+				t.Fatalf("rejection does not name the package: %v", err)
+			}
+			return
+		}
+		r := cfg.withDefaults()
+		if r.DegradeHi > 0 && (r.DegradeLo > r.DegradeHi || r.DegradeLo < 0) {
+			t.Fatalf("valid config resolves to inverted hysteresis band: hi=%d lo=%d", r.DegradeHi, r.DegradeLo)
+		}
+		if r.RetryAfter <= 0 {
+			t.Fatalf("valid config resolves to non-positive RetryAfter %v", r.RetryAfter)
+		}
+	})
+}
+
+// TestAdmitBudget exercises the check-and-claim gauge directly: the
+// budget binds, sheds are counted, release reopens the gate, and
+// draining rejects regardless of budget headroom.
+func TestAdmitBudget(t *testing.T) {
+	s := &Server{adm: AdmissionConfig{MaxPending: 2}.withDefaults()}
+	if err := s.admit(); err != nil {
+		t.Fatalf("admit 1: %v", err)
+	}
+	if err := s.admit(); err != nil {
+		t.Fatalf("admit 2: %v", err)
+	}
+	if err := s.admit(); err != ErrShed {
+		t.Fatalf("admit 3: %v, want ErrShed", err)
+	}
+	if got := s.shed.Load(); got != 1 {
+		t.Fatalf("shed = %d, want 1", got)
+	}
+	if got := s.pending.Load(); got != 2 {
+		t.Fatalf("pending = %d, want 2 (rejected admit must not leak a slot)", got)
+	}
+	s.release()
+	if err := s.admit(); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	if got := s.peakPending.Load(); got != 2 {
+		t.Fatalf("peak pending = %d, want 2", got)
+	}
+	s.draining.Store(true)
+	s.release()
+	if err := s.admit(); err != ErrDraining {
+		t.Fatalf("admit while draining: %v, want ErrDraining", err)
+	}
+}
+
+// TestRejectAdmissionHTTP pins the HTTP mapping: shed → 429 with a
+// Retry-After hint, draining → 503.
+func TestRejectAdmissionHTTP(t *testing.T) {
+	s := &Server{adm: AdmissionConfig{RetryAfter: 1500 * time.Millisecond}.withDefaults()}
+
+	rec := httptest.NewRecorder()
+	s.rejectAdmission(rec, ErrShed)
+	if rec.Code != 429 {
+		t.Fatalf("shed status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\" (1.5s rounded up)", got)
+	}
+
+	rec = httptest.NewRecorder()
+	s.rejectAdmission(rec, ErrDraining)
+	if rec.Code != 503 {
+		t.Fatalf("draining status = %d, want 503", rec.Code)
+	}
+}

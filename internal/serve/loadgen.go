@@ -44,6 +44,7 @@ type LoadGen struct {
 
 	injected atomic.Int64
 	failed   atomic.Int64
+	shed     atomic.Int64
 	done     chan struct{}
 }
 
@@ -83,8 +84,15 @@ func (lg *LoadGen) tick() {
 	n := int(lg.acc)
 	lg.acc -= float64(n)
 	for i := 0; i < n; i++ {
+		// The generator is open-loop but not admission-exempt: offered
+		// load beyond the pending budget is shed here, exactly like HTTP
+		// callers see 429s.
+		if err := lg.srv.admit(); err != nil {
+			lg.shed.Add(1)
+			continue
+		}
 		id := lg.srv.NextID()
-		if err := lg.srv.ingest(id, lg.cfg.App, lg.spec.SampleInput(lg.rng)); err != nil {
+		if err := lg.srv.ingestDeadline(id, lg.cfg.App, lg.spec.SampleInput(lg.rng), lg.srv.adm.Deadline); err != nil {
 			lg.failed.Add(1)
 			continue
 		}
@@ -122,3 +130,6 @@ func (lg *LoadGen) Injected() int64 { return lg.injected.Load() }
 
 // Failed returns how many ingests errored (should stay 0).
 func (lg *LoadGen) Failed() int64 { return lg.failed.Load() }
+
+// Shed returns how many injections the admission budget rejected.
+func (lg *LoadGen) Shed() int64 { return lg.shed.Load() }

@@ -28,6 +28,7 @@ import (
 	"libra/internal/clock"
 	"libra/internal/cluster"
 	"libra/internal/function"
+	"libra/internal/histogram"
 	"libra/internal/obs"
 	"libra/internal/platform"
 )
@@ -50,14 +51,19 @@ type Config struct {
 	// monotonic clock. Tests inject clock.NewManualSource() to run the
 	// whole server deterministically.
 	Source clock.Source
-	// DrainTimeout bounds how long Stop waits for in-flight invocations
-	// before giving up on them (default 30s).
+	// DrainTimeout bounds the whole two-phase shutdown: ingress drain and
+	// in-flight-invocation drain share this budget (default 30s).
 	DrainTimeout time.Duration
+	// Admission bounds what the ingress accepts: pending budget, default
+	// deadlines and the degraded-mode watermarks. The zero value disables
+	// every limit; validated by New.
+	Admission AdmissionConfig
 }
 
 // Server runs one live platform behind an HTTP ingress.
 type Server struct {
 	cfg Config
+	adm AdmissionConfig // cfg.Admission with defaults resolved
 	drv *clock.Driver
 	p   *platform.Platform
 
@@ -68,7 +74,23 @@ type Server struct {
 	ingested  atomic.Int64
 	completed atomic.Int64
 	abandoned atomic.Int64
+	expired   atomic.Int64
+	shed      atomic.Int64
 	latMicro  atomic.Int64 // Σ response latency in µs
+
+	// pending is the admission gauge: admitted invocations that have not
+	// completed, been abandoned or expired yet. It is incremented before
+	// the work reaches the loop, so the budget check-and-claim is atomic.
+	pending     atomic.Int64
+	peakPending atomic.Int64
+	readyDepth  atomic.Int64 // loop-maintained mirror of PendingReady for /stats
+
+	degraded        atomic.Bool
+	degradedEntries atomic.Int64
+	draining        atomic.Bool
+
+	histMu sync.Mutex
+	hist   *histogram.Histogram // response latency, seconds
 
 	mu      sync.Mutex
 	waiters map[int64]chan waitResult
@@ -93,6 +115,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 30 * time.Second
 	}
+	if err := cfg.Admission.Validate(); err != nil {
+		return nil, err
+	}
 	drv := clock.NewDriver(src)
 	pc := cfg.Platform
 	pc.Tracer = cfg.Tracer
@@ -101,9 +126,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	return &Server{
-		cfg:      cfg,
-		drv:      drv,
-		p:        p,
+		cfg: cfg,
+		adm: cfg.Admission.withDefaults(),
+		drv: drv,
+		p:   p,
+		// 5 ms buckets to 30 s: wide enough for chaos-run tail latencies,
+		// fine enough that p50/p99 reads are not bucket artifacts.
+		hist:     histogram.New(0, 30, 6000),
 		waiters:  make(map[int64]chan waitResult),
 		loopDone: make(chan struct{}),
 	}, nil
@@ -123,8 +152,20 @@ func (s *Server) Start() error {
 	if !s.started.CompareAndSwap(false, true) {
 		return errors.New("serve: Start called twice")
 	}
-	s.p.StartServing(platform.ServeHooks{Done: s.onDone, Abandon: s.onAbandon})
+	s.p.StartServing(platform.ServeHooks{Done: s.onDone, Abandon: s.onAbandon, Expired: s.onExpire})
 	s.startAt = time.Now()
+	if s.adm.Deadline > 0 {
+		// Reap queued-past-deadline invocations between scheduler pickups,
+		// so a deadline blown while capacity-blocked is detected within a
+		// quarter period instead of only at the next dispatch attempt.
+		period := s.adm.Deadline.Seconds() / 4
+		period = min(max(period, 0.01), 1.0)
+		clock.Every(s.drv, period, func() {
+			if s.p.ExpireOverdue() > 0 {
+				s.updateDegraded()
+			}
+		})
+	}
 	go func() {
 		s.drv.Serve(context.Background())
 		close(s.loopDone)
@@ -165,6 +206,11 @@ func (s *Server) Addr() string {
 func (s *Server) onDone(rec platform.InvRecord) {
 	s.completed.Add(1)
 	s.latMicro.Add(int64(rec.Latency * 1e6))
+	s.histMu.Lock()
+	s.hist.Observe(rec.Latency)
+	s.histMu.Unlock()
+	s.release()
+	s.updateDegraded()
 	s.deliver(int64(rec.Inv.ID), waitResult{rec: rec})
 }
 
@@ -172,7 +218,69 @@ func (s *Server) onDone(rec platform.InvRecord) {
 // budget is spent under fault injection.
 func (s *Server) onAbandon(inv *cluster.Invocation) {
 	s.abandoned.Add(1)
+	s.release()
+	s.updateDegraded()
 	s.deliver(int64(inv.ID), waitResult{err: fmt.Errorf("serve: invocation %d abandoned after %d failures", inv.ID, inv.Failures)})
+}
+
+// onExpire runs on the loop goroutine when an invocation's deadline
+// passed while it was still queued.
+func (s *Server) onExpire(inv *cluster.Invocation) {
+	s.expired.Add(1)
+	s.release()
+	s.updateDegraded()
+	s.deliver(int64(inv.ID), waitResult{err: fmt.Errorf("%w: invocation %d", ErrDeadlineExpired, inv.ID)})
+}
+
+// admit claims one slot of the admission budget, or reports why the
+// request must be rejected. Safe from any goroutine: the gauge is
+// incremented before the budget check resolves, so two racing admits
+// cannot both squeeze into the last slot.
+func (s *Server) admit() error {
+	if s.draining.Load() {
+		s.shed.Add(1)
+		return ErrDraining
+	}
+	n := s.pending.Add(1)
+	if s.adm.MaxPending > 0 && n > int64(s.adm.MaxPending) {
+		s.pending.Add(-1)
+		s.shed.Add(1)
+		return ErrShed
+	}
+	for {
+		peak := s.peakPending.Load()
+		if n <= peak || s.peakPending.CompareAndSwap(peak, n) {
+			return nil
+		}
+	}
+}
+
+// release returns one admission slot; called exactly once per admitted
+// invocation, whichever way it leaves (done, abandoned, expired, or
+// ingest error).
+func (s *Server) release() { s.pending.Add(-1) }
+
+// updateDegraded runs on the loop goroutine after any event that moves
+// the ready-queue depth, and flips degraded mode across the hysteresis
+// band: above DegradeHi new dispatches lose harvest acceleration
+// (protecting user-demand capacity); below DegradeLo acceleration
+// resumes.
+func (s *Server) updateDegraded() {
+	depth := int64(s.p.PendingReady())
+	s.readyDepth.Store(depth)
+	if s.adm.DegradeHi <= 0 {
+		return
+	}
+	if s.degraded.Load() {
+		if depth <= int64(s.adm.DegradeLo) {
+			s.degraded.Store(false)
+			s.p.SetDegraded(false)
+		}
+	} else if depth >= int64(s.adm.DegradeHi) {
+		s.degraded.Store(true)
+		s.degradedEntries.Add(1)
+		s.p.SetDegraded(true)
+	}
 }
 
 func (s *Server) deliver(id int64, res waitResult) {
@@ -187,22 +295,39 @@ func (s *Server) deliver(id int64, res waitResult) {
 	}
 }
 
-// Ingested, Completed and Abandoned report the server's lifetime
-// counters; InFlight is their difference. All safe from any goroutine.
+// Ingested, Completed, Abandoned, Expired and Shed report the server's
+// lifetime counters; InFlight is what was ingested and has not finished
+// either way; Pending is the admission gauge (InFlight plus admitted
+// work not yet on the loop). All safe from any goroutine.
 func (s *Server) Ingested() int64  { return s.ingested.Load() }
 func (s *Server) Completed() int64 { return s.completed.Load() }
 func (s *Server) Abandoned() int64 { return s.abandoned.Load() }
+func (s *Server) Expired() int64   { return s.expired.Load() }
+func (s *Server) Shed() int64      { return s.shed.Load() }
+func (s *Server) Pending() int64   { return s.pending.Load() }
 func (s *Server) InFlight() int64 {
-	return s.ingested.Load() - s.completed.Load() - s.abandoned.Load()
+	return s.ingested.Load() - s.completed.Load() - s.abandoned.Load() - s.expired.Load()
 }
 
-// ingest runs on the loop goroutine: it pushes one invocation into the
-// platform and keeps the counters straight.
-func (s *Server) ingest(id int64, app string, in function.Input) error {
-	if err := s.p.Ingest(id, app, in); err != nil {
+// Degraded reports whether the platform is currently in degraded mode.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// ingestDeadline runs on the loop goroutine: it pushes one admitted
+// invocation into the platform with rem of deadline budget left (0 =
+// no deadline) and keeps the counters straight. The admission slot is
+// returned here on ingest error — otherwise it is the lifecycle hooks'
+// to release.
+func (s *Server) ingestDeadline(id int64, app string, in function.Input, rem time.Duration) error {
+	dl := 0.0
+	if rem != 0 {
+		dl = s.drv.Now() + rem.Seconds()
+	}
+	if err := s.p.IngestDeadline(id, app, in, dl); err != nil {
+		s.release()
 		return err
 	}
 	s.ingested.Add(1)
+	s.updateDegraded()
 	return nil
 }
 
@@ -217,13 +342,20 @@ func (s *Server) Invoke(ctx context.Context, app string, in function.Input) (pla
 	if _, ok := function.ByName(app); !ok {
 		return platform.InvRecord{}, fmt.Errorf("serve: unknown function %q", app)
 	}
+	if err := s.admit(); err != nil {
+		return platform.InvRecord{}, err
+	}
+	rem := s.adm.Deadline
+	if dl, ok := ctx.Deadline(); ok {
+		rem = time.Until(dl)
+	}
 	id := s.NextID()
 	ch := make(chan waitResult, 1)
 	s.mu.Lock()
 	s.waiters[id] = ch
 	s.mu.Unlock()
 	s.drv.Submit(func() {
-		if err := s.ingest(id, app, in); err != nil {
+		if err := s.ingestDeadline(id, app, in, rem); err != nil {
 			s.deliver(id, waitResult{err: err})
 		}
 	})
@@ -231,6 +363,9 @@ func (s *Server) Invoke(ctx context.Context, app string, in function.Input) (pla
 	case res := <-ch:
 		return res.rec, res.err
 	case <-ctx.Done():
+		// The invocation still runs to completion on the loop and keeps
+		// its admission slot until then — abandoning the wait does not
+		// free platform capacity.
 		s.mu.Lock()
 		delete(s.waiters, id)
 		s.mu.Unlock()
@@ -240,15 +375,26 @@ func (s *Server) Invoke(ctx context.Context, app string, in function.Input) (pla
 
 // Stats is the /stats snapshot.
 type Stats struct {
-	Uptime        float64 `json:"uptime_s"`
-	Ingested      int64   `json:"ingested"`
-	Completed     int64   `json:"completed"`
-	Abandoned     int64   `json:"abandoned"`
-	InFlight      int64   `json:"in_flight"`
-	Goodput       float64 `json:"goodput_rps"` // completions per wall second
-	LatencyMeanMs float64 `json:"latency_mean_ms"`
-	EventsFired   uint64  `json:"events_fired"`
-	TraceEvents   uint64  `json:"trace_events,omitempty"`
+	Uptime          float64 `json:"uptime_s"`
+	Ingested        int64   `json:"ingested"`
+	Completed       int64   `json:"completed"`
+	Abandoned       int64   `json:"abandoned"`
+	Expired         int64   `json:"deadline_expired"`
+	Shed            int64   `json:"shed"`
+	InFlight        int64   `json:"in_flight"`
+	Pending         int64   `json:"pending"`
+	PeakPending     int64   `json:"peak_pending"`
+	ReadyQueue      int64   `json:"ready_queue"`
+	Degraded        bool    `json:"degraded"`
+	DegradedEntries int64   `json:"degraded_entries,omitempty"`
+	Draining        bool    `json:"draining,omitempty"`
+	Goodput         float64 `json:"goodput_rps"` // completions per wall second
+	LatencyMeanMs   float64 `json:"latency_mean_ms"`
+	LatencyP50Ms    float64 `json:"latency_p50_ms,omitempty"`
+	LatencyP99Ms    float64 `json:"latency_p99_ms,omitempty"`
+	EventsFired     uint64  `json:"events_fired"`
+	TraceEvents     uint64  `json:"trace_events,omitempty"`
+	TraceBlocked    uint64  `json:"trace_blocked_flushes,omitempty"`
 }
 
 // Snapshot assembles the current Stats from the atomic counters.
@@ -256,49 +402,79 @@ func (s *Server) Snapshot() Stats {
 	up := time.Since(s.startAt).Seconds()
 	done := s.completed.Load()
 	st := Stats{
-		Uptime:      up,
-		Ingested:    s.ingested.Load(),
-		Completed:   done,
-		Abandoned:   s.abandoned.Load(),
-		EventsFired: s.drv.Fired(),
+		Uptime:          up,
+		Ingested:        s.ingested.Load(),
+		Completed:       done,
+		Abandoned:       s.abandoned.Load(),
+		Expired:         s.expired.Load(),
+		Shed:            s.shed.Load(),
+		Pending:         s.pending.Load(),
+		PeakPending:     s.peakPending.Load(),
+		ReadyQueue:      s.readyDepth.Load(),
+		Degraded:        s.degraded.Load(),
+		DegradedEntries: s.degradedEntries.Load(),
+		Draining:        s.draining.Load(),
+		EventsFired:     s.drv.Fired(),
 	}
-	st.InFlight = st.Ingested - st.Completed - st.Abandoned
+	st.InFlight = st.Ingested - st.Completed - st.Abandoned - st.Expired
 	if up > 0 {
 		st.Goodput = float64(done) / up
 	}
 	if done > 0 {
 		st.LatencyMeanMs = float64(s.latMicro.Load()) / float64(done) / 1e3
+		s.histMu.Lock()
+		st.LatencyP50Ms = s.hist.Quantile(0.5) * 1e3
+		st.LatencyP99Ms = s.hist.Quantile(0.99) * 1e3
+		s.histMu.Unlock()
 	}
 	if t, ok := s.cfg.Tracer.(*obs.StreamTracer); ok && t != nil {
 		st.TraceEvents = t.Count()
+		st.TraceBlocked = t.BlockedFlushes()
 	}
 	return st
 }
 
-// Stop shuts the ingress down, waits (up to DrainTimeout) for in-flight
-// invocations to finish, stops the event loop and returns the
-// aggregated serving result. The server cannot be restarted.
-func (s *Server) Stop(ctx context.Context) (*platform.Result, error) {
+// Stop runs the two-phase shutdown: phase one stops admitting (new
+// requests are rejected with ErrDraining / HTTP 503) and shuts the
+// ingress down; phase two waits for every admitted invocation to
+// finish, with both phases sharing the DrainTimeout budget. It then
+// stops the event loop, fails any waiters whose invocation never
+// finished, and returns the aggregated serving result plus a
+// structured DrainReport. The error is non-nil only for Stop-before-
+// Start; an unclean drain is reported in the DrainReport, not as an
+// error. The server cannot be restarted.
+func (s *Server) Stop(ctx context.Context) (*platform.Result, DrainReport, error) {
 	if !s.started.Load() {
-		return nil, errors.New("serve: Stop before Start")
+		return nil, DrainReport{}, errors.New("serve: Stop before Start")
 	}
+	start := time.Now()
+	deadline := start.Add(s.cfg.DrainTimeout)
+	s.draining.Store(true)
+	rep := DrainReport{InFlightAtStop: s.pending.Load(), HTTPClean: true}
 	if s.httpSrv != nil {
-		sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
-		_ = s.httpSrv.Shutdown(sctx)
+		sctx, cancel := context.WithDeadline(ctx, deadline)
+		rep.HTTPClean = s.httpSrv.Shutdown(sctx) == nil
 		cancel()
 	}
-	deadline := time.Now().Add(s.cfg.DrainTimeout)
-	for s.InFlight() > 0 && time.Now().Before(deadline) && ctx.Err() == nil {
+	for s.pending.Load() > 0 && time.Now().Before(deadline) && ctx.Err() == nil {
 		time.Sleep(2 * time.Millisecond)
 	}
-	drained := s.InFlight() == 0
+	rep.Remaining = s.pending.Load()
+	rep.Drained = rep.Remaining == 0
 	s.drv.Stop()
 	<-s.loopDone
 	res := s.p.StopServing()
-	if !drained {
-		return res, fmt.Errorf("serve: %d invocations still in flight after %v drain", s.InFlight(), s.cfg.DrainTimeout)
+	// The loop is gone: no invocation can finish anymore. Fail whoever is
+	// still waiting instead of leaving them blocked forever.
+	s.mu.Lock()
+	for id, ch := range s.waiters {
+		ch <- waitResult{err: fmt.Errorf("serve: invocation %d unfinished at shutdown", id)}
+		delete(s.waiters, id)
+		rep.FailedWaiters++
 	}
-	return res, nil
+	s.mu.Unlock()
+	rep.WaitedSeconds = time.Since(start).Seconds()
+	return res, rep, nil
 }
 
 // --- HTTP handlers ---
@@ -326,17 +502,37 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	ctx := r.Context()
+	if v := r.URL.Query().Get("deadline_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms <= 0 {
+			http.Error(w, fmt.Sprintf("bad deadline_ms %q", v), http.StatusBadRequest)
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms*float64(time.Millisecond)))
+		defer cancel()
+	}
 	if r.URL.Query().Get("nowait") != "" {
+		if err := s.admit(); err != nil {
+			s.rejectAdmission(w, err)
+			return
+		}
 		id := s.NextID()
-		s.drv.Submit(func() { _ = s.ingest(id, app, in) })
+		s.drv.Submit(func() { _ = s.ingestDeadline(id, app, in, s.adm.Deadline) })
 		w.WriteHeader(http.StatusAccepted)
 		writeJSON(w, invokeResponse{ID: id, App: app, Accepted: true})
 		return
 	}
-	rec, err := s.Invoke(r.Context(), app, in)
+	rec, err := s.Invoke(ctx, app, in)
 	if err != nil {
+		if errors.Is(err, ErrShed) || errors.Is(err, ErrDraining) {
+			s.rejectAdmission(w, err)
+			return
+		}
 		status := http.StatusInternalServerError
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+			errors.Is(err, ErrDeadlineExpired) {
 			status = http.StatusGatewayTimeout
 		}
 		http.Error(w, err.Error(), status)
@@ -350,6 +546,18 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		Node:      rec.Inv.NodeID,
 		ColdStart: rec.Inv.ColdStart,
 	})
+}
+
+// rejectAdmission writes the HTTP mapping of an admission error: 429
+// with a Retry-After hint for a shed, 503 while draining.
+func (s *Server) rejectAdmission(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrDraining) {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	secs := int64(s.adm.RetryAfter+time.Second-1) / int64(time.Second)
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	http.Error(w, err.Error(), http.StatusTooManyRequests)
 }
 
 // inputFromQuery builds the invocation input from ?size= and ?seed=.

@@ -64,8 +64,8 @@ func TestInvokeRoundTrip(t *testing.T) {
 	if got := srv.InFlight(); got != 0 {
 		t.Errorf("in flight = %d, want 0", got)
 	}
-	if _, err := srv.Stop(context.Background()); err != nil {
-		t.Fatalf("Stop: %v", err)
+	if _, rep, err := srv.Stop(context.Background()); err != nil || !rep.Drained {
+		t.Fatalf("Stop: %v (report %s)", err, rep)
 	}
 }
 
@@ -197,8 +197,8 @@ func TestHTTPEndpoints(t *testing.T) {
 		}
 	})
 
-	if _, err := srv.Stop(context.Background()); err != nil {
-		t.Fatalf("Stop: %v", err)
+	if _, rep, err := srv.Stop(context.Background()); err != nil || !rep.Drained {
+		t.Fatalf("Stop: %v (report %s)", err, rep)
 	}
 	if got := srv.InFlight(); got != 0 {
 		t.Fatalf("in flight after Stop = %d, want 0", got)
@@ -222,8 +222,8 @@ func loadGenRun(t *testing.T, seed int64) (int64, int64) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("load generator never finished under manual time")
 	}
-	if _, err := srv.Stop(context.Background()); err != nil {
-		t.Fatalf("Stop: %v", err)
+	if _, rep, err := srv.Stop(context.Background()); err != nil || !rep.Drained {
+		t.Fatalf("Stop: %v (report %s)", err, rep)
 	}
 	if lg.Failed() != 0 {
 		t.Fatalf("%d ingests failed", lg.Failed())
