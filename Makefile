@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check fmt-check vet bench bench-json quick report examples clean
+.PHONY: all build test race check fmt-check vet bench bench-json bench-pr8 quick report examples clean figs4-smoke scale-race
 
 # Default verify path: formatting, vet, build, tests — then the race
 # detector over the whole module (the parallel experiment harness must
@@ -40,6 +40,26 @@ bench-json:
 
 quick:
 	$(GO) run ./cmd/libra-bench -quick
+
+# Regenerate the committed PR-8 elasticity record: the full-scale figs4
+# replay (50→1000 nodes) plus the Libra decision cost at 50/200/1000
+# nodes. Under a minute of wall time; the quick CI proxy is figs4-smoke.
+bench-pr8:
+	$(GO) run ./cmd/libra-bench -elastic BENCH_PR8.json
+
+# Diurnal-elasticity replay (EXPERIMENTS.md Fig S4), quick mode: static
+# base fleet vs peak-provisioned fleet vs the elastic node group on the
+# 20× load swing. The render's invariants line must report zero leaked
+# loans and zero capacity violations.
+figs4-smoke:
+	$(GO) run ./cmd/libra-bench -exp figs4 -quick
+
+# Scale-down drains racing the chaos schedule, race detector on: the
+# property test sweeps seeds and asserts no drain ever leaks a loan or
+# leaves a node over capacity.
+scale-race:
+	$(GO) test -race -timeout 10m -count=1 \
+	  -run 'TestAutoscaleDrainUnderChaosLeaksNothing' ./internal/platform/
 
 # Live-resilience run (EXPERIMENTS.md Fig R1): 2.5× overload plus the
 # default chaos schedule on the wall clock, admission-controlled. The

@@ -21,6 +21,7 @@ import (
 	"libra/internal/metrics"
 	"libra/internal/obs"
 	"libra/internal/platform"
+	"libra/internal/sim"
 	"libra/internal/trace"
 )
 
@@ -71,9 +72,9 @@ func BenchmarkPlatformTracedVsUntraced(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := platform.PresetLibra(platform.MultiNode(), 42)
-		platform.MustNew(cfg).Run(set)
+		mustPlatform(cfg).Run(set)
 		cfg.Tracer = obs.NewRecorder()
-		platform.MustNew(cfg).Run(set)
+		mustPlatform(cfg).Run(set)
 	}
 }
 
@@ -83,7 +84,7 @@ func BenchmarkPlatformTracedVsUntraced(b *testing.B) {
 
 func runP99(b *testing.B, cfg platform.Config, set trace.Set) float64 {
 	b.Helper()
-	r := platform.MustNew(cfg).Run(set)
+	r := mustPlatform(cfg).Run(set)
 	return metrics.Summarize(r.Latencies()).P99
 }
 
@@ -118,12 +119,12 @@ func BenchmarkAblationHashLocality(b *testing.B) {
 	var hashCold, rrCold int
 	for i := 0; i < b.N; i++ {
 		cfg := platform.PresetLibra(platform.MultiNode(), 42)
-		p := platform.MustNew(cfg)
+		p := mustPlatform(cfg)
 		r := p.Run(set)
 		hash = metrics.Summarize(r.Latencies()).P99
 		hashCold = r.ColdStarts
 		cfg2 := platform.WithAlgorithm(platform.PresetLibra(platform.MultiNode(), 42), "RR")
-		p2 := platform.MustNew(cfg2)
+		p2 := mustPlatform(cfg2)
 		r2 := p2.Run(set)
 		rr = metrics.Summarize(r2.Latencies()).P99
 		rrCold = r2.ColdStarts
@@ -145,9 +146,9 @@ func BenchmarkAblationPoolPriority(b *testing.B) {
 		for _, seed := range []int64{42, 43, 44} {
 			set := trace.SingleSet(seed)
 			cfg := platform.PresetLibra(platform.SingleNode(), seed)
-			prio += meanAcceleratedSpeedup(platform.MustNew(cfg).Run(set)) / 3
+			prio += meanAcceleratedSpeedup(mustPlatform(cfg).Run(set)) / 3
 			cfg.PoolLendOrder = harvest.FIFO
-			fifo += meanAcceleratedSpeedup(platform.MustNew(cfg).Run(set)) / 3
+			fifo += meanAcceleratedSpeedup(mustPlatform(cfg).Run(set)) / 3
 		}
 	}
 	b.ReportMetric(prio, "accel-speedup-priority")
@@ -175,9 +176,9 @@ func BenchmarkAblationSafeguard(b *testing.B) {
 	set := trace.SingleSet(42)
 	var with, without float64
 	for i := 0; i < b.N; i++ {
-		r := platform.MustNew(platform.PresetLibra(platform.SingleNode(), 42)).Run(set)
+		r := mustPlatform(platform.PresetLibra(platform.SingleNode(), 42)).Run(set)
 		with = metrics.Summarize(r.Speedups()).Min
-		r2 := platform.MustNew(platform.PresetLibraNS(platform.SingleNode(), 42)).Run(set)
+		r2 := mustPlatform(platform.PresetLibraNS(platform.SingleNode(), 42)).Run(set)
 		without = metrics.Summarize(r2.Speedups()).Min
 	}
 	b.ReportMetric(with, "worst-speedup-safeguard")
@@ -196,12 +197,12 @@ func BenchmarkAblationJointVsSingleAxis(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		cfg := platform.PresetLibra(platform.SingleNode(), 42)
-		joint = mean(platform.MustNew(cfg).Run(set))
+		joint = mean(mustPlatform(cfg).Run(set))
 		cfg.HarvestMemOnly = true
-		memOnly = mean(platform.MustNew(cfg).Run(set))
+		memOnly = mean(mustPlatform(cfg).Run(set))
 		cfg.HarvestMemOnly = false
 		cfg.HarvestCPUOnly = true
-		cpuOnly = mean(platform.MustNew(cfg).Run(set))
+		cpuOnly = mean(mustPlatform(cfg).Run(set))
 	}
 	b.ReportMetric(joint, "mean-speedup-joint")
 	b.ReportMetric(cpuOnly, "mean-speedup-cpu-only")
@@ -214,7 +215,7 @@ func BenchmarkPlatformSingleNodeLibra(b *testing.B) {
 	set := trace.SingleSet(42)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		platform.MustNew(platform.PresetLibra(platform.SingleNode(), 42)).Run(set)
+		mustPlatform(platform.PresetLibra(platform.SingleNode(), 42)).Run(set)
 	}
 }
 
@@ -222,7 +223,7 @@ func BenchmarkPlatformMultiNodeLibra(b *testing.B) {
 	set := trace.MultiSet(300, 42)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		platform.MustNew(platform.PresetLibra(platform.MultiNode(), 42)).Run(set)
+		mustPlatform(platform.PresetLibra(platform.MultiNode(), 42)).Run(set)
 	}
 }
 
@@ -230,7 +231,7 @@ func BenchmarkPlatformJetstreamBurst(b *testing.B) {
 	set := trace.ConcurrentBurst(500, 42)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		platform.MustNew(platform.PresetLibra(platform.Jetstream(50, 4), 42)).Run(set)
+		mustPlatform(platform.PresetLibra(platform.Jetstream(50, 4), 42)).Run(set)
 	}
 }
 
@@ -256,3 +257,14 @@ func BenchmarkHotOverloadReplay2000(b *testing.B)     { benchkit.BenchOverloadRe
 func BenchmarkHotOverloadReplay8000(b *testing.B)     { benchkit.BenchOverloadReplay8000(b) }
 func BenchmarkHotLibraSparse50(b *testing.B)          { benchkit.BenchLibraSparse50(b) }
 func BenchmarkHotLibraSparse200(b *testing.B)         { benchkit.BenchLibraSparse200(b) }
+
+// mustPlatform builds a sim-engine platform from a preset config,
+// panicking on the impossible invalid-config case (presets are correct
+// by construction).
+func mustPlatform(cfg platform.Config) *platform.Platform {
+	p, err := platform.New(sim.NewEngine(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

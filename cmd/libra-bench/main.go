@@ -10,6 +10,7 @@
 //	libra-bench -parallel 8  # bound the worker pool (default GOMAXPROCS)
 //	libra-bench -exp figo1 -trace out.jsonl
 //	libra-bench -json BENCH_PR5.json   # benchmark mode: perf trajectory report
+//	libra-bench -elastic BENCH_PR8.json  # full-scale figs4 + decision-cost record
 //
 // Each experiment fans its independent (config × repetition) units over
 // a worker pool; the rendered output is byte-identical for every
@@ -78,6 +79,31 @@ func runBenchmarks(path string, cells bool) error {
 	return nil
 }
 
+// runElastic is the -elastic mode: the full-scale 50→1000-node diurnal
+// replay plus the Libra decision cost at 50/200/1000 nodes, written as
+// the PR-8 elasticity acceptance record.
+func runElastic(path string) error {
+	rep, err := benchkit.MeasureElastic(os.Stdout)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("decision cost 50→1000 nodes: %.1f× (sub-linear: %v); leaked loans %d, capacity violations %d\n",
+		rep.DecisionRatio1000, rep.SubLinear, rep.LeakedLoans, rep.CapacityViolations)
+	fmt.Fprintf(os.Stderr, "libra-bench: wrote elasticity report to %s\n", path)
+	return nil
+}
+
 func main() {
 	var (
 		common   = cliflags.AddCommon(flag.CommandLine)
@@ -89,12 +115,21 @@ func main() {
 		progress = flag.Bool("progress", true, "report per-unit completion on stderr")
 		jsonOut  = flag.String("json", "", "benchmark mode: run the hot-path benchmark registry and write the perf report to this file")
 		cells    = flag.Bool("cells", true, "benchmark mode: also time a quick-mode run of every experiment cell")
+		elastic  = flag.String("elastic", "", "elasticity mode: full-scale figs4 replay plus decision-cost rungs, written to this file")
 	)
 	flag.Parse()
 	seed, traceOut := &common.Seed, &common.Trace
 
 	if *jsonOut != "" {
 		if err := runBenchmarks(*jsonOut, *cells); err != nil {
+			fmt.Fprintf(os.Stderr, "libra-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *elastic != "" {
+		if err := runElastic(*elastic); err != nil {
 			fmt.Fprintf(os.Stderr, "libra-bench: %v\n", err)
 			os.Exit(1)
 		}

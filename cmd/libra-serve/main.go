@@ -30,6 +30,12 @@
 // by -drain-timeout; -selfcheck additionally gates on zero leaked
 // loans, zero capacity violations and a respected pending budget.
 //
+// -nodegroup "min:desired:max" makes the cluster elastic: an autoscale
+// controller watches ready-queue backlog and reservation pressure and
+// grows or drain-then-retires group nodes above the fixed -nodes base
+// fleet (the -scale-* flags tune the watermarks, step sizes, cooldown
+// and drain grace; /stats reports live membership and decision counts).
+//
 // The synthetic micro-function SYN (constant demand, -syn-* flags) is
 // registered alongside the paper's ten apps — the load generator's
 // default target.
@@ -62,6 +68,7 @@ func main() {
 		common     = cliflags.AddCommon(flag.CommandLine)
 		plat       = cliflags.AddPlatform(flag.CommandLine, "libra", "jetstream")
 		flt        = cliflags.AddFaults(flag.CommandLine)
+		scl        = cliflags.AddScale(flag.CommandLine)
 		addr       = flag.String("addr", ":8080", "HTTP listen address (empty disables HTTP)")
 		dispatch   = flag.Float64("dispatch", 2e-5, "per-decision scheduler handling time in seconds (live tuning; the simulated default of 0.025 would throttle a live shard to 40 decisions/s)")
 		rate       = flag.Float64("rate", 0, "open-loop load generator rate in req/s (0 = off)")
@@ -89,6 +96,11 @@ func main() {
 
 	cfg := plat.CoreConfig(common.Seed)
 	cfg.Faults = flt.Config()
+	autoscale, err := scl.Config()
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Autoscale = autoscale
 	if cfg.Nodes == 0 && cfg.Testbed == "jetstream" {
 		cfg.Nodes = 96 // wide enough that a 100k req/s synthetic load fits
 	}
@@ -228,6 +240,11 @@ func main() {
 		fmt.Printf("faults: %d crashes, %d oom kills, %d retries, mttr %.2fs, leaked loans %d, capacity violations %d\n",
 			res.Faults.Crashes, res.Faults.OOMKills, res.Faults.Retries, res.Faults.MTTR(), res.LeakedLoans, res.CapacityViolations)
 	}
+	if autoscale.Enabled() {
+		fmt.Printf("scale: %d ups, %d downs (%d drains, %d evictions, %d aborts), peak %d nodes, leaked loans %d, capacity violations %d\n",
+			res.Scale.ScaleUps, res.Scale.ScaleDowns, res.Scale.Drains, res.Scale.DrainEvictions,
+			res.Scale.ScaleAborts, res.Scale.PeakNodes, res.LeakedLoans, res.CapacityViolations)
+	}
 
 	if *benchOut != "" {
 		writeBench(*benchOut, benchSummary{
@@ -246,6 +263,8 @@ func main() {
 			Retries: res.Faults.Retries, MTTRSeconds: res.Faults.MTTR(),
 			LeakedLoans: res.LeakedLoans, CapacityViolations: res.CapacityViolations,
 			ColdStarts: res.ColdStarts, AvgCPUUtil: res.AvgCPUUtil,
+			ScaleUps: res.Scale.ScaleUps, ScaleDowns: res.Scale.ScaleDowns,
+			PeakNodes: res.Scale.PeakNodes,
 		})
 	}
 
@@ -441,6 +460,9 @@ type benchSummary struct {
 	CapacityViolations int     `json:"capacity_violations"`
 	ColdStarts         int     `json:"cold_starts"`
 	AvgCPUUtil         float64 `json:"avg_cpu_util"`
+	ScaleUps           int64   `json:"scale_ups,omitempty"`
+	ScaleDowns         int64   `json:"scale_downs,omitempty"`
+	PeakNodes          int64   `json:"peak_nodes,omitempty"`
 }
 
 func writeBench(path string, s benchSummary) {

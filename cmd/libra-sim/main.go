@@ -6,6 +6,7 @@
 //	libra-sim [-variant libra] [-testbed single] [-algorithm Libra]
 //	          [-nodes N] [-schedulers K] [-rpm R] [-invocations N]
 //	          [-threshold 0.8] [-alpha 0.9] [-seed 42]
+//	          [-nodegroup min:desired:max] [-scale-backlog-hi N] [-scale-util-hi F]
 //	          [-compare] [-json] [-replay file.json] [-trace out.jsonl]
 //
 // With -compare, all six §8.3 variants run on the same workload.
@@ -30,6 +31,7 @@ func main() {
 		common      = cliflags.AddCommon(flag.CommandLine)
 		plat        = cliflags.AddPlatform(flag.CommandLine, "libra", "single")
 		flt         = cliflags.AddFaults(flag.CommandLine)
+		scl         = cliflags.AddScale(flag.CommandLine)
 		rpm         = flag.Float64("rpm", 120, "workload request rate (requests/minute)")
 		invocations = flag.Int("invocations", 165, "workload size")
 		compare     = flag.Bool("compare", false, "run all six platform variants")
@@ -58,6 +60,11 @@ func main() {
 
 	cfg := plat.CoreConfig(common.Seed)
 	cfg.Faults = flt.Config()
+	autoscale, err := scl.Config()
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Autoscale = autoscale
 
 	var rec *obs.Recorder
 	if *traceOut != "" {

@@ -1,0 +1,169 @@
+package benchkit
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"libra/internal/experiments"
+)
+
+// ElasticSchema identifies the elasticity-report layout.
+const ElasticSchema = "libra-elastic-bench/v1"
+
+// ElasticCell is one provisioning strategy of the full-scale figs4
+// replay, reduced to the numbers the PR-8 acceptance gate reads.
+type ElasticCell struct {
+	Platform           string  `json:"platform"`
+	Completed          int     `json:"completed"`
+	Abandoned          int     `json:"abandoned"`
+	P50LatencyS        float64 `json:"p50_latency_s"`
+	P99LatencyS        float64 `json:"p99_latency_s"`
+	PeakBacklog        int     `json:"peak_backlog"`
+	PeakNodes          int64   `json:"peak_nodes"`
+	NodeSeconds        float64 `json:"node_seconds"`
+	ScaleUps           int64   `json:"scale_ups"`
+	ScaleDowns         int64   `json:"scale_downs"`
+	Drains             int64   `json:"drains"`
+	DrainEvictions     int64   `json:"drain_evictions"`
+	ScaleAborts        int64   `json:"scale_aborts"`
+	LeakedLoans        int64   `json:"leaked_loans"`
+	CapacityViolations int     `json:"capacity_violations"`
+}
+
+// ElasticReport is the PR-8 trajectory record: the full 50→1000-node
+// diurnal replay (figs4 geometry, no quick trimming) plus the Libra
+// decision cost at 50, 200 and 1000 nodes. The acceptance gates:
+// SubLinear — the 50→1000 decision-cost ratio stays far under the 20×
+// node ratio — and zero leaked loans / capacity violations across every
+// scale-down drain of the replay.
+type ElasticReport struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Nodes       int     `json:"nodes"`
+	MaxNodes    int     `json:"max_nodes"`
+	Invocations int     `json:"invocations"`
+	PeakRPM     float64 `json:"peak_rpm"`
+	TroughRPM   float64 `json:"trough_rpm"`
+	PeriodS     float64 `json:"period_s"`
+	WallSeconds float64 `json:"wall_seconds"`
+
+	Cells []ElasticCell `json:"cells"`
+
+	Decision          []BenchResult `json:"decision_cost"`
+	DecisionRatio1000 float64       `json:"decision_ratio_50_to_1000"`
+	SubLinear         bool          `json:"sub_linear"`
+
+	LeakedLoans        int64 `json:"leaked_loans"`
+	CapacityViolations int   `json:"capacity_violations"`
+}
+
+// MeasureElastic runs the full-scale figs4 replay and the sparse
+// decision-cost rungs, reducing both into an ElasticReport. Progress
+// and benchstat-comparable lines go to w.
+func MeasureElastic(w io.Writer) (*ElasticReport, error) {
+	start := time.Now()
+	fmt.Fprintf(w, "running figs4 at full scale (%d→%d nodes, %d invocations)...\n",
+		experiments.Figs4Scale.Nodes, experiments.Figs4Scale.MaxNodes, experiments.Figs4Scale.Invocations)
+	r, err := experiments.Figs4Elasticity(context.Background(), experiments.Options{Seed: 42, Reps: 1})
+	if err != nil {
+		return nil, err
+	}
+	res, ok := r.(*experiments.Figs4Result)
+	if !ok {
+		return nil, fmt.Errorf("benchkit: figs4 returned %T, want *experiments.Figs4Result", r)
+	}
+
+	rep := &ElasticReport{
+		Schema:     ElasticSchema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+
+		Nodes:       res.Nodes,
+		MaxNodes:    res.MaxNodes,
+		Invocations: res.Invocations,
+		PeakRPM:     res.PeakRPM,
+		TroughRPM:   res.TroughRPM,
+		PeriodS:     res.Period,
+	}
+	for _, p := range res.Platforms {
+		rep.Cells = append(rep.Cells, ElasticCell{
+			Platform:           p.Name,
+			Completed:          p.Completed,
+			Abandoned:          p.Abandoned,
+			P50LatencyS:        p.Latency.P50,
+			P99LatencyS:        p.Latency.P99,
+			PeakBacklog:        p.PeakPending,
+			PeakNodes:          p.Scale.PeakNodes,
+			NodeSeconds:        p.NodeSeconds,
+			ScaleUps:           p.Scale.ScaleUps,
+			ScaleDowns:         p.Scale.ScaleDowns,
+			Drains:             p.Scale.Drains,
+			DrainEvictions:     p.Scale.DrainEvictions,
+			ScaleAborts:        p.Scale.ScaleAborts,
+			LeakedLoans:        p.LeakedLoans,
+			CapacityViolations: p.CapacityViolations,
+		})
+		rep.LeakedLoans += p.LeakedLoans
+		rep.CapacityViolations += p.CapacityViolations
+	}
+
+	var ns50, ns1000 float64
+	for _, bm := range []Bench{
+		{Name: "HotLibraSparse50", F: BenchLibraSparse50},
+		{Name: "HotLibraSparse200", F: BenchLibraSparse200},
+		{Name: "HotLibraSparse1000", F: BenchLibraSparse1000},
+	} {
+		br := measureBench(bm)
+		fmt.Fprintf(w, "Benchmark%-24s %12d %14.1f ns/op %8d B/op %6d allocs/op\n",
+			br.Name, br.Iterations, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
+		rep.Decision = append(rep.Decision, br)
+		switch bm.Name {
+		case "HotLibraSparse50":
+			ns50 = br.NsPerOp
+		case "HotLibraSparse1000":
+			ns1000 = br.NsPerOp
+		}
+	}
+	if ns50 > 0 {
+		rep.DecisionRatio1000 = ns1000 / ns50
+		// 20× the nodes; sub-linear means the decision pays well under
+		// half the node ratio.
+		rep.SubLinear = rep.DecisionRatio1000 < 10
+	}
+	rep.WallSeconds = time.Since(start).Seconds()
+	return rep, nil
+}
+
+// measureBench runs one registered benchmark through testing.Benchmark.
+func measureBench(bm Bench) BenchResult {
+	r := testing.Benchmark(bm.F)
+	br := BenchResult{
+		Name:        bm.Name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if br.NsPerOp > 0 {
+		br.OpsPerSec = 1e9 / br.NsPerOp
+	}
+	return br
+}
+
+// Write emits the report as indented JSON.
+func (r *ElasticReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

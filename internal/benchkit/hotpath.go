@@ -32,6 +32,7 @@ func HotPath() []Bench {
 		{Name: "HotOverloadReplay8000", F: BenchOverloadReplay8000},
 		{Name: "HotLibraSparse50", F: BenchLibraSparse50},
 		{Name: "HotLibraSparse200", F: BenchLibraSparse200},
+		{Name: "HotLibraSparse1000", F: BenchLibraSparse1000},
 	}
 }
 
@@ -168,7 +169,7 @@ func BenchPlatformMultiNode(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		platform.MustNew(platform.PresetLibra(platform.MultiNode(), 42)).Run(set)
+		mustPlatform(platform.PresetLibra(platform.MultiNode(), 42)).Run(set)
 	}
 }
 
@@ -183,7 +184,7 @@ func benchOverloadReplay(b *testing.B, n int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		platform.MustNew(platform.PresetLibra(platform.Jetstream(6, 2), 42)).Run(set)
+		mustPlatform(platform.PresetLibra(platform.Jetstream(6, 2), 42)).Run(set)
 	}
 }
 
@@ -251,3 +252,20 @@ func BenchLibraSparse50(b *testing.B) { benchLibraSparse(b, 50) }
 // BenchLibraSparse200 is the same decision at 4× the node count; the
 // 50-vs-200 ratio is the sub-linearity acceptance gate.
 func BenchLibraSparse200(b *testing.B) { benchLibraSparse(b, 200) }
+
+// BenchLibraSparse1000 is the decision at the figs4 elastic ceiling —
+// the width an autoscaled cluster reaches at the diurnal peak. The
+// 50-vs-1000 ratio extends the sub-linearity gate across the full
+// elastic range: 20× the nodes must cost far less than 20× per decision.
+func BenchLibraSparse1000(b *testing.B) { benchLibraSparse(b, 1000) }
+
+// mustPlatform builds a sim-engine platform from a preset config,
+// panicking on the impossible invalid-config case (presets are correct
+// by construction).
+func mustPlatform(cfg platform.Config) *platform.Platform {
+	p, err := platform.New(sim.NewEngine(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -8,8 +8,10 @@ package cliflags
 import (
 	"flag"
 
+	"libra/internal/cluster"
 	"libra/internal/core"
 	"libra/internal/faults"
+	"libra/internal/platform"
 )
 
 // Common holds the flags every command shares.
@@ -95,6 +97,62 @@ func AddFaults(fs *flag.FlagSet) *Faults {
 	fs.Float64Var(&f.StragglerFactor, "fault-straggler-factor", 0, "straggler duration multiplier (0 = default)")
 	fs.IntVar(&f.MaxRetries, "fault-retries", 0, "per-invocation retry budget (0 = default, negative = fail fast)")
 	return f
+}
+
+// Scale holds the elastic-node-group flags shared by libra-sim and
+// libra-serve.
+type Scale struct {
+	NodeGroup  string
+	BacklogHi  int
+	BacklogLo  int
+	UtilHi     float64
+	UtilLo     float64
+	Interval   float64
+	Cooldown   float64
+	StepUp     int
+	StepDown   int
+	DrainGrace float64
+}
+
+// AddScale registers -nodegroup and the -scale-* tuning flags on fs.
+func AddScale(fs *flag.FlagSet) *Scale {
+	s := &Scale{}
+	fs.StringVar(&s.NodeGroup, "nodegroup", "", `elastic node group as "min:desired:max" (empty desired = min; empty = fixed fleet)`)
+	fs.IntVar(&s.BacklogHi, "scale-backlog-hi", 0, "ready-queue depth that triggers scale-up (0 = default 1)")
+	fs.IntVar(&s.BacklogLo, "scale-backlog-lo", 0, "ready-queue depth at or below which scale-down is considered")
+	fs.Float64Var(&s.UtilHi, "scale-util-hi", 0, "reservation-pressure watermark for scale-up (0 = default 0.85)")
+	fs.Float64Var(&s.UtilLo, "scale-util-lo", 0, "reservation-pressure watermark for scale-down (0 = default 0.35)")
+	fs.Float64Var(&s.Interval, "scale-interval", 0, "controller evaluation period in seconds (0 = default 1)")
+	fs.Float64Var(&s.Cooldown, "scale-cooldown", 0, "minimum spacing between scale decisions in seconds (0 = default 5)")
+	fs.IntVar(&s.StepUp, "scale-step-up", 0, "nodes added per scale-up decision (0 = default 1)")
+	fs.IntVar(&s.StepDown, "scale-step-down", 0, "nodes drained per scale-down decision (0 = default 1)")
+	fs.Float64Var(&s.DrainGrace, "scale-drain-grace", 0, "longest a draining node waits for stragglers in seconds (0 = default 30)")
+	return s
+}
+
+// Config resolves the flags into a platform.AutoscaleConfig, parsing the
+// -nodegroup spec. An empty -nodegroup yields the zero (disabled) config
+// regardless of the tuning flags.
+func (s *Scale) Config() (platform.AutoscaleConfig, error) {
+	if s.NodeGroup == "" {
+		return platform.AutoscaleConfig{}, nil
+	}
+	g, err := cluster.ParseNodeGroup(s.NodeGroup)
+	if err != nil {
+		return platform.AutoscaleConfig{}, err
+	}
+	return platform.AutoscaleConfig{
+		Group:      g,
+		BacklogHi:  s.BacklogHi,
+		BacklogLo:  s.BacklogLo,
+		UtilHi:     s.UtilHi,
+		UtilLo:     s.UtilLo,
+		Interval:   s.Interval,
+		Cooldown:   s.Cooldown,
+		StepUp:     s.StepUp,
+		StepDown:   s.StepDown,
+		DrainGrace: s.DrainGrace,
+	}, nil
 }
 
 // Config resolves the flags into a faults.Config. -chaos fills in a

@@ -1,0 +1,74 @@
+package cliflags
+
+import (
+	"flag"
+	"testing"
+)
+
+// TestScaleConfig pins the flag→config resolution: no -nodegroup means
+// a zero (disabled) config even with tuning flags set, a parsed group
+// carries every tuning knob through, and a malformed spec errors.
+func TestScaleConfig(t *testing.T) {
+	t.Run("disabled", func(t *testing.T) {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		s := AddScale(fs)
+		if err := fs.Parse([]string{"-scale-step-up", "4"}); err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := s.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Enabled() {
+			t.Fatalf("config enabled without -nodegroup: %+v", cfg)
+		}
+		if cfg.StepUp != 0 {
+			t.Fatal("tuning flags leaked into the disabled config")
+		}
+	})
+
+	t.Run("full", func(t *testing.T) {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		s := AddScale(fs)
+		args := []string{
+			"-nodegroup", "2:4:16",
+			"-scale-backlog-hi", "8", "-scale-backlog-lo", "2",
+			"-scale-util-hi", "0.9", "-scale-util-lo", "0.3",
+			"-scale-interval", "2", "-scale-cooldown", "10",
+			"-scale-step-up", "4", "-scale-step-down", "2",
+			"-scale-drain-grace", "45",
+		}
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := s.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cfg.Enabled() {
+			t.Fatal("parsed group left the config disabled")
+		}
+		if cfg.Group.Min != 2 || cfg.Group.Desired != 4 || cfg.Group.Max != 16 {
+			t.Fatalf("group = %+v, want 2:4:16", cfg.Group)
+		}
+		if cfg.BacklogHi != 8 || cfg.BacklogLo != 2 || cfg.UtilHi != 0.9 || cfg.UtilLo != 0.3 ||
+			cfg.Interval != 2 || cfg.Cooldown != 10 || cfg.StepUp != 4 || cfg.StepDown != 2 ||
+			cfg.DrainGrace != 45 {
+			t.Fatalf("tuning flags did not carry through: %+v", cfg)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("resolved config invalid: %v", err)
+		}
+	})
+
+	t.Run("malformed", func(t *testing.T) {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		s := AddScale(fs)
+		if err := fs.Parse([]string{"-nodegroup", "4:2"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Config(); err == nil {
+			t.Fatal("malformed -nodegroup did not error")
+		}
+	})
+}

@@ -180,7 +180,9 @@ type Node struct {
 	coldStarts    int
 	completions   int
 
-	down bool // crashed and not yet repaired
+	down     bool // crashed and not yet repaired
+	draining bool // scale-down drain: no new admissions, running work finishes
+	retired  bool // removed from the cluster by scale-down (parked for reuse)
 
 	// Tracer, if set, records the node-side lifecycle events (container
 	// acquisition, execution start, safeguard retreats, OOM kills, crash
@@ -273,9 +275,9 @@ func (n *Node) pruneWarm(app string) {
 }
 
 // CanAdmit reports whether a user reservation fits in the free capacity.
-// A crashed node admits nothing until it recovers.
+// A crashed, draining or retired node admits nothing.
 func (n *Node) CanAdmit(user resources.Vector) bool {
-	if n.down {
+	if n.down || n.draining || n.retired {
 		return false
 	}
 	return n.committed.Add(user).Fits(n.cap)
@@ -283,6 +285,15 @@ func (n *Node) CanAdmit(user resources.Vector) bool {
 
 // Down reports whether the node is crashed and awaiting repair.
 func (n *Node) Down() bool { return n.down }
+
+// Draining reports whether the node is in a scale-down drain: it admits
+// nothing, but in-flight invocations run to completion.
+func (n *Node) Draining() bool { return n.draining }
+
+// Retired reports whether the node has been removed by scale-down. A
+// retired node is parked — Unretire revives it on the next scale-up, so
+// node IDs stay dense and bounded by peak membership.
+func (n *Node) Retired() bool { return n.retired }
 
 // UsageNow returns the resources invocations are actually keeping busy.
 // It reads an incrementally-maintained aggregate (see aggAdd/aggSub):
@@ -382,8 +393,9 @@ func (n *Node) UsageIntegrals() (usageCPU, usageMem, allocCPU, allocMem float64)
 // completion. It panics if the reservation does not fit — the scheduler
 // must have checked CanAdmit.
 func (n *Node) Start(inv *Invocation, opts StartOptions) {
-	if n.down {
-		panic(fmt.Sprintf("cluster: node %d is down; scheduler placed invocation %d on it", n.id, inv.ID))
+	if n.down || n.draining || n.retired {
+		panic(fmt.Sprintf("cluster: node %d is not admitting (down=%v draining=%v retired=%v); scheduler placed invocation %d on it",
+			n.id, n.down, n.draining, n.retired, inv.ID))
 	}
 	reserve := inv.Reservation()
 	if !n.CanAdmit(reserve) {
@@ -965,11 +977,62 @@ func (n *Node) Crash() []*Invocation {
 }
 
 // Recover repairs a crashed node: it comes back empty — cold container
-// cache, empty harvest pools, zero commitments — and admits again.
+// cache, empty harvest pools, zero commitments — and admits again. A
+// retired node stays parked: the fault injector's repair schedule keeps
+// firing for every armed node ID, and scale-down must win over it.
 func (n *Node) Recover() {
-	if !n.down {
+	if !n.down || n.retired {
 		return
 	}
 	n.accumulate() // close the zero-usage downtime interval
+	n.down = false
+}
+
+// Drain begins a scale-down drain: the node stops admitting, its warm
+// container pool is evicted immediately (the capacity is leaving, so the
+// cache must not hold it), and in-flight invocations run to completion.
+// Returns how many warm containers were evicted. No-op when already
+// draining or retired.
+func (n *Node) Drain() int {
+	if n.draining || n.retired {
+		return 0
+	}
+	n.draining = true
+	evicted := 0
+	for app, ws := range n.warm {
+		evicted += len(ws)
+		delete(n.warm, app)
+	}
+	n.evictions += evicted
+	return evicted
+}
+
+// Retire removes the node from the cluster at the end of a scale-down
+// drain. Any stragglers still in flight abort exactly as in a crash —
+// events disarmed, reservations and bonuses returned, outstanding loans
+// revoked via ReleaseAll so nothing leaks when the capacity leaves — and
+// the node parks until Unretire. Aborted invocations return in
+// ascending-ID order for deterministic recovery replay.
+func (n *Node) Retire() []*Invocation {
+	if n.retired {
+		return nil
+	}
+	aborted := n.Crash() // nil when the node already crashed
+	n.retired = true
+	n.draining = false
+	return aborted
+}
+
+// Unretire revives a parked node for scale-up: it rejoins empty — cold
+// container cache, empty pools, zero commitments — exactly like a
+// repaired crash. Reviving parked nodes first keeps node IDs dense and
+// bounded by peak membership. No-op unless retired.
+func (n *Node) Unretire() {
+	if !n.retired {
+		return
+	}
+	n.retired = false
+	n.draining = false
+	n.accumulate() // close the zero-usage parked interval
 	n.down = false
 }

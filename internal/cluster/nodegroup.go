@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"libra/internal/resources"
+)
+
+// NodeGroup is an elastic node-pool profile, modeled on EKS nodegroup
+// profiles: a named group with a size band (min ≤ desired ≤ max) and one
+// instance shape (per-node capacity) shared by every member. The
+// autoscale controller moves the live member count inside [Min, Max];
+// Desired is where the cluster boots. Heterogeneous clusters compose
+// from a fixed base fleet plus one elastic group whose instance shape
+// may differ from the base nodes'.
+type NodeGroup struct {
+	// Name labels the group in stats and scale events.
+	Name string
+	// Min is the floor the controller never drains below.
+	Min int
+	// Max is the ceiling the controller never grows past.
+	Max int
+	// Desired is the boot-time member count. 0 defaults to Min.
+	Desired int
+	// Cap is the per-node instance shape. Zero means "same as the base
+	// fleet" (the platform substitutes its NodeCap).
+	Cap resources.Vector
+}
+
+// WithDefaults resolves the zero-value sentinels: an empty name becomes
+// "default", Desired floors at Min.
+func (g NodeGroup) WithDefaults() NodeGroup {
+	if g.Name == "" {
+		g.Name = "default"
+	}
+	if g.Desired < g.Min {
+		g.Desired = g.Min
+	}
+	return g
+}
+
+// Validate reports the first invalid field by name. The zero group is
+// invalid — use Enabled to test for "no elastic group configured".
+func (g NodeGroup) Validate() error {
+	if g.Min < 0 {
+		return fmt.Errorf("cluster: NodeGroup %q: Min must be non-negative (got %d)", g.Name, g.Min)
+	}
+	if g.Max < 1 {
+		return fmt.Errorf("cluster: NodeGroup %q: Max must be at least 1 (got %d)", g.Name, g.Max)
+	}
+	if g.Min > g.Max {
+		return fmt.Errorf("cluster: NodeGroup %q: Min (%d) exceeds Max (%d)", g.Name, g.Min, g.Max)
+	}
+	if g.Desired != 0 && (g.Desired < g.Min || g.Desired > g.Max) {
+		return fmt.Errorf("cluster: NodeGroup %q: Desired (%d) outside [%d, %d]", g.Name, g.Desired, g.Min, g.Max)
+	}
+	if g.Cap.CPU < 0 || g.Cap.Mem < 0 {
+		return fmt.Errorf("cluster: NodeGroup %q: Cap must be non-negative, got %v", g.Name, g.Cap)
+	}
+	return nil
+}
+
+// Enabled reports whether the group is configured (the zero value means
+// the cluster is a fixed fleet).
+func (g NodeGroup) Enabled() bool { return g != NodeGroup{} }
+
+// ParseNodeGroup parses the CLI form "min:desired:max" (e.g. "2:4:16").
+// Desired may be empty ("2::16") to default to Min.
+func ParseNodeGroup(s string) (NodeGroup, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return NodeGroup{}, fmt.Errorf("cluster: nodegroup %q: want min:desired:max", s)
+	}
+	atoi := func(field, v string, dflt int) (int, error) {
+		if v == "" {
+			return dflt, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: nodegroup %q: bad %s %q", s, field, v)
+		}
+		return n, nil
+	}
+	var g NodeGroup
+	var err error
+	if g.Min, err = atoi("min", parts[0], 0); err != nil {
+		return NodeGroup{}, err
+	}
+	if g.Desired, err = atoi("desired", parts[1], 0); err != nil {
+		return NodeGroup{}, err
+	}
+	if g.Max, err = atoi("max", parts[2], 0); err != nil {
+		return NodeGroup{}, err
+	}
+	g = g.WithDefaults()
+	if err := g.Validate(); err != nil {
+		return NodeGroup{}, err
+	}
+	return g, nil
+}
+
+// String renders the group in the CLI form.
+func (g NodeGroup) String() string {
+	return fmt.Sprintf("%s[%d:%d:%d]", g.Name, g.Min, g.Desired, g.Max)
+}

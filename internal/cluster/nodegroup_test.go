@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"libra/internal/resources"
+	"libra/internal/sim"
+)
+
+func TestParseNodeGroup(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    NodeGroup
+		wantErr string // substring; "" = valid
+	}{
+		{in: "2:4:16", want: NodeGroup{Name: "default", Min: 2, Desired: 4, Max: 16}},
+		{in: "2::16", want: NodeGroup{Name: "default", Min: 2, Desired: 2, Max: 16}},
+		{in: "0:0:4", want: NodeGroup{Name: "default", Min: 0, Desired: 0, Max: 4}},
+		// An explicit desired below min is clamped up, not rejected:
+		// WithDefaults floors Desired at Min before validation.
+		{in: "2:1:8", want: NodeGroup{Name: "default", Min: 2, Desired: 2, Max: 8}},
+		{in: "1:2", wantErr: "want min:desired:max"},
+		{in: "", wantErr: "want min:desired:max"},
+		{in: "a:2:3", wantErr: "bad min"},
+		{in: "1:b:3", wantErr: "bad desired"},
+		{in: "1:2:c", wantErr: "bad max"},
+		{in: "5:5:3", wantErr: "exceeds Max"},
+		{in: "2:20:8", wantErr: "outside"},
+		{in: "-1:0:4", wantErr: "Min must be non-negative"},
+		{in: "0:0:0", wantErr: "Max must be at least 1"},
+	}
+	for _, tc := range cases {
+		g, err := ParseNodeGroup(tc.in)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ParseNodeGroup(%q) err = %v, want error containing %q", tc.in, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseNodeGroup(%q): %v", tc.in, err)
+			continue
+		}
+		if g != tc.want {
+			t.Errorf("ParseNodeGroup(%q) = %+v, want %+v", tc.in, g, tc.want)
+		}
+	}
+}
+
+func TestNodeGroupEnabled(t *testing.T) {
+	if (NodeGroup{}).Enabled() {
+		t.Error("zero NodeGroup reports enabled")
+	}
+	if !(NodeGroup{Max: 4}).Enabled() {
+		t.Error("configured NodeGroup reports disabled")
+	}
+	if got := (NodeGroup{Name: "spot", Min: 1, Desired: 2, Max: 4}).String(); got != "spot[1:2:4]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestNodeDrainEvictsWarmAndBlocksAdmission pins the scale-down drain
+// contract: draining stops admission immediately, evicts every warm
+// container, leaves running work untouched, and is idempotent.
+func TestNodeDrainEvictsWarmAndBlocksAdmission(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH")
+	n.Start(mkInv(1, dh, resources.Cores(2), 256, 1), StartOptions{OwnAlloc: dh.UserAlloc})
+	eng.Run() // completes, leaving one warm container behind
+
+	if n.WarmContainers(dh.Name) != 1 {
+		t.Fatalf("warm containers = %d, want 1", n.WarmContainers(dh.Name))
+	}
+	if !n.CanAdmit(dh.UserAlloc) {
+		t.Fatal("healthy node refuses admission")
+	}
+	if got := n.Drain(); got != 1 {
+		t.Fatalf("Drain evicted %d warm containers, want 1", got)
+	}
+	if !n.Draining() {
+		t.Fatal("node not draining after Drain")
+	}
+	if n.WarmContainers(dh.Name) != 0 {
+		t.Fatal("warm container survived the drain")
+	}
+	if n.CanAdmit(dh.UserAlloc) {
+		t.Fatal("draining node still admits")
+	}
+	if got := n.Drain(); got != 0 {
+		t.Fatalf("second Drain evicted %d, want 0 (idempotent)", got)
+	}
+}
+
+// TestNodeRetireAbortsStragglersAndUnretireRevives pins the retire path:
+// a straggler still running at retire aborts through the crash machinery
+// (reservation returned), and Unretire brings the parked node back as a
+// clean admittable member.
+func TestNodeRetireAbortsStragglersAndUnretireRevives(t *testing.T) {
+	eng := sim.NewEngine()
+	n := newTestNode(eng)
+	dh := testApp(t, "DH")
+	straggler := mkInv(7, dh, resources.Cores(2), 256, 1e6)
+	n.Start(straggler, StartOptions{OwnAlloc: dh.UserAlloc})
+	eng.RunUntil(1) // past the cold start; the execution is in flight
+	if n.Running() != 1 {
+		t.Fatalf("running = %d, want 1", n.Running())
+	}
+
+	n.Drain()
+	aborted := n.Retire()
+	if len(aborted) != 1 || aborted[0] != straggler {
+		t.Fatalf("Retire aborted %d invocations, want the straggler", len(aborted))
+	}
+	if !n.Retired() || n.Draining() {
+		t.Fatalf("retired=%v draining=%v, want retired only", n.Retired(), n.Draining())
+	}
+	if !n.Committed().IsZero() {
+		t.Fatalf("committed = %v after retire, want zero", n.Committed())
+	}
+	if n.CanAdmit(dh.UserAlloc) {
+		t.Fatal("retired node admits")
+	}
+	if again := n.Retire(); again != nil {
+		t.Fatal("second Retire aborted work (not idempotent)")
+	}
+
+	n.Unretire()
+	if n.Retired() || n.Down() || n.Draining() {
+		t.Fatal("Unretire left state flags set")
+	}
+	if !n.CanAdmit(dh.UserAlloc) {
+		t.Fatal("revived node refuses admission")
+	}
+	fresh := mkInv(8, dh, resources.Cores(2), 256, 1)
+	n.OnComplete = func(i *Invocation) {}
+	n.Start(fresh, StartOptions{OwnAlloc: dh.UserAlloc})
+	eng.Run()
+	if n.Completions() != 1 {
+		t.Fatalf("revived node completed %d, want 1", n.Completions())
+	}
+}

@@ -71,7 +71,11 @@ type Config struct {
 	// Faults is the deterministic fault-injection schedule (node crashes,
 	// OOM kills, stragglers). The zero value disables every fault.
 	Faults faults.Config
-	Seed   int64
+	// Autoscale wires an elastic node group and its watermark controller
+	// on top of the testbed's fixed base fleet. The zero value keeps the
+	// cluster static.
+	Autoscale platform.AutoscaleConfig
+	Seed      int64
 	// Tracer, when non-nil, receives the run's invocation-lifecycle
 	// events (DESIGN.md §6e). nil disables tracing with zero overhead.
 	Tracer obs.Tracer
@@ -134,6 +138,7 @@ func (c Config) platformConfig() (platform.Config, error) {
 		return platform.Config{}, err
 	}
 	cfg.Faults = c.Faults
+	cfg.Autoscale = c.Autoscale
 	cfg.Tracer = c.Tracer
 	return cfg, nil
 }
@@ -166,6 +171,10 @@ type Report struct {
 	OOMKills  int `json:"oom_kills,omitempty"`
 	Retries   int `json:"retries,omitempty"`
 	Abandoned int `json:"abandoned,omitempty"`
+	// Autoscale outcomes; all zero (and omitted) on fixed-fleet runs.
+	ScaleUps   int64 `json:"scale_ups,omitempty"`
+	ScaleDowns int64 `json:"scale_downs,omitempty"`
+	PeakNodes  int64 `json:"peak_nodes,omitempty"`
 }
 
 // Clock is the time substrate a platform runs on, re-exported from
@@ -219,6 +228,9 @@ func RunOn(clk Clock, cfg Config, workload trace.Set) (*Report, error) {
 		OOMKills:    r.Faults.OOMKills,
 		Retries:     r.Faults.Retries,
 		Abandoned:   r.Faults.Abandoned,
+		ScaleUps:    r.Scale.ScaleUps,
+		ScaleDowns:  r.Scale.ScaleDowns,
+		PeakNodes:   r.Scale.PeakNodes,
 	}, nil
 }
 

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 
 	"libra/internal/clock"
+	"libra/internal/cluster"
 	"libra/internal/faults"
 	"libra/internal/function"
 	"libra/internal/obs"
+	"libra/internal/platform"
 	"libra/internal/trace"
 )
 
@@ -53,6 +56,60 @@ func TestWallDriverReplayMatchesSim(t *testing.T) {
 			}
 			t.Fatalf("%s: trace lengths diverge: sim %d events, wall %d", variant, simRec.Len(), wallRec.Len())
 		}
+	}
+}
+
+// TestWallDriverReplayMatchesSimAutoscale pins the elastic controller
+// into the replay guarantee: scale-ups, drains and retirements fire at
+// the same virtual instants — same node IDs, same abort sets — whether
+// the clock is the sim engine or the wall driver under a manual source.
+func TestWallDriverReplayMatchesSimAutoscale(t *testing.T) {
+	scale := platform.AutoscaleConfig{
+		Group:    cluster.NodeGroup{Name: "equiv", Max: 6},
+		Cooldown: 2,
+	}
+	// A front-loaded burst (deep backlog → scale-up) with a sparse tail
+	// that keeps the run alive through the lull so drains fire too.
+	set := trace.ConcurrentBurst(250, 13)
+	rng := rand.New(rand.NewSource(13))
+	apps := function.Apps()
+	for i := 0; i < 8; i++ {
+		app := apps[i%len(apps)]
+		set.Invocations = append(set.Invocations, trace.Invocation{
+			ID: int64(250 + i), App: app.Name, Arrival: 120 + 60*float64(i),
+			Input: app.SampleInput(rng),
+		})
+	}
+
+	simRec := obs.NewRecorder()
+	simCfg := Config{Variant: VariantLibra, Testbed: TestbedMultiNode, Seed: 13, Autoscale: scale, Tracer: simRec}
+	simRep, err := Run(simCfg, set)
+	if err != nil {
+		t.Fatalf("sim run: %v", err)
+	}
+	if simRep.ScaleUps == 0 || simRep.ScaleDowns == 0 {
+		t.Fatalf("scenario exercised no elasticity (ups=%d downs=%d)", simRep.ScaleUps, simRep.ScaleDowns)
+	}
+
+	wallRec := obs.NewRecorder()
+	wallCfg := Config{Variant: VariantLibra, Testbed: TestbedMultiNode, Seed: 13, Autoscale: scale, Tracer: wallRec}
+	wallRep, err := RunOn(clock.NewDriver(clock.NewManualSource()), wallCfg, set)
+	if err != nil {
+		t.Fatalf("wall run: %v", err)
+	}
+
+	if !reflect.DeepEqual(simRep, wallRep) {
+		t.Errorf("reports diverge under autoscale:\n sim:  %+v\n wall: %+v", simRep, wallRep)
+	}
+	if !reflect.DeepEqual(simRec.Events(), wallRec.Events()) {
+		n := min(simRec.Len(), wallRec.Len())
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(simRec.Events()[i], wallRec.Events()[i]) {
+				t.Fatalf("traces diverge at event %d:\n sim:  %+v\n wall: %+v",
+					i, simRec.Events()[i], wallRec.Events()[i])
+			}
+		}
+		t.Fatalf("trace lengths diverge: sim %d events, wall %d", simRec.Len(), wallRec.Len())
 	}
 }
 

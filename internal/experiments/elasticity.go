@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"libra/internal/cluster"
+	"libra/internal/metrics"
+	"libra/internal/platform"
+	"libra/internal/plot"
+	"libra/internal/trace"
+)
+
+// Figs4Scale pins the diurnal-elasticity geometry: a 50-node base fleet
+// with an elastic group allowed to grow the cluster to 1000 nodes,
+// driven by a sinusoidal Azure-shaped load whose peak (18000 RPM, the
+// saturation point of the full 1000-node cluster at ~18 RPM/node)
+// demands twenty times the trough. The comparison brackets the elastic
+// run with the two static answers an operator could buy instead:
+// the base fleet alone (cheap, melts at the peaks) and the
+// peak-provisioned fleet (fast, idle most of the cycle). Four
+// schedulers, as in figs2/figs3: a 24-core Jetstream node divided
+// further than 4 ways yields slices under the 6-core apps'
+// reservation, which the admission guard would abandon as unplaceable.
+var Figs4Scale = struct {
+	Nodes, MaxNodes, Schedulers, Invocations int
+	PeakRPM, TroughRPM, Period               float64
+}{Nodes: 50, MaxNodes: 1000, Schedulers: 4, Invocations: 120_000,
+	PeakRPM: 18_000, TroughRPM: 900, Period: 400}
+
+// figs4Autoscale is the elastic cell's controller: wide steps and a
+// short cooldown so the group can track a 20× swing, with the stock
+// watermarks and drain grace.
+func figs4Autoscale(base, max int, quick bool) platform.AutoscaleConfig {
+	cfg := platform.AutoscaleConfig{
+		Group:    cluster.NodeGroup{Name: "diurnal", Max: max - base},
+		Interval: 5, Cooldown: 10,
+		StepUp: 25, StepDown: 25,
+	}
+	if quick {
+		cfg.Interval, cfg.Cooldown = 2, 5
+		cfg.StepUp, cfg.StepDown = 3, 3
+		cfg.DrainGrace = 15
+	}
+	return cfg
+}
+
+// Figs4Platform aggregates one provisioning strategy's replay.
+type Figs4Platform struct {
+	Name        string
+	Completed   int
+	Abandoned   int
+	Goodput     float64
+	PeakPending int
+	Completion  float64
+	Latency     metrics.Summary
+	// NodeSeconds integrates cluster membership over the replay — the
+	// cost axis elasticity trades against latency.
+	NodeSeconds float64
+	Scale       platform.ScaleStats
+	// Invariant audit (must both be zero: every drain reconciled).
+	LeakedLoans        int64
+	CapacityViolations int
+	Backlog            []BacklogPoint
+}
+
+// Figs4Result is the static-vs-elastic provisioning comparison.
+type Figs4Result struct {
+	Nodes, MaxNodes, Schedulers, Invocations int
+	PeakRPM, TroughRPM, Period               float64
+	Platforms                                []Figs4Platform
+}
+
+// Figs4Elasticity replays the same diurnal trace on three provisioning
+// strategies of the Libra platform: the static base fleet, the static
+// peak-provisioned fleet, and the elastic node group scaling between
+// them under the watermark controller. Quick mode keeps the 20× swing
+// on a 5→20-node slice.
+func Figs4Elasticity(ctx context.Context, o Options) (Renderer, error) {
+	o.defaults()
+	sc := Figs4Scale
+	if o.Quick {
+		// Same shape on a 5→20-node slice: the 600-RPM peak wants ~33
+		// nodes (transient backlog even at the cap), the 330-RPM mean
+		// fits inside the 20-node knee, and the trough idles the cap.
+		sc.Nodes, sc.MaxNodes, sc.Schedulers, sc.Invocations = 5, 20, 2, 2_000
+		sc.PeakRPM, sc.TroughRPM, sc.Period = 600, 60, 120
+	}
+	prep := func(cfg platform.Config, name string) platform.Config {
+		cfg.Name = name
+		cfg.TrackBacklog = true
+		cfg.SampleInterval = 5
+		return cfg
+	}
+	elastic := prep(platform.PresetLibra(platform.Jetstream(sc.Nodes, sc.Schedulers), o.Seed), "libra-elastic")
+	elastic.Autoscale = figs4Autoscale(sc.Nodes, sc.MaxNodes, o.Quick)
+	mkSet := func(seed int64) trace.Set {
+		return trace.DiurnalSet(sc.Invocations, sc.PeakRPM, sc.TroughRPM, sc.Period, seed)
+	}
+	cells := []cell{
+		{cfg: prep(platform.PresetLibra(platform.Jetstream(sc.Nodes, sc.Schedulers), o.Seed),
+			fmt.Sprintf("libra-static-%d", sc.Nodes)), mkSet: mkSet},
+		{cfg: prep(platform.PresetLibra(platform.Jetstream(sc.MaxNodes, sc.Schedulers), o.Seed),
+			fmt.Sprintf("libra-static-%d", sc.MaxNodes)), mkSet: mkSet},
+		{cfg: elastic, mkSet: mkSet},
+	}
+	runs, err := singleRuns(ctx, o, cells)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figs4Result{Nodes: sc.Nodes, MaxNodes: sc.MaxNodes, Schedulers: sc.Schedulers,
+		Invocations: sc.Invocations, PeakRPM: sc.PeakRPM, TroughRPM: sc.TroughRPM, Period: sc.Period}
+	for i, r := range runs {
+		p := Figs4Platform{
+			Name:               cells[i].cfg.Name,
+			Completed:          len(r.Records),
+			Abandoned:          r.Faults.Abandoned,
+			Goodput:            r.Goodput(),
+			PeakPending:        r.PeakPending,
+			Completion:         r.CompletionTime,
+			Latency:            metrics.Summarize(r.Latencies()),
+			NodeSeconds:        nodeSeconds(r.Backlog, r.CompletionTime),
+			Scale:              r.Scale,
+			LeakedLoans:        r.LeakedLoans,
+			CapacityViolations: r.CapacityViolations,
+			Backlog:            downsampleBacklog(r.Backlog, 80),
+		}
+		res.Platforms = append(res.Platforms, p)
+	}
+	return res, nil
+}
+
+// nodeSeconds step-integrates the sampled membership over the replay —
+// each sample's node count holds until the next sample, the last until
+// completion. Static fleets report width × completion exactly.
+func nodeSeconds(samples []platform.BacklogSample, completion float64) float64 {
+	total := 0.0
+	for i, s := range samples {
+		end := completion
+		if i+1 < len(samples) {
+			end = samples[i+1].T
+		}
+		if end > s.T {
+			total += float64(s.Nodes) * (end - s.T)
+		}
+	}
+	return total
+}
+
+// Render implements Renderer. Virtual time only, so the golden test pins
+// it byte-for-byte.
+func (r *Figs4Result) Render(w io.Writer) {
+	t := tw(w)
+	fmt.Fprintf(t, "figs4 — diurnal elasticity: %d→%d nodes, %d schedulers, %d invocations, %.0f–%.0f RPM sinusoid (period %.0fs)\n",
+		r.Nodes, r.MaxNodes, r.Schedulers, r.Invocations, r.TroughRPM, r.PeakRPM, r.Period)
+	fmt.Fprintln(t, "platform\tcompleted\tabandoned\tgoodput\tp50 lat\tp99 lat\tpeak backlog\tpeak nodes\tnode-secs\tups\tdowns\tdrain evictions\taborted")
+	for _, p := range r.Platforms {
+		peak := p.Scale.PeakNodes
+		if peak == 0 { // static fleet: scale gauges are off, read the samples
+			for _, b := range p.Backlog {
+				if int64(b.Nodes) > peak {
+					peak = int64(b.Nodes)
+				}
+			}
+		}
+		fmt.Fprintf(t, "%s\t%d\t%d\t%.3f\t%.2fs\t%.2fs\t%d\t%d\t%.0f\t%d\t%d\t%d\t%d\n",
+			p.Name, p.Completed, p.Abandoned, p.Goodput, p.Latency.P50, p.Latency.P99,
+			p.PeakPending, peak, p.NodeSeconds,
+			p.Scale.ScaleUps, p.Scale.ScaleDowns, p.Scale.DrainEvictions, p.Scale.ScaleAborts)
+	}
+	t.Flush()
+
+	var leaked int64
+	violations := 0
+	for _, p := range r.Platforms {
+		leaked += p.LeakedLoans
+		violations += p.CapacityViolations
+	}
+	fmt.Fprintf(w, "drain invariants: %d leaked loan units, %d capacity violations (both must be 0)\n",
+		leaked, violations)
+
+	n := plot.Line("figs4 — cluster membership tracking the diurnal load", "virtual time (s)", "nodes")
+	for _, p := range r.Platforms {
+		s := plot.Series{Name: p.Name}
+		for _, b := range p.Backlog {
+			s.X = append(s.X, b.T)
+			s.Y = append(s.Y, float64(b.Nodes))
+		}
+		n.Add(s)
+	}
+	n.Render(w)
+
+	c := plot.Line("figs4 — backlog depth over the cycle", "virtual time (s)", "pending invocations")
+	for _, p := range r.Platforms {
+		s := plot.Series{Name: p.Name}
+		for _, b := range p.Backlog {
+			s.X = append(s.X, b.T)
+			s.Y = append(s.Y, float64(b.Pending))
+		}
+		c.Add(s)
+	}
+	c.Render(w)
+}
+
+func init() {
+	register("figs4", "Diurnal elasticity: static vs elastic node groups on a 20× load swing", Figs4Elasticity)
+}

@@ -27,6 +27,7 @@ import (
 
 	"libra/internal/obs"
 	"libra/internal/platform"
+	"libra/internal/sim"
 	"libra/internal/trace"
 )
 
@@ -172,7 +173,18 @@ func ByID(id string) (Experiment, error) {
 // runPlatform runs one platform config over a set, averaged metrics are
 // the caller's business; this returns the raw result.
 func runPlatform(cfg platform.Config, set trace.Set) *platform.Result {
-	return platform.MustNew(cfg).Run(set)
+	return mustPlatform(cfg).Run(set)
+}
+
+// mustPlatform builds a sim-engine platform from a preset config,
+// panicking on the impossible invalid-config case (presets are correct
+// by construction).
+func mustPlatform(cfg platform.Config) *platform.Platform {
+	p, err := platform.New(sim.NewEngine(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 func tw(w io.Writer) *tabwriter.Writer {

@@ -41,6 +41,7 @@ func TestRegistryComplete(t *testing.T) {
 		"figs2",  // beyond the paper: jetstream-scale replay
 		"figs2m", // beyond the paper: million-invocation endurance replay
 		"figs3",  // beyond the paper: sustained 2x-overload replay
+		"figs4",  // beyond the paper: diurnal elasticity, static vs elastic
 	}
 	all := All()
 	if len(all) != len(want) {

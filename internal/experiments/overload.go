@@ -37,6 +37,7 @@ type BacklogPoint struct {
 	Pending   int
 	Goodput   float64 // completed / (completed + abandoned) so far; 1 before either
 	Abandoned int
+	Nodes     int // cluster membership at sample time (figs4)
 }
 
 // Figs3Platform aggregates one platform's sustained-overload replay.
@@ -133,7 +134,7 @@ func downsampleBacklog(samples []platform.BacklogSample, max int) []BacklogPoint
 }
 
 func backlogPoint(s platform.BacklogSample) BacklogPoint {
-	p := BacklogPoint{T: s.T, Pending: s.Pending, Abandoned: s.Abandoned, Goodput: 1}
+	p := BacklogPoint{T: s.T, Pending: s.Pending, Abandoned: s.Abandoned, Goodput: 1, Nodes: s.Nodes}
 	if done := s.Completed + s.Abandoned; done > 0 {
 		p.Goodput = float64(s.Completed) / float64(done)
 	}

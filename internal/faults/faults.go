@@ -211,6 +211,7 @@ type Hooks struct {
 type Injector struct {
 	clk   clock.Clock
 	cfg   Config
+	seed  int64
 	hooks Hooks
 
 	nodes   []*nodeFaults
@@ -234,19 +235,39 @@ type nodeFaults struct {
 // CrashMTBF == 0 yields an injector that schedules nothing (but still
 // answers the per-invocation sampling queries through its config).
 func NewInjector(clk clock.Clock, cfg Config, seed int64, nodes int, hooks Hooks) *Injector {
-	inj := &Injector{clk: clk, cfg: cfg.withDefaults(), hooks: hooks}
+	inj := &Injector{clk: clk, cfg: cfg.withDefaults(), seed: seed, hooks: hooks}
 	if cfg.CrashMTBF <= 0 {
 		return inj
 	}
 	for i := 0; i < nodes; i++ {
-		nf := &nodeFaults{
-			id:  i,
-			rng: rand.New(rand.NewSource(seed ^ int64(i+1)*0x9e3779b9)),
-		}
-		inj.nodes = append(inj.nodes, nf)
-		inj.armCrash(nf)
+		inj.AddNode(i)
 	}
 	return inj
+}
+
+// AddNode arms the crash schedule for a node that joins after
+// construction (scale-up). The RNG stream derivation is identical to the
+// boot-time path, so a node's schedule is a pure function of (seed, id)
+// — independent of when it joined the cluster. A node ID that is already
+// armed (a parked node revived by scale-up) keeps its running schedule:
+// crash events on a retired node are absorbed by the platform's
+// crash-on-down no-op, so the stream stays aligned with a run where the
+// node never left.
+func (inj *Injector) AddNode(id int) {
+	if inj.cfg.CrashMTBF <= 0 || inj.stopped {
+		return
+	}
+	for _, nf := range inj.nodes {
+		if nf.id == id {
+			return
+		}
+	}
+	nf := &nodeFaults{
+		id:  id,
+		rng: rand.New(rand.NewSource(inj.seed ^ int64(id+1)*0x9e3779b9)),
+	}
+	inj.nodes = append(inj.nodes, nf)
+	inj.armCrash(nf)
 }
 
 func (inj *Injector) armCrash(nf *nodeFaults) {

@@ -160,6 +160,30 @@ func (t *UtilizationTracker) sample() {
 	t.samples = append(t.samples, s)
 }
 
+// Extend adds a node (joined by scale-up) to the sampled set and counts
+// its capacity into the denominator. Fixed-fleet runs never call this,
+// so their sampling is byte-identical to the pre-elastic tracker.
+func (t *UtilizationTracker) Extend(n *cluster.Node) {
+	for _, have := range t.nodes {
+		if have == n {
+			return
+		}
+	}
+	t.nodes = append(t.nodes, n)
+	c := n.Capacity()
+	t.capCPU += c.CPU.Cores()
+	t.capMem += float64(c.Mem)
+}
+
+// SetCapacity replaces the utilization denominator — the platform calls
+// it when membership changes (a retired node's capacity has left the
+// cluster, a revived one's has come back), so fractions track the
+// *current* fleet rather than the boot-time one.
+func (t *UtilizationTracker) SetCapacity(cpuCores, memMB float64) {
+	t.capCPU = cpuCores
+	t.capMem = memMB
+}
+
 // Stop halts sampling and cancels the armed sampling event, so a stopped
 // tracker leaves nothing in the engine's queue and the simulation drains
 // without stepping one more empty interval.

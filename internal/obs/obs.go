@@ -85,6 +85,16 @@ const (
 	// was still queued; it was dropped instead of executed late. Val is
 	// the attempt count at expiry.
 	KindDeadline
+	// KindScaleUp: the autoscale controller added Node to the cluster
+	// (fresh or revived from the parked pool); Val is the member count
+	// after the change. Inv is -1: scale events belong to no invocation.
+	KindScaleUp
+	// KindScaleDrain: the controller began draining Node for scale-down;
+	// Val is the warm containers evicted by the drain.
+	KindScaleDrain
+	// KindScaleDown: the controller retired Node; Val is the member count
+	// after the change.
+	KindScaleDown
 
 	kindCount // sentinel, keep last
 )
@@ -94,6 +104,7 @@ var kindNames = [kindCount]string{
 	"exec_start", "harvest", "loan_grant", "loan_revoke", "reharvest",
 	"expire", "bonus", "safeguard", "oom_kill", "crash_abort",
 	"complete", "abandon", "deadline_expired",
+	"scale_up", "scale_drain", "scale_down",
 }
 
 // String names the kind as it appears in the JSONL export.

@@ -1,0 +1,258 @@
+package platform
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"libra/internal/cluster"
+	"libra/internal/faults"
+	"libra/internal/function"
+	"libra/internal/obs"
+	"libra/internal/trace"
+)
+
+func TestAutoscaleConfigValidate(t *testing.T) {
+	group := cluster.NodeGroup{Max: 4}
+	cases := []struct {
+		name    string
+		cfg     AutoscaleConfig
+		wantErr string // substring; "" = valid
+	}{
+		{"zero", AutoscaleConfig{}, ""},
+		{"minimal", AutoscaleConfig{Group: group}, ""},
+		{"bad-group", AutoscaleConfig{Group: cluster.NodeGroup{Min: 5, Max: 2}}, "exceeds Max"},
+		{"negative-interval", AutoscaleConfig{Group: group, Interval: -1}, "Interval"},
+		{"negative-cooldown", AutoscaleConfig{Group: group, Cooldown: -1}, "Cooldown"},
+		{"negative-backlog", AutoscaleConfig{Group: group, BacklogHi: -1}, "backlog"},
+		{"backlog-band-inverted", AutoscaleConfig{Group: group, BacklogHi: 2, BacklogLo: 2}, "BacklogLo"},
+		{"util-band-inverted", AutoscaleConfig{Group: group, UtilHi: 0.2, UtilLo: 0.5}, "UtilLo"},
+		{"util-above-one", AutoscaleConfig{Group: group, UtilHi: 1.5}, "UtilHi"},
+		{"negative-step", AutoscaleConfig{Group: group, StepDown: -1}, "steps"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate: %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate: %v, want error naming %s", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// elasticConfig is the shared scenario: a deliberately narrow two-node
+// base fleet with an elastic group of up to six members, tuned to react
+// within a couple of controller ticks so short test runs see both
+// directions of scaling.
+func elasticConfig(seed int64) Config {
+	cfg := PresetLibra(Jetstream(2, 1), seed)
+	cfg.Autoscale = AutoscaleConfig{
+		Group:    cluster.NodeGroup{Name: "burst", Max: 6},
+		Cooldown: 2,
+	}
+	return cfg
+}
+
+// burstThenLull front-loads a concurrent burst (deep backlog, the
+// scale-up trigger) and keeps the run alive with a sparse tail so the
+// controller lives through the post-burst lull long enough to drain the
+// group back down.
+func burstThenLull(n int, seed int64) trace.Set {
+	set := trace.ConcurrentBurst(n, seed)
+	rng := rand.New(rand.NewSource(seed))
+	apps := function.Apps()
+	id := int64(n)
+	for at := 120.0; at <= 600; at += 60 {
+		app := apps[int(id)%len(apps)]
+		set.Invocations = append(set.Invocations, trace.Invocation{
+			ID: id, App: app.Name, Arrival: at, Input: app.SampleInput(rng),
+		})
+		id++
+	}
+	return set
+}
+
+// TestAutoscaleGrowsAndDrains is the controller's end-to-end contract: a
+// burst beyond the base fleet's capacity scales the group up, the
+// post-burst lull drains it back down, the member count never leaves
+// [base+Min, base+Max], and the run ends with zero leaked loans and zero
+// capacity violations.
+func TestAutoscaleGrowsAndDrains(t *testing.T) {
+	cfg := elasticConfig(1)
+	rec := obs.NewRecorder()
+	cfg.Tracer = rec
+	p := mustNew(cfg)
+	set := burstThenLull(300, 1)
+	r := p.Run(set)
+
+	if r.Scale.ScaleUps == 0 {
+		t.Fatal("burst never scaled the group up")
+	}
+	if r.Scale.ScaleDowns == 0 {
+		t.Fatal("lull never drained the group down")
+	}
+	if r.Scale.PeakNodes <= 2 {
+		t.Fatalf("peak nodes = %d, want > base fleet of 2", r.Scale.PeakNodes)
+	}
+	if r.Scale.PeakNodes > 8 {
+		t.Fatalf("peak nodes = %d, exceeds base 2 + max 6", r.Scale.PeakNodes)
+	}
+	if r.Scale.Drains < r.Scale.ScaleDowns {
+		t.Fatalf("%d retires but only %d drains began — a node left without draining",
+			r.Scale.ScaleDowns, r.Scale.Drains)
+	}
+	if r.LeakedLoans != 0 {
+		t.Fatalf("%d loan units leaked across scale-downs", r.LeakedLoans)
+	}
+	if r.CapacityViolations != 0 {
+		t.Fatalf("%d capacity violations", r.CapacityViolations)
+	}
+	if got := len(r.Records) + r.Faults.Abandoned; got != len(set.Invocations) {
+		t.Fatalf("%d completed + %d abandoned != %d offered",
+			len(r.Records), r.Faults.Abandoned, len(set.Invocations))
+	}
+
+	// Replay the scale events: membership must stay inside the band at
+	// every step, and every event must carry Inv -1 with a real node.
+	members := int64(2)
+	sawKinds := map[obs.Kind]bool{}
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case obs.KindScaleUp, obs.KindScaleDown:
+			members = int64(ev.Val)
+		case obs.KindScaleDrain:
+		default:
+			continue
+		}
+		sawKinds[ev.Kind] = true
+		if ev.Inv != -1 {
+			t.Fatalf("scale event carries Inv %d, want -1: %+v", ev.Inv, ev)
+		}
+		if ev.Node < 2 {
+			t.Fatalf("scale event targets base-fleet node %d: %+v", ev.Node, ev)
+		}
+		if members < 2 || members > 8 {
+			t.Fatalf("membership %d left [2, 8] at t=%.1f", members, ev.T)
+		}
+	}
+	for _, k := range []obs.Kind{obs.KindScaleUp, obs.KindScaleDrain, obs.KindScaleDown} {
+		if !sawKinds[k] {
+			t.Errorf("trace has no %v event", k)
+		}
+	}
+}
+
+// TestAutoscaleDeterministic pins the controller into the replay
+// guarantee: two runs of the same elastic scenario produce identical
+// traces and identical scale outcomes.
+func TestAutoscaleDeterministic(t *testing.T) {
+	run := func() (*Result, []obs.Event) {
+		cfg := elasticConfig(3)
+		rec := obs.NewRecorder()
+		cfg.Tracer = rec
+		p := mustNew(cfg)
+		return p.Run(burstThenLull(200, 3)), rec.Events()
+	}
+	r1, ev1 := run()
+	r2, ev2 := run()
+	if r1.Scale != r2.Scale {
+		t.Fatalf("scale outcomes diverge:\n first:  %+v\n second: %+v", r1.Scale, r2.Scale)
+	}
+	if r1.CompletionTime != r2.CompletionTime {
+		t.Fatalf("completion times diverge: %g vs %g", r1.CompletionTime, r2.CompletionTime)
+	}
+	if !reflect.DeepEqual(ev1, ev2) {
+		n := len(ev1)
+		if len(ev2) < n {
+			n = len(ev2)
+		}
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(ev1[i], ev2[i]) {
+				t.Fatalf("traces diverge at event %d:\n first:  %+v\n second: %+v", i, ev1[i], ev2[i])
+			}
+		}
+		t.Fatalf("trace lengths diverge: %d vs %d", len(ev1), len(ev2))
+	}
+}
+
+// TestAutoscaleGroupHonorsMinAndCap checks the structural knobs: Min
+// keeps members alive through a lull, and a custom group Cap gives the
+// members their own instance shape.
+func TestAutoscaleGroupHonorsMinAndCap(t *testing.T) {
+	cfg := PresetLibra(Jetstream(2, 1), 1)
+	groupCap := JetstreamCap
+	groupCap.CPU /= 2
+	cfg.Autoscale = AutoscaleConfig{
+		Group:    cluster.NodeGroup{Name: "pinned", Min: 2, Desired: 3, Max: 5, Cap: groupCap},
+		Cooldown: 2,
+	}
+	p := mustNew(cfg)
+	if got := len(p.Nodes()); got != 5 {
+		t.Fatalf("boot nodes = %d, want 2 base + 3 desired", got)
+	}
+	for _, n := range p.Nodes()[2:] {
+		if n.Capacity() != groupCap {
+			t.Fatalf("group node %d capacity %v, want %v", n.ID(), n.Capacity(), groupCap)
+		}
+	}
+	r := p.Run(burstThenLull(150, 1))
+	st := p.ScaleStats()
+	if st.Nodes < 4 {
+		t.Fatalf("final members = %d, want ≥ base 2 + min 2", st.Nodes)
+	}
+	if r.LeakedLoans != 0 || r.CapacityViolations != 0 {
+		t.Fatalf("leaked=%d violations=%d", r.LeakedLoans, r.CapacityViolations)
+	}
+}
+
+// TestAutoscaleDrainUnderChaosLeaksNothing is the safety property test:
+// scale-down drains racing a live fault schedule — node crashes, OOM
+// kills, stragglers — must reconcile every harvest loan and never leave
+// a node over capacity, across seeds. Drains, crashes and retirements
+// all funnel through the same abort/ReleaseAll machinery; this pins that
+// the composition stays airtight.
+func TestAutoscaleDrainUnderChaosLeaksNothing(t *testing.T) {
+	var totalDowns int64
+	for _, seed := range []int64{1, 2, 3, 5, 8} {
+		cfg := elasticConfig(seed)
+		cfg.Faults = faults.Config{
+			CrashMTBF:         120,
+			MTTR:              15,
+			OOMKill:           true,
+			StragglerFraction: 0.2,
+		}
+		p := mustNew(cfg)
+		set := burstThenLull(200, seed)
+		r := p.Run(set)
+		if r.LeakedLoans != 0 {
+			t.Errorf("seed %d: %d loan units leaked", seed, r.LeakedLoans)
+		}
+		if r.CapacityViolations != 0 {
+			t.Errorf("seed %d: %d capacity violations", seed, r.CapacityViolations)
+		}
+		if got := len(r.Records) + r.Faults.Abandoned; got != len(set.Invocations) {
+			t.Errorf("seed %d: %d completed + %d abandoned != %d offered",
+				seed, len(r.Records), r.Faults.Abandoned, len(set.Invocations))
+		}
+		for _, n := range p.Nodes() {
+			if got := n.CPUPool.OutstandingLoans() + n.MemPool.OutstandingLoans(); got != 0 {
+				t.Errorf("seed %d: node %d still holds %d loan units", seed, n.ID(), got)
+			}
+			if !n.Committed().Fits(n.Capacity()) {
+				t.Errorf("seed %d: node %d committed %v over capacity %v",
+					seed, n.ID(), n.Committed(), n.Capacity())
+			}
+		}
+		totalDowns += r.Scale.ScaleDowns
+	}
+	if totalDowns == 0 {
+		t.Error("no seed ever drained a node — the property test exercised nothing")
+	}
+}

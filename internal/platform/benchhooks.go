@@ -8,6 +8,7 @@ import (
 	"libra/internal/harvest"
 	"libra/internal/resources"
 	"libra/internal/scheduler"
+	"libra/internal/sim"
 )
 
 // BenchDrainHotPath measures the per-completion cost of the pending-queue
@@ -37,7 +38,11 @@ func BenchDrainHotPath(b *testing.B) {
 // that can cycle select → release to trigger drains. Shared by the hot
 // bench above and the zero-alloc regression test.
 func drainFixture(depth int) (p *Platform, s *scheduler.Shard, sreq scheduler.Request, small *cluster.Invocation) {
-	p = MustNew(PresetLibra(Jetstream(50, 4), 1))
+	var err error
+	p, err = New(sim.NewEngine(), PresetLibra(Jetstream(50, 4), 1))
+	if err != nil {
+		panic(err)
+	}
 	spec := function.Apps()[0]
 
 	// A reservation wider than any node keeps the backlog permanently

@@ -86,7 +86,7 @@ func TestDrainGatedEquivalentToFullRescan(t *testing.T) {
 						}
 						rec := obs.NewRecorder()
 						cfg.Tracer = rec
-						p := MustNew(cfg)
+						p := mustNew(cfg)
 						if reference {
 							installReference(p)
 						}
@@ -145,7 +145,7 @@ func TestFaultReleasesFeedDrainWatermark(t *testing.T) {
 	set := trace.JetstreamSet(1200, 240, 3)
 	cfg := PresetLibra(Jetstream(4, 2), 3)
 	cfg.Faults = faults.Config{CrashMTBF: 60, MTTR: 15, OOMKill: true, MaxRetries: 1}
-	p := MustNew(cfg)
+	p := mustNew(cfg)
 	r := p.Run(set)
 	if r.Faults.CrashAborts == 0 && r.Faults.OOMKills == 0 {
 		t.Fatal("no failures injected — scenario does not exercise the recovery paths")

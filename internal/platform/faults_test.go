@@ -6,6 +6,7 @@ import (
 
 	"libra/internal/faults"
 	"libra/internal/function"
+	"libra/internal/sim"
 	"libra/internal/trace"
 )
 
@@ -14,17 +15,17 @@ import (
 func TestValidateRejectsBadFaultConfig(t *testing.T) {
 	cfg := PresetLibra(SingleNode(), 1)
 	cfg.Faults = faults.Config{CrashMTBF: -10}
-	if _, err := NewSim(cfg); err == nil {
+	if _, err := New(sim.NewEngine(), cfg); err == nil {
 		t.Fatal("negative CrashMTBF accepted")
 	} else if !strings.Contains(err.Error(), "CrashMTBF") || !strings.Contains(err.Error(), cfg.Name) {
 		t.Fatalf("error %q names neither field nor config", err)
 	}
 	cfg.Faults = faults.Config{StragglerFraction: 2}
-	if _, err := NewSim(cfg); err == nil || !strings.Contains(err.Error(), "StragglerFraction") {
+	if _, err := New(sim.NewEngine(), cfg); err == nil || !strings.Contains(err.Error(), "StragglerFraction") {
 		t.Fatalf("StragglerFraction=2: err = %v, want field-naming error", err)
 	}
 	cfg.Faults = faults.Config{CrashMTBF: 600, MTTR: 30, OOMKill: true, StragglerFraction: 0.1}
-	if _, err := NewSim(cfg); err != nil {
+	if _, err := New(sim.NewEngine(), cfg); err != nil {
 		t.Fatalf("valid fault schedule rejected: %v", err)
 	}
 }
@@ -35,7 +36,7 @@ func TestValidateRejectsBadFaultConfig(t *testing.T) {
 func TestOOMRetreatStopsMemoryHarvest(t *testing.T) {
 	set := trace.SingleSet(4)
 	set.Invocations = set.Invocations[:100]
-	p := MustNew(PresetLibra(SingleNode(), 4))
+	p := mustNew(PresetLibra(SingleNode(), 4))
 	for _, spec := range function.Apps() {
 		p.sgCounts[spec.Name] = p.cfg.MemRetreatAfter // every app already retreated
 	}
@@ -62,7 +63,7 @@ func TestOOMRetreatDisabledKeepsHarvesting(t *testing.T) {
 	set.Invocations = set.Invocations[:100]
 	cfg := PresetLibra(SingleNode(), 4)
 	cfg.MemRetreatAfter = -1
-	p := MustNew(cfg)
+	p := mustNew(cfg)
 	for _, spec := range function.Apps() {
 		p.sgCounts[spec.Name] = 1000
 	}
@@ -83,7 +84,7 @@ func TestOOMRetreatResetsAcrossPlatforms(t *testing.T) {
 	cfg := PresetLibra(SingleNode(), 4)
 	cfg.MemRetreatAfter = 1
 
-	first := MustNew(cfg)
+	first := mustNew(cfg)
 	r1 := first.Run(set)
 	if r1.Safeguarded == 0 {
 		t.Skip("trace produced no safeguard triggers; retreat path not exercised")
@@ -97,7 +98,7 @@ func TestOOMRetreatResetsAcrossPlatforms(t *testing.T) {
 			total, r1.Safeguarded)
 	}
 
-	second := MustNew(cfg)
+	second := mustNew(cfg)
 	if len(second.sgCounts) != 0 {
 		t.Fatalf("fresh platform starts with %d retreat counts", len(second.sgCounts))
 	}
@@ -126,7 +127,7 @@ func TestFaultScheduleInvariants(t *testing.T) {
 			OOMKill:           true,
 			StragglerFraction: 0.2,
 		}
-		p := MustNew(cfg)
+		p := mustNew(cfg)
 		// One-shot probes along the virtual timeline: Run schedules the
 		// arrivals after these, so they interleave with the real events.
 		for ti := 1; ti <= 120; ti++ {

@@ -1,0 +1,14 @@
+package platform
+
+import "libra/internal/sim"
+
+// mustNew builds a platform on a fresh private sim engine, panicking on
+// an invalid config (configs in these tests are correct by
+// construction).
+func mustNew(cfg Config) *Platform {
+	p, err := New(sim.NewEngine(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

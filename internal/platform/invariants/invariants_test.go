@@ -8,6 +8,7 @@ import (
 	"libra/internal/faults"
 	"libra/internal/function"
 	"libra/internal/platform"
+	"libra/internal/sim"
 	"libra/internal/trace"
 )
 
@@ -31,7 +32,7 @@ func propPlatforms(seed int64) []platform.Config {
 // violation (nil when the whole run conserves).
 func runAudited(t *testing.T, cfg platform.Config, set trace.Set) error {
 	t.Helper()
-	p := platform.MustNew(cfg)
+	p := mustPlatform(cfg)
 	var firstErr error
 	events := 0
 	p.Engine().SetPostStep(func() {
@@ -91,7 +92,7 @@ func TestConservationAfterDrain(t *testing.T) {
 	set := trace.SingleSet(3)
 	set.Invocations = set.Invocations[:80]
 	for _, cfg := range propPlatforms(3) {
-		p := platform.MustNew(cfg)
+		p := mustPlatform(cfg)
 		p.Run(set)
 		for _, n := range p.Nodes() {
 			if !n.Committed().IsZero() {
@@ -108,4 +109,15 @@ func TestConservationAfterDrain(t *testing.T) {
 			}
 		}
 	}
+}
+
+// mustPlatform builds a sim-engine platform from a preset config,
+// panicking on the impossible invalid-config case (presets are correct
+// by construction).
+func mustPlatform(cfg platform.Config) *platform.Platform {
+	p, err := platform.New(sim.NewEngine(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }

@@ -17,7 +17,7 @@ func TestInvariantAllocationsWithinCapacity(t *testing.T) {
 		set.Invocations = set.Invocations[:100]
 		for _, cfg := range SixPlatforms(SingleNode(), seed) {
 			cfg.SampleInterval = 0.5
-			r := MustNew(cfg).Run(set)
+			r := mustNew(cfg).Run(set)
 			capCPU := SingleNodeCap.CPU.Cores()
 			capMem := float64(SingleNodeCap.Mem)
 			for _, s := range r.Samples {
@@ -46,7 +46,7 @@ func TestInvariantAllocationsWithinCapacity(t *testing.T) {
 func TestInvariantTimelineCoherence(t *testing.T) {
 	set := trace.MultiSet(300, 5)
 	for _, cfg := range SixPlatforms(MultiNode(), 5) {
-		r := MustNew(cfg).Run(set)
+		r := mustNew(cfg).Run(set)
 		if len(r.Records) != len(set.Invocations) {
 			t.Fatalf("%s: %d records for %d invocations", cfg.Name, len(r.Records), len(set.Invocations))
 		}
@@ -70,7 +70,7 @@ func TestInvariantTimelineCoherence(t *testing.T) {
 func TestInvariantLibraSafetyAcrossSeeds(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3, 5, 8, 13} {
 		set := trace.SingleSet(seed)
-		r := MustNew(PresetLibra(SingleNode(), seed)).Run(set)
+		r := mustNew(PresetLibra(SingleNode(), seed)).Run(set)
 		for _, rec := range r.Records {
 			if rec.Speedup < -0.2 {
 				t.Fatalf("seed %d: invocation %d of %s degraded %.0f%% despite safeguard",

@@ -16,7 +16,7 @@ func TestPingStalenessRegimes(t *testing.T) {
 	for _, interval := range []float64{-1, 0.2, 1, 5} {
 		cfg := PresetLibra(MultiNode(), 9)
 		cfg.PingInterval = interval
-		r := MustNew(cfg).Run(set)
+		r := mustNew(cfg).Run(set)
 		if len(r.Records) != len(set.Invocations) {
 			t.Fatalf("interval %g: lost invocations", interval)
 		}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 
 	"libra/internal/clock"
 	"libra/internal/cluster"
@@ -137,6 +138,11 @@ type Config struct {
 	// value disables every fault and keeps the platform byte-identical to
 	// a fault-free build; see faults.Config for the knobs.
 	Faults faults.Config
+	// Autoscale wires an elastic node group and its watermark controller
+	// on top of the fixed Nodes-wide base fleet. The zero value disables
+	// autoscaling and keeps the platform byte-identical to a fixed-fleet
+	// build; see AutoscaleConfig for the knobs.
+	Autoscale AutoscaleConfig
 	// Tracer, when non-nil, records the invocation-lifecycle trace
 	// (DESIGN.md §6e): every span event of every invocation, in engine
 	// order, with virtual timestamps. The nil default disables tracing
@@ -169,6 +175,9 @@ func (c *Config) Validate() error {
 	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("platform: config %q: %w", c.Name, err)
 	}
+	if err := c.Autoscale.Validate(); err != nil {
+		return fmt.Errorf("platform: config %q: %w", c.Name, err)
+	}
 	return nil
 }
 
@@ -196,6 +205,9 @@ func (c *Config) defaults() {
 	}
 	if c.PingInterval == 0 {
 		c.PingInterval = 1
+	}
+	if c.Autoscale.Enabled() {
+		c.Autoscale = c.Autoscale.withDefaults()
 	}
 }
 
@@ -254,6 +266,14 @@ type Result struct {
 	// queue, retry backoff or ready queue) — they were dropped instead of
 	// executed late. Always 0 unless deadlines are ingested (live mode).
 	DeadlineExpired int
+	// Unplaceable counts invocations abandoned at admission because their
+	// reservation exceeds the assigned scheduler's capacity slice of
+	// every node shape the cluster can ever contain — work no completion,
+	// recovery or scale-up could make placeable (the shard width divides
+	// node capacity below the reservation). Each is also counted in
+	// Faults.Abandoned, so conservation keeps closing. Nonzero means the
+	// configuration over-shards the cluster for its workload.
+	Unplaceable int
 	// AccelSuppressed counts dispatches whose harvest acceleration was
 	// withheld because the platform was in degraded mode: the invocation
 	// ran under its own (possibly still harvested-from) allocation, but
@@ -265,16 +285,23 @@ type Result struct {
 	PeakPending int
 	// Backlog is the backlog time series (only when Config.TrackBacklog).
 	Backlog []BacklogSample
+
+	// Scale is the autoscale controller's outcome (zero on a fixed-fleet
+	// run): decision counts, drain evictions, straggler aborts at retire,
+	// and the peak cluster width.
+	Scale ScaleStats
 }
 
 // BacklogSample is one point of the overload time series: how much work
-// was queued, running, done and given up at virtual time T.
+// was queued, running, done and given up at virtual time T, and how wide
+// the cluster was (member count; constant on fixed-fleet runs).
 type BacklogSample struct {
 	T         float64
 	Pending   int
 	Inflight  int
 	Completed int
 	Abandoned int
+	Nodes     int
 }
 
 // Goodput is the fraction of invocations that eventually completed
@@ -335,6 +362,29 @@ type Platform struct {
 	libras    []*scheduler.Libra
 
 	backlogTicker *clock.Ticker
+
+	// placeBound[i] holds shard i's capacity slice of every node shape
+	// this cluster can contain (the base fleet's cap, plus the elastic
+	// group's instance shape when autoscaling is armed). A reservation
+	// that fits none of its shard's slices can never be admitted —
+	// enqueueing it would hang a replay forever.
+	placeBound [][]resources.Vector
+
+	// Elastic node group (Config.Autoscale): baseNodes is the fixed base
+	// fleet width (node IDs below it never scale away); scale is the
+	// controller state, nil when autoscaling is disabled. The stat*
+	// atomics mirror the controller's counters for cross-goroutine reads
+	// (the serve layer's /stats); only the clock goroutine writes them.
+	baseNodes       int
+	scale           *scaler
+	statNodes       atomic.Int64
+	statDraining    atomic.Int64
+	statPeakNodes   atomic.Int64
+	statScaleUps    atomic.Int64
+	statScaleDowns  atomic.Int64
+	statDrains      atomic.Int64
+	statScaleAborts atomic.Int64
+	statDrainEvict  atomic.Int64
 
 	// Test seams for the drain-equivalence property test: when set and
 	// returning true they replace the watermark-gated ready queue with the
@@ -417,13 +467,30 @@ func New(clk clock.Clock, cfg Config) (*Platform, error) {
 	}
 	cfg.defaults()
 	p := &Platform{
-		cfg:      cfg,
-		clk:      clk,
-		inflight: make(map[harvest.ID]*queued),
-		sgCounts: make(map[string]int),
+		cfg:       cfg,
+		clk:       clk,
+		inflight:  make(map[harvest.ID]*queued),
+		sgCounts:  make(map[string]int),
+		baseNodes: cfg.Nodes,
 	}
-	for i := 0; i < cfg.Nodes; i++ {
-		n := cluster.NewNode(p.clk, i, cfg.NodeCap)
+	total := cfg.Nodes
+	if cfg.Autoscale.Enabled() {
+		// Group members are extra nodes above the base fleet; the boot
+		// membership is the operator's Desired size. A zero group Cap
+		// inherits the base instance shape.
+		groupCap := cfg.Autoscale.Group.Cap
+		if groupCap.IsZero() {
+			groupCap = cfg.NodeCap
+		}
+		p.scale = &scaler{cfg: cfg.Autoscale, groupCap: groupCap}
+		total += cfg.Autoscale.Group.Desired
+	}
+	for i := 0; i < total; i++ {
+		nodeCap := cfg.NodeCap
+		if i >= cfg.Nodes {
+			nodeCap = p.scale.groupCap
+		}
+		n := cluster.NewNode(p.clk, i, nodeCap)
 		n.OnComplete = p.onComplete
 		n.OnFailure = p.onFailure
 		n.CPUPool.Order = cfg.PoolLendOrder
@@ -455,13 +522,21 @@ func New(clk clock.Clock, cfg Config) (*Platform, error) {
 			// Coverage is whole-node state, so one incremental candidate
 			// index serves every shard (§6.4).
 			if p.covIndex == nil {
-				p.covIndex = scheduler.NewCoverageIndex(cfg.Nodes)
+				p.covIndex = scheduler.NewCoverageIndex(len(p.nodes))
 			}
 			l.Index = p.covIndex
 			p.libras = append(p.libras, l)
 		}
 		return algo
 	})
+	p.placeBound = make([][]resources.Vector, len(p.shards))
+	for i, s := range p.shards {
+		bounds := []resources.Vector{s.SliceOf(cfg.NodeCap)}
+		if p.scale != nil && p.scale.groupCap != cfg.NodeCap {
+			bounds = append(bounds, s.SliceOf(p.scale.groupCap))
+		}
+		p.placeBound[i] = bounds
+	}
 	if p.covIndex != nil && p.pings == nil {
 		// Live-pool mode (negative PingInterval): decisions read pool state
 		// directly, so the pools dirty-mark the index on every mutation.
@@ -486,31 +561,8 @@ func New(clk clock.Clock, cfg Config) (*Platform, error) {
 	case EstFreyr:
 		p.est = freyr.New()
 	}
+	p.publishScaleGauges()
 	return p, nil
-}
-
-// NewSim builds a platform on a fresh private simulation engine.
-//
-// Deprecated: this is the pre-clock-abstraction constructor path, kept
-// as a thin shim so existing experiments only need mechanical updates.
-// New code should construct the clock explicitly: New(sim.NewEngine(),
-// cfg) for replays, New(driver, cfg) for live serving.
-func NewSim(cfg Config) (*Platform, error) {
-	return New(sim.NewEngine(), cfg)
-}
-
-// MustNew builds a sim-engine-backed platform from cfg and panics on an
-// invalid config — for the presets and tests, whose configs are correct
-// by construction.
-//
-// Deprecated: like NewSim, this reaches the clock through the platform
-// instead of injecting it. Prefer New with an explicit clock.
-func MustNew(cfg Config) *Platform {
-	p, err := NewSim(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return p
 }
 
 // Clock exposes the clock the platform runs on.
@@ -579,6 +631,7 @@ func (p *Platform) arm() {
 			p.result.Backlog = append(p.result.Backlog, BacklogSample{
 				T: p.clk.Now(), Pending: p.ready.size, Inflight: len(p.inflight),
 				Completed: p.completed, Abandoned: p.result.Faults.Abandoned,
+				Nodes: p.memberCount(),
 			})
 		})
 	}
@@ -588,6 +641,7 @@ func (p *Platform) arm() {
 			Recover: p.recoverNode,
 		})
 	}
+	p.armScaler()
 }
 
 // collect is the shared run epilogue: fold the trackers and per-node
@@ -601,15 +655,21 @@ func (p *Platform) collect() *Result {
 		r.MemIdleIntegral += n.MemPool.IdleIntegral(p.clk.Now())
 		r.ColdStarts += n.ColdStarts()
 	}
-	if p.cfg.Faults.Enabled() {
+	if p.cfg.Faults.Enabled() || p.cfg.Autoscale.Enabled() {
 		// Post-run invariant audit: every loan reconciled, no node ever
-		// left over-committed.
+		// left over-committed. Scale-down drains revoke loans through the
+		// same machinery crashes use, so elastic runs are held to the same
+		// bar as chaos runs.
 		for _, n := range p.nodes {
 			r.LeakedLoans += n.CPUPool.OutstandingLoans() + n.MemPool.OutstandingLoans()
 			if !n.Committed().Fits(n.Capacity()) {
 				r.CapacityViolations++
 			}
 		}
+	}
+	r.Scale = p.ScaleStats()
+	if !p.cfg.Autoscale.Enabled() {
+		r.Scale = ScaleStats{} // fixed fleet: keep the zero value exact
 	}
 	return r
 }
@@ -685,6 +745,11 @@ func (p *Platform) enqueue(q *queued, ready float64) {
 	q.shard = shard
 	inv := q.inv
 
+	if !p.placeable(shard.Index(), inv.Reservation()) {
+		p.abandonUnplaceable(q)
+		return
+	}
+
 	pick := math.Max(ready, shard.BusyUntil)
 	service := DecisionOverhead + p.cfg.DispatchTime
 	shard.BusyUntil = pick + service
@@ -718,6 +783,45 @@ func (p *Platform) enqueue(q *queued, ready float64) {
 			p.pushPending(q)
 		}
 	})
+}
+
+// placeable reports whether shard i could ever admit the reservation:
+// it must fit the shard's slice of at least one node shape the cluster
+// can contain. Capacity released by completions, recoveries or
+// scale-ups never exceeds those slices, so a false here is permanent.
+func (p *Platform) placeable(i int, user resources.Vector) bool {
+	for _, b := range p.placeBound[i] {
+		if user.Fits(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// abandonUnplaceable fails an invocation whose reservation no shard
+// slice can ever hold — without this exit the work would sit on the
+// ready queue forever and a replay would never terminate (the periodic
+// tickers keep the event heap non-empty). It exits through the abandon
+// path: counted, traced, and reported to the live Abandon hook.
+func (p *Platform) abandonUnplaceable(q *queued) {
+	inv := q.inv
+	if p.cfg.Tracer != nil {
+		p.cfg.Tracer.Record(obs.Event{T: p.clk.Now(), Inv: int64(inv.ID),
+			Kind: obs.KindAbandon, Node: -1, Val: float64(q.attempt)})
+	}
+	p.result.Unplaceable++
+	p.result.Faults.Abandoned++
+	p.putQueued(q)
+	if p.live {
+		if p.hooks.Abandon != nil {
+			p.hooks.Abandon(inv)
+		}
+	} else {
+		p.remaining--
+		if p.remaining == 0 {
+			p.finish()
+		}
+	}
 }
 
 // buildRequest derives the scheduling request: the predicted extra demand
@@ -1099,6 +1203,7 @@ func (p *Platform) finish() {
 	p.result.CompletionTime = p.clk.Now()
 	p.tracker.Stop()
 	p.stopPing()
+	p.stopScaler()
 	if p.backlogTicker != nil {
 		p.backlogTicker.Stop()
 	}

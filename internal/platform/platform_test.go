@@ -12,7 +12,7 @@ import (
 
 func runPreset(t *testing.T, cfg Config, set trace.Set) *Result {
 	t.Helper()
-	p := MustNew(cfg)
+	p := mustNew(cfg)
 	r := p.Run(set)
 	if len(r.Records) != len(set.Invocations) {
 		t.Fatalf("%s: %d records for %d invocations", cfg.Name, len(r.Records), len(set.Invocations))
@@ -119,7 +119,7 @@ func TestWarmupServedDuringHistogramWindow(t *testing.T) {
 
 func TestShardReservationAccountingBalances(t *testing.T) {
 	set := trace.SingleSet(6)
-	p := MustNew(PresetLibra(MultiNode(), 6))
+	p := mustNew(PresetLibra(MultiNode(), 6))
 	r := p.Run(set)
 	_ = r
 	for _, s := range p.shards {
@@ -213,7 +213,7 @@ func TestNewValidatesConfig(t *testing.T) {
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("Validate(%+v) = nil, want error", cfg)
 		}
-		if p, err := NewSim(cfg); err == nil || p != nil {
+		if p, err := New(sim.NewEngine(), cfg); err == nil || p != nil {
 			t.Errorf("New(%+v) = (%v, %v), want error", cfg, p, err)
 		}
 	}
@@ -224,15 +224,6 @@ func TestNewValidatesConfig(t *testing.T) {
 	if _, err := New(sim.NewEngine(), good); err != nil {
 		t.Fatalf("New(%+v) = %v, want ok", good, err)
 	}
-}
-
-func TestMustNewPanicsOnInvalid(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustNew(Config{}) did not panic")
-		}
-	}()
-	MustNew(Config{})
 }
 
 func TestEstimatorKindString(t *testing.T) {
@@ -250,7 +241,7 @@ func TestEstimatorKindString(t *testing.T) {
 }
 
 func TestEmptyTrace(t *testing.T) {
-	p := MustNew(PresetLibra(SingleNode(), 12))
+	p := mustNew(PresetLibra(SingleNode(), 12))
 	r := p.Run(trace.Set{Name: "empty"})
 	if len(r.Records) != 0 || r.CompletionTime != 0 {
 		t.Fatalf("empty trace produced %+v", r)

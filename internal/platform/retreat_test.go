@@ -17,11 +17,11 @@ func TestMemoryHarvestRetreat(t *testing.T) {
 	// memory allocation is no longer reduced.
 	aggressive := PresetLibra(SingleNode(), 4)
 	aggressive.MemRetreatAfter = -1 // never retreat
-	rAggr := MustNew(aggressive).Run(set)
+	rAggr := mustNew(aggressive).Run(set)
 
 	cautious := PresetLibra(SingleNode(), 4)
 	cautious.MemRetreatAfter = 1
-	rCaut := MustNew(cautious).Run(set)
+	rCaut := mustNew(cautious).Run(set)
 
 	if rCaut.Safeguarded > rAggr.Safeguarded {
 		t.Fatalf("retreat increased safeguard triggers: %d > %d",
@@ -48,7 +48,7 @@ func TestSingleAxisHarvesting(t *testing.T) {
 
 	memOnly := PresetLibra(SingleNode(), 6)
 	memOnly.HarvestMemOnly = true
-	r := MustNew(memOnly).Run(set)
+	r := mustNew(memOnly).Run(set)
 	for _, rec := range r.Records {
 		if rec.Inv.CPUReassignSec < -1e-9 {
 			t.Fatalf("memory-only harvested CPU from invocation %d (%.2f core-s)",
@@ -58,7 +58,7 @@ func TestSingleAxisHarvesting(t *testing.T) {
 
 	cpuOnly := PresetLibra(SingleNode(), 6)
 	cpuOnly.HarvestCPUOnly = true
-	r2 := MustNew(cpuOnly).Run(set)
+	r2 := mustNew(cpuOnly).Run(set)
 	for _, rec := range r2.Records {
 		if rec.Inv.MemReassignSec < -1e-9 {
 			t.Fatalf("CPU-only harvested memory from invocation %d (%.0f MB-s)",

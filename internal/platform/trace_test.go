@@ -26,7 +26,7 @@ func TestTraceSpansSumToLatency(t *testing.T) {
 	rec := obs.NewRecorder()
 	cfg := tracedFaultyConfig(7)
 	cfg.Tracer = rec
-	r := MustNew(cfg).Run(trace.MultiSet(120, 7))
+	r := mustNew(cfg).Run(trace.MultiSet(120, 7))
 	if rec.Len() == 0 {
 		t.Fatal("traced run recorded no events")
 	}
@@ -71,7 +71,7 @@ func TestNilTracerIdenticalOutcome(t *testing.T) {
 	run := func(tr obs.Tracer) *Result {
 		cfg := tracedFaultyConfig(11)
 		cfg.Tracer = tr
-		return MustNew(cfg).Run(trace.MultiSet(120, 11))
+		return mustNew(cfg).Run(trace.MultiSet(120, 11))
 	}
 	plain := run(nil)
 	traced := run(obs.NewRecorder())
@@ -108,7 +108,7 @@ func TestTraceDeterministic(t *testing.T) {
 		rec := obs.NewRecorder()
 		cfg := tracedFaultyConfig(3)
 		cfg.Tracer = rec
-		MustNew(cfg).Run(trace.MultiSet(120, 3))
+		mustNew(cfg).Run(trace.MultiSet(120, 3))
 		return rec.Events()
 	}
 	if !reflect.DeepEqual(run(), run()) {

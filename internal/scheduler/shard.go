@@ -131,15 +131,18 @@ func (s *Shard) grow(id int) {
 }
 
 // Rebalance recomputes the shard's capacity slices over the current
-// membership: a down node's slice drops to zero so admission steers
-// around it, and a recovered node gets its slice back. Committed
-// reservations are left untouched — the platform releases them one by
-// one as it reconciles the aborted invocations, so Release's accounting
-// stays exact across the membership change.
+// membership: a down, draining or retired node's slice drops to zero so
+// admission steers around it, and a recovered or newly-added node gets
+// its slice back. Committed reservations are left untouched — the
+// platform releases them one by one as it reconciles the aborted
+// invocations, so Release's accounting stays exact across the membership
+// change. Growth (scale-up) enters through the same path: grow extends
+// the dense arrays to the new node ID and the slice assignment below
+// makes its capacity admissible.
 func (s *Shard) Rebalance(nodes []*cluster.Node) {
 	for _, n := range nodes {
 		s.grow(n.ID())
-		if n.Down() {
+		if n.Down() || n.Draining() || n.Retired() {
 			s.share[n.ID()] = resources.Vector{}
 		} else {
 			s.share[n.ID()] = shardSlice(n.Capacity(), s.count, s.index)
@@ -151,6 +154,15 @@ func (s *Shard) Rebalance(nodes []*cluster.Node) {
 
 // Index returns the shard's position among its peers.
 func (s *Shard) Index() int { return s.index }
+
+// SliceOf returns this shard's capacity slice of a node with the given
+// capacity — the most of such a node this shard could ever commit. A
+// reservation that exceeds the slice of every node shape the cluster
+// can contain is permanently unplaceable at this shard width, no matter
+// how much capacity completions later release.
+func (s *Shard) SliceOf(cap resources.Vector) resources.Vector {
+	return shardSlice(cap, s.count, s.index)
+}
 
 // Decisions returns how many placements this shard made.
 func (s *Shard) Decisions() int64 { return s.decisions }

@@ -74,10 +74,16 @@ func (c AdmissionConfig) Validate() error {
 	return nil
 }
 
-// withDefaults resolves the zero-value sentinels.
+// withDefaults resolves the zero-value sentinels. The resolved
+// DegradeLo is floored at 1: DegradeHi/2 truncates to 0 when
+// DegradeHi == 1, which would re-trigger the "0 means default" sentinel
+// and leave the hysteresis band undefined.
 func (c AdmissionConfig) withDefaults() AdmissionConfig {
 	if c.DegradeHi > 0 && c.DegradeLo == 0 {
 		c.DegradeLo = c.DegradeHi / 2
+		if c.DegradeLo < 1 {
+			c.DegradeLo = 1
+		}
 	}
 	if c.RetryAfter == 0 {
 		c.RetryAfter = time.Second

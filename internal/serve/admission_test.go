@@ -41,6 +41,39 @@ func TestAdmissionValidate(t *testing.T) {
 	}
 }
 
+// TestDegradeLoFloor is the regression test for the hysteresis-band
+// collapse: DegradeHi == 1 used to resolve DegradeLo to 1/2 == 0, which
+// re-triggered the "0 means default" sentinel and left degraded mode
+// unable to ever exit. The resolved low watermark is floored at 1.
+func TestDegradeLoFloor(t *testing.T) {
+	cases := []struct {
+		name   string
+		hi, lo int
+		want   int
+	}{
+		{"hi-1-floors-to-1", 1, 0, 1},
+		{"hi-2-halves-to-1", 2, 0, 1},
+		{"hi-10-halves-to-5", 10, 0, 5},
+		{"explicit-lo-respected", 10, 3, 3},
+		{"disabled-stays-zero", 0, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := AdmissionConfig{DegradeHi: tc.hi, DegradeLo: tc.lo}
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			got := cfg.withDefaults()
+			if got.DegradeLo != tc.want {
+				t.Fatalf("withDefaults().DegradeLo = %d, want %d", got.DegradeLo, tc.want)
+			}
+			if got.DegradeHi > 0 && got.DegradeLo < 1 {
+				t.Fatal("hysteresis band collapsed: low watermark below 1 with degraded mode on")
+			}
+		})
+	}
+}
+
 // FuzzAdmissionValidate pins Validate's contract over arbitrary values:
 // no panic, rejections carry the "serve:" prefix, and any accepted
 // config resolves to coherent defaults (hysteresis band ordered, a

@@ -78,9 +78,22 @@ func (s *Server) StartLoad(cfg LoadGenConfig) (*LoadGen, error) {
 }
 
 // tick runs on the loop goroutine: it injects the batch the elapsed
-// period owes and retires the generator once the deadline passes.
+// period owes and retires the generator once the deadline passes. A
+// deadline mid-period only owes the slice of the period before it, so
+// total offered load is Rate×Duration instead of overshooting by up to
+// one full period.
 func (lg *LoadGen) tick() {
-	lg.acc += lg.cfg.Rate * lg.cfg.Period
+	quota := lg.cfg.Rate * lg.cfg.Period
+	if lg.deadline > 0 {
+		if over := lg.srv.drv.Now() - lg.deadline; over > 0 {
+			if rem := lg.cfg.Period - over; rem > 0 {
+				quota = lg.cfg.Rate * rem
+			} else {
+				quota = 0
+			}
+		}
+	}
+	lg.acc += quota
 	n := int(lg.acc)
 	lg.acc -= float64(n)
 	for i := 0; i < n; i++ {

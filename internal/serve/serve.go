@@ -395,6 +395,15 @@ type Stats struct {
 	EventsFired     uint64  `json:"events_fired"`
 	TraceEvents     uint64  `json:"trace_events,omitempty"`
 	TraceBlocked    uint64  `json:"trace_blocked_flushes,omitempty"`
+
+	// Elastic node group (zero / omitted on a fixed fleet). Nodes is the
+	// current member count; the counters mirror the autoscale
+	// controller's decisions (platform.ScaleStats).
+	Nodes         int64 `json:"nodes"`
+	NodesDraining int64 `json:"nodes_draining,omitempty"`
+	PeakNodes     int64 `json:"peak_nodes,omitempty"`
+	ScaleUps      int64 `json:"scale_ups,omitempty"`
+	ScaleDowns    int64 `json:"scale_downs,omitempty"`
 }
 
 // Snapshot assembles the current Stats from the atomic counters.
@@ -430,6 +439,14 @@ func (s *Server) Snapshot() Stats {
 	if t, ok := s.cfg.Tracer.(*obs.StreamTracer); ok && t != nil {
 		st.TraceEvents = t.Count()
 		st.TraceBlocked = t.BlockedFlushes()
+	}
+	sc := s.p.ScaleStats()
+	st.Nodes = sc.Nodes
+	st.NodesDraining = sc.Draining
+	st.ScaleUps = sc.ScaleUps
+	st.ScaleDowns = sc.ScaleDowns
+	if sc.ScaleUps+sc.ScaleDowns > 0 {
+		st.PeakNodes = sc.PeakNodes
 	}
 	return st
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"libra/internal/clock"
+	"libra/internal/cluster"
 	"libra/internal/function"
 	"libra/internal/platform"
 	"libra/internal/serve"
@@ -253,6 +254,94 @@ func TestLoadGenDrainsAndIsDeterministic(t *testing.T) {
 	}
 	if inj1 != inj2 || done1 != done2 {
 		t.Errorf("same-seed runs diverged: (%d,%d) vs (%d,%d)", inj1, done1, inj2, done2)
+	}
+}
+
+// TestServeElasticScalesUnderLoad boots the live control plane with an
+// elastic node group and drives it past the base fleet's knee: the
+// controller must scale up on the wall driver (manual source), the
+// /stats snapshot must expose the membership gauges, and the drain at
+// Stop must leave zero leaked loans and zero capacity violations.
+func TestServeElasticScalesUnderLoad(t *testing.T) {
+	pc := platform.PresetLibra(platform.Jetstream(2, 1), 1)
+	pc.Autoscale = platform.AutoscaleConfig{
+		Group:    cluster.NodeGroup{Name: "live", Max: 6},
+		Cooldown: 1,
+	}
+	srv, err := serve.New(serve.Config{
+		Platform:     pc,
+		Source:       clock.NewManualSource(),
+		DrainTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := srv.StartLoad(serve.LoadGenConfig{
+		App: testApp(t).Name, Rate: 3000, Duration: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-lg.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("load generator never finished under manual time")
+	}
+	st := srv.Snapshot()
+	if st.ScaleUps == 0 {
+		t.Fatalf("live overload never scaled up: %+v", st)
+	}
+	if st.Nodes <= 2 || st.PeakNodes <= 2 {
+		t.Fatalf("membership gauges flat: nodes=%d peak=%d", st.Nodes, st.PeakNodes)
+	}
+	res, rep, err := srv.Stop(context.Background())
+	if err != nil || !rep.Drained {
+		t.Fatalf("Stop: %v (report %s)", err, rep)
+	}
+	if res.LeakedLoans != 0 || res.CapacityViolations != 0 {
+		t.Fatalf("leaked=%d violations=%d after elastic live run", res.LeakedLoans, res.CapacityViolations)
+	}
+}
+
+// TestLoadGenClampsFinalBatch is the regression test for the
+// deadline-overshoot bug: a Duration that ends mid-period used to owe
+// the final tick a full period's quota, overshooting the offered load
+// by up to Rate×Period requests. The clamped generator pays out only
+// the slice of the period before the deadline, so total injections
+// track Rate×Duration exactly.
+func TestLoadGenClampsFinalBatch(t *testing.T) {
+	srv := newTestServer(t, "")
+	app := testApp(t)
+	// 57.1ms at 1000 req/s with the default 2ms period: the deadline
+	// lands 1.1ms into the 29th tick. Unclamped, that tick injects a
+	// full 2-request batch (58 total); clamped, it owes 1.1 requests
+	// and the run totals exactly 57.
+	const rate, duration = 1000.0, 0.0571
+	lg, err := srv.StartLoad(serve.LoadGenConfig{
+		App: app.Name, Rate: rate, Duration: duration, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-lg.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("load generator never finished under manual time")
+	}
+	if _, rep, err := srv.Stop(context.Background()); err != nil || !rep.Drained {
+		t.Fatalf("Stop: %v (report %s)", err, rep)
+	}
+	offered := rate * duration // 57.1
+	if got := float64(lg.Injected()); got > offered+0.5 {
+		t.Fatalf("injected %v requests for an offered load of %.1f — final batch not clamped", got, offered)
+	} else if got < offered-2 {
+		t.Fatalf("injected %v requests, want ~%.1f", got, offered)
+	}
+	if lg.Shed() != 0 || lg.Failed() != 0 {
+		t.Fatalf("shed=%d failed=%d, want 0 (counts would mask the clamp)", lg.Shed(), lg.Failed())
 	}
 }
 

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+
+	"libra/internal/function"
+)
+
+// DiurnalConfig parametrizes a sinusoidally modulated Poisson arrival
+// process: the rate swings between TroughRPM and PeakRPM with the given
+// Period, starting at the trough. This is the load shape the Azure
+// Functions study reports at cluster granularity — pronounced
+// day/night cycles on top of per-function burstiness — and the shape an
+// elastic node group exists to track (figs4).
+type DiurnalConfig struct {
+	// PeakRPM / TroughRPM bound the arrival rate (requests/minute).
+	PeakRPM   float64
+	TroughRPM float64
+	// Period is one full trough→peak→trough cycle in seconds.
+	Period float64
+	// Skew is the Zipf exponent of the app popularity mix (0 = uniform),
+	// applied over a seeded permutation exactly like AzureShaped.
+	Skew float64
+}
+
+func (c *DiurnalConfig) validate() {
+	if c.TroughRPM <= 0 || c.PeakRPM < c.TroughRPM || c.Period <= 0 || c.Skew < 0 {
+		panic("trace: invalid DiurnalConfig")
+	}
+}
+
+// rate returns the instantaneous arrival rate at time t in requests per
+// second. The cycle starts at the trough so early samples under-load
+// the cluster and the first peak arrives mid-period.
+func (c *DiurnalConfig) rate(t float64) float64 {
+	phase := 0.5 * (1 - math.Cos(2*math.Pi*t/c.Period))
+	return (c.TroughRPM + (c.PeakRPM-c.TroughRPM)*phase) / 60
+}
+
+// Diurnal builds an n-invocation trace under the sinusoidal rate by
+// Lewis thinning: candidate arrivals stream at the peak rate and each
+// survives with probability rate(t)/peak, yielding an exact
+// non-homogeneous Poisson process. Deterministic in seed.
+func Diurnal(name string, apps []*function.Spec, n int, cfg DiurnalConfig, seed int64) Set {
+	cfg.validate()
+	if len(apps) == 0 {
+		panic("trace: no applications")
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	ranked := make([]*function.Spec, len(apps))
+	copy(ranked, apps)
+	rng.Shuffle(len(ranked), func(i, j int) { ranked[i], ranked[j] = ranked[j], ranked[i] })
+	mix := ZipfMix(ranked, cfg.Skew)
+
+	peak := cfg.PeakRPM / 60
+	t := 0.0
+	set := Set{Name: name, RPM: cfg.PeakRPM, Invocations: make([]Invocation, 0, n)}
+	for i := 0; i < n; {
+		t += rng.ExpFloat64() / peak
+		if rng.Float64()*peak > cfg.rate(t) {
+			continue // thinned: the instantaneous rate is below peak
+		}
+		app := mix.Pick(rng)
+		set.Invocations = append(set.Invocations, Invocation{
+			ID:      int64(i),
+			App:     app.Name,
+			Arrival: t,
+			Input:   app.SampleInput(rng),
+		})
+		i++
+	}
+	return set
+}
+
+// DiurnalSet is the elasticity replay workload (figs4): n invocations
+// whose rate cycles between trough and peak RPM with the given period,
+// over the Azure-shaped skewed app mix.
+func DiurnalSet(n int, peakRPM, troughRPM, period float64, seed int64) Set {
+	return Diurnal("diurnal", function.Apps(), n,
+		DiurnalConfig{PeakRPM: peakRPM, TroughRPM: troughRPM, Period: period, Skew: JetstreamSkew}, seed)
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"libra/internal/function"
+)
+
+func TestDiurnalDeterministicSortedSized(t *testing.T) {
+	cfg := DiurnalConfig{PeakRPM: 1200, TroughRPM: 120, Period: 300}
+	s1 := Diurnal("d", function.Apps(), 2000, cfg, 7)
+	s2 := Diurnal("d", function.Apps(), 2000, cfg, 7)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same-seed diurnal traces differ")
+	}
+	if len(s1.Invocations) != 2000 {
+		t.Fatalf("got %d invocations, want 2000", len(s1.Invocations))
+	}
+	if !sort.SliceIsSorted(s1.Invocations, func(i, j int) bool {
+		return s1.Invocations[i].Arrival < s1.Invocations[j].Arrival
+	}) {
+		t.Fatal("arrivals out of order")
+	}
+	if s3 := Diurnal("d", function.Apps(), 2000, cfg, 8); reflect.DeepEqual(s1, s3) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestDiurnalRateModulates checks the thinning actually modulates the
+// rate: the half-period around each peak must hold several times the
+// arrivals of the half-period around each trough (the configured ratio
+// is 10×; 3× leaves generous sampling slack).
+func TestDiurnalRateModulates(t *testing.T) {
+	const period = 300.0
+	cfg := DiurnalConfig{PeakRPM: 1200, TroughRPM: 120, Period: period}
+	set := Diurnal("d", function.Apps(), 5000, cfg, 42)
+	var nearPeak, nearTrough int
+	for _, inv := range set.Invocations {
+		phase := math.Mod(inv.Arrival, period) / period
+		switch {
+		case phase > 0.25 && phase < 0.75: // peak half of the cycle
+			nearPeak++
+		default: // trough half
+			nearTrough++
+		}
+	}
+	if nearTrough == 0 || float64(nearPeak)/float64(nearTrough) < 3 {
+		t.Fatalf("peak-half %d vs trough-half %d arrivals — rate not modulating", nearPeak, nearTrough)
+	}
+}
+
+func TestDiurnalValidation(t *testing.T) {
+	for name, cfg := range map[string]DiurnalConfig{
+		"zero":          {},
+		"peak-below":    {PeakRPM: 10, TroughRPM: 20, Period: 60},
+		"no-period":     {PeakRPM: 20, TroughRPM: 10},
+		"negative-skew": {PeakRPM: 20, TroughRPM: 10, Period: 60, Skew: -1},
+		"trough-nonpos": {PeakRPM: 20, TroughRPM: 0, Period: 60},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Diurnal accepted an invalid config", name)
+				}
+			}()
+			Diurnal("d", function.Apps(), 1, cfg, 1)
+		}()
+	}
+}
