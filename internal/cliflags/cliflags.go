@@ -34,6 +34,13 @@ func AddParallel(fs *flag.FlagSet) *int {
 	return fs.Int("parallel", 0, "worker pool size for experiment units (0 = GOMAXPROCS, 1 = serial)")
 }
 
+// AddLanes registers -lanes on fs: the event-engine lane count for
+// deterministic intra-run parallelism (DESIGN.md §11). Every lane count
+// renders byte-identical output; lanes only change wall-clock time.
+func AddLanes(fs *flag.FlagSet) *int {
+	return fs.Int("lanes", 0, "event-engine lanes per run: 0 = serial engine, n = sharded engine with n parallel lanes (identical output)")
+}
+
 // Platform holds the platform-preset selection flags.
 type Platform struct {
 	Variant    string

@@ -1,68 +1,48 @@
-package core
+package core_test
 
 import (
 	"math/rand"
-	"reflect"
 	"testing"
 
-	"libra/internal/clock"
 	"libra/internal/cluster"
+	"libra/internal/core"
 	"libra/internal/faults"
 	"libra/internal/function"
-	"libra/internal/obs"
 	"libra/internal/platform"
+	"libra/internal/simtest"
 	"libra/internal/trace"
 )
 
+// equivEngines is the full driver line-up the replay guarantee covers:
+// the wall driver under mocked time (live mode is sim mode with a
+// different clock) and the sharded lane engine at one and several lanes
+// (parallel mode is sim mode with a different clock, too).
+func equivEngines() []simtest.EngineFactory {
+	return []simtest.EngineFactory{
+		simtest.Serial(),
+		simtest.WallManual(),
+		simtest.ShardedLanes(1),
+		simtest.ShardedLanes(4),
+	}
+}
+
 // TestWallDriverReplayMatchesSim is the API-redesign acceptance test:
 // the exact same platform code produces the exact same run — report and
-// full invocation-lifecycle trace — whether its Clock is the virtual
-// sim engine or the wall driver under a mocked time source. Live mode
-// is sim mode with a different clock, nothing more.
+// full invocation-lifecycle trace — whatever Clock drives it.
 func TestWallDriverReplayMatchesSim(t *testing.T) {
-	for _, variant := range []Variant{VariantDefault, VariantLibra} {
-		set := trace.Generate("equiv", function.Apps(), 120, 300, 7)
-
-		simRec := obs.NewRecorder()
-		simCfg := Config{Variant: variant, Testbed: TestbedMultiNode, Seed: 7, Tracer: simRec}
-		simRep, err := Run(simCfg, set)
-		if err != nil {
-			t.Fatalf("%s: sim run: %v", variant, err)
-		}
-
-		wallRec := obs.NewRecorder()
-		wallCfg := Config{Variant: variant, Testbed: TestbedMultiNode, Seed: 7, Tracer: wallRec}
-		wallRep, err := RunOn(clock.NewDriver(clock.NewManualSource()), wallCfg, set)
-		if err != nil {
-			t.Fatalf("%s: wall run: %v", variant, err)
-		}
-
-		if !reflect.DeepEqual(simRep, wallRep) {
-			t.Errorf("%s: reports diverge:\n sim:  %+v\n wall: %+v", variant, simRep, wallRep)
-		}
-		if simRec.Len() == 0 {
-			t.Fatalf("%s: sim run recorded no trace events", variant)
-		}
-		if !reflect.DeepEqual(simRec.Events(), wallRec.Events()) {
-			n := simRec.Len()
-			if wallRec.Len() < n {
-				n = wallRec.Len()
-			}
-			for i := 0; i < n; i++ {
-				if !reflect.DeepEqual(simRec.Events()[i], wallRec.Events()[i]) {
-					t.Fatalf("%s: traces diverge at event %d:\n sim:  %+v\n wall: %+v",
-						variant, i, simRec.Events()[i], wallRec.Events()[i])
-				}
-			}
-			t.Fatalf("%s: trace lengths diverge: sim %d events, wall %d", variant, simRec.Len(), wallRec.Len())
-		}
+	for _, variant := range []core.Variant{core.VariantDefault, core.VariantLibra} {
+		simtest.Run(t, simtest.Case{
+			Name:     string(variant),
+			Config:   core.Config{Variant: variant, Testbed: core.TestbedMultiNode, Seed: 7},
+			Workload: trace.Generate("equiv", function.Apps(), 120, 300, 7),
+		}, equivEngines()...)
 	}
 }
 
 // TestWallDriverReplayMatchesSimAutoscale pins the elastic controller
 // into the replay guarantee: scale-ups, drains and retirements fire at
-// the same virtual instants — same node IDs, same abort sets — whether
-// the clock is the sim engine or the wall driver under a manual source.
+// the same virtual instants — same node IDs, same abort sets — on every
+// clock implementation.
 func TestWallDriverReplayMatchesSimAutoscale(t *testing.T) {
 	scale := platform.AutoscaleConfig{
 		Group:    cluster.NodeGroup{Name: "equiv", Max: 6},
@@ -81,75 +61,29 @@ func TestWallDriverReplayMatchesSimAutoscale(t *testing.T) {
 		})
 	}
 
-	simRec := obs.NewRecorder()
-	simCfg := Config{Variant: VariantLibra, Testbed: TestbedMultiNode, Seed: 13, Autoscale: scale, Tracer: simRec}
-	simRep, err := Run(simCfg, set)
-	if err != nil {
-		t.Fatalf("sim run: %v", err)
-	}
-	if simRep.ScaleUps == 0 || simRep.ScaleDowns == 0 {
-		t.Fatalf("scenario exercised no elasticity (ups=%d downs=%d)", simRep.ScaleUps, simRep.ScaleDowns)
-	}
-
-	wallRec := obs.NewRecorder()
-	wallCfg := Config{Variant: VariantLibra, Testbed: TestbedMultiNode, Seed: 13, Autoscale: scale, Tracer: wallRec}
-	wallRep, err := RunOn(clock.NewDriver(clock.NewManualSource()), wallCfg, set)
-	if err != nil {
-		t.Fatalf("wall run: %v", err)
-	}
-
-	if !reflect.DeepEqual(simRep, wallRep) {
-		t.Errorf("reports diverge under autoscale:\n sim:  %+v\n wall: %+v", simRep, wallRep)
-	}
-	if !reflect.DeepEqual(simRec.Events(), wallRec.Events()) {
-		n := min(simRec.Len(), wallRec.Len())
-		for i := 0; i < n; i++ {
-			if !reflect.DeepEqual(simRec.Events()[i], wallRec.Events()[i]) {
-				t.Fatalf("traces diverge at event %d:\n sim:  %+v\n wall: %+v",
-					i, simRec.Events()[i], wallRec.Events()[i])
-			}
-		}
-		t.Fatalf("trace lengths diverge: sim %d events, wall %d", simRec.Len(), wallRec.Len())
+	results := simtest.Run(t, simtest.Case{
+		Name:     "autoscale",
+		Config:   core.Config{Variant: core.VariantLibra, Testbed: core.TestbedMultiNode, Seed: 13, Autoscale: scale},
+		Workload: set,
+	}, equivEngines()...)
+	if rep := results[0].Report; rep.ScaleUps == 0 || rep.ScaleDowns == 0 {
+		t.Fatalf("scenario exercised no elasticity (ups=%d downs=%d)", rep.ScaleUps, rep.ScaleDowns)
 	}
 }
 
 // TestWallDriverReplayMatchesSimChaos is the chaos acceptance test: the
 // same fault schedule — node crashes, OOM kills, stragglers — fires at
-// the same virtual instants and produces the same report and trace
-// whether the clock is the sim engine or the wall driver under a manual
-// source. Chaos is deterministic replay input, not wall-clock noise.
+// the same virtual instants and produces the same report and trace on
+// every clock implementation. Chaos is deterministic replay input, not
+// wall-clock noise.
 func TestWallDriverReplayMatchesSimChaos(t *testing.T) {
 	chaos := faults.Config{CrashMTBF: 40, MTTR: 5, OOMKill: true, StragglerFraction: 0.1}
-	set := trace.Generate("equiv-chaos", function.Apps(), 150, 400, 11)
-
-	simRec := obs.NewRecorder()
-	simCfg := Config{Variant: VariantLibra, Testbed: TestbedMultiNode, Seed: 11, Faults: chaos, Tracer: simRec}
-	simRep, err := Run(simCfg, set)
-	if err != nil {
-		t.Fatalf("sim run: %v", err)
-	}
-	if simRep.Crashes == 0 {
+	results := simtest.Run(t, simtest.Case{
+		Name:     "chaos",
+		Config:   core.Config{Variant: core.VariantLibra, Testbed: core.TestbedMultiNode, Seed: 11, Faults: chaos},
+		Workload: trace.Generate("equiv-chaos", function.Apps(), 150, 400, 11),
+	}, equivEngines()...)
+	if results[0].Report.Crashes == 0 {
 		t.Fatal("chaos schedule injected no crashes; the test exercises nothing")
-	}
-
-	wallRec := obs.NewRecorder()
-	wallCfg := Config{Variant: VariantLibra, Testbed: TestbedMultiNode, Seed: 11, Faults: chaos, Tracer: wallRec}
-	wallRep, err := RunOn(clock.NewDriver(clock.NewManualSource()), wallCfg, set)
-	if err != nil {
-		t.Fatalf("wall run: %v", err)
-	}
-
-	if !reflect.DeepEqual(simRep, wallRep) {
-		t.Errorf("reports diverge under chaos:\n sim:  %+v\n wall: %+v", simRep, wallRep)
-	}
-	if !reflect.DeepEqual(simRec.Events(), wallRec.Events()) {
-		n := min(simRec.Len(), wallRec.Len())
-		for i := 0; i < n; i++ {
-			if !reflect.DeepEqual(simRec.Events()[i], wallRec.Events()[i]) {
-				t.Fatalf("traces diverge at event %d:\n sim:  %+v\n wall: %+v",
-					i, simRec.Events()[i], wallRec.Events()[i])
-			}
-		}
-		t.Fatalf("trace lengths diverge: sim %d events, wall %d", simRec.Len(), wallRec.Len())
 	}
 }

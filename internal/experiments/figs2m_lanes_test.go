@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+)
+
+// TestFigs2mShardedMatchesSerial promotes the endurance scenario into
+// the lane-equivalence suite: the figs2m replay — the longest event
+// chain in the registry, the one the sharded engine exists to
+// accelerate — must render byte-identically on the serial engine and on
+// the sharded engine at GOMAXPROCS lanes. The full test runs a
+// 20-node / 40k-invocation slice of the million-invocation cell;
+// testing.Short() trims to the quick geometry so the comparison stays
+// in every tier-1 run.
+func TestFigs2mShardedMatchesSerial(t *testing.T) {
+	sc := Figs2mScale
+	sc.Nodes, sc.Schedulers, sc.Invocations, sc.RPM = 20, 2, 40_000, 300
+	if testing.Short() {
+		sc.Nodes, sc.Schedulers, sc.Invocations, sc.RPM = 10, 2, 5_000, 150
+	}
+
+	lanes := runtime.GOMAXPROCS(0)
+	if lanes < 2 {
+		lanes = 2
+	}
+
+	render := func(engineLanes int) []byte {
+		t.Helper()
+		r, err := figs2m(context.Background(), Options{Seed: 42, EngineLanes: engineLanes}, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		r.Render(&buf)
+		return buf.Bytes()
+	}
+
+	serial := render(0)
+	sharded := render(lanes)
+	if !bytes.Equal(serial, sharded) {
+		t.Fatalf("figs2m render diverged between serial and %d-lane engines:\n%s",
+			lanes, renderDiff(serial, sharded))
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestGoldenRendersLaneInvariant is the experiments-layer acceptance
+// test for the sharded engine: every registered experiment renders
+// byte-identically to its committed golden — produced on the serial
+// engine — at every lane count. A single diverging byte means lane
+// parallelism leaked into replay semantics somewhere below. Under
+// -short only the degenerate single-lane engine runs; the CI
+// parallel-equiv job covers the multi-lane counts.
+func TestGoldenRendersLaneInvariant(t *testing.T) {
+	gomax := runtime.GOMAXPROCS(0)
+	if gomax < 3 {
+		gomax = 3
+	}
+	laneCounts := []int{1, 2, gomax}
+	if testing.Short() {
+		laneCounts = laneCounts[:1]
+	}
+	for _, lanes := range laneCounts {
+		lanes := lanes
+		for _, e := range All() {
+			e := e
+			t.Run(fmt.Sprintf("lanes%d/%s", lanes, e.ID), func(t *testing.T) {
+				t.Parallel()
+				r, err := e.Run(context.Background(), Options{Seed: 42, Quick: true, EngineLanes: lanes})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				r.Render(&buf)
+				want, err := os.ReadFile(goldenPath(e.ID))
+				if err != nil {
+					t.Fatalf("missing golden for %s: %v", e.ID, err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Fatalf("%s render with %d engine lanes diverged from the serial golden:\n%s",
+						e.ID, lanes, renderDiff(want, buf.Bytes()))
+				}
+			})
+		}
+	}
+}

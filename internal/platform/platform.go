@@ -339,15 +339,21 @@ type Platform struct {
 	shards []*scheduler.Shard
 	est    profiler.Estimator
 
-	ready      readyQueue
-	inflight   map[harvest.ID]*queued
-	freeQ      []*queued
-	sgCounts   map[string]int // per-function safeguard triggers (OOM retreat)
-	pings      map[int]*poolStatus
-	pingTicker *clock.Ticker
-	remaining  int
-	completed  int
-	result     *Result
+	ready    readyQueue
+	inflight map[harvest.ID]*queued
+	freeQ    []*queued
+	sgCounts map[string]int // per-function safeguard triggers (OOM retreat)
+	pings    map[int]*poolStatus
+	// pingTickers holds the health-ping tickers: one on a serial clock,
+	// one per lane on a sharded clock (arm splits the node scan across
+	// lanes). pingEmit are the per-lane merge-barrier closures that
+	// replay covIndex updates in global node order; pre-allocated so the
+	// steady-state ping path stays allocation-free.
+	pingTickers []*clock.Ticker
+	pingEmit    []func()
+	remaining   int
+	completed   int
+	result      *Result
 
 	// Live-serving mode (StartServing): arrivals stream in open-endedly,
 	// per-invocation outcomes are reported through hooks instead of being
@@ -440,9 +446,13 @@ func (b *pendBucket) pop() {
 	}
 }
 
-// poolStatus is one node's last health-ping snapshot.
+// poolStatus is one node's last health-ping snapshot. fresh marks a
+// snapshot taken in the current ping round on a sharded clock: the
+// merge-barrier closure must skip nodes that were down when their lane
+// scanned them, exactly as the serial scan skips them inline.
 type poolStatus struct {
 	cpu, mem []harvest.Entry
+	fresh    bool
 }
 
 type queued struct {
@@ -612,19 +622,23 @@ func (p *Platform) Run(set trace.Set) *Result {
 // the backlog sampler, and the fault injector.
 func (p *Platform) arm() {
 	if p.pings != nil {
-		p.pingTicker = clock.Every(p.clk, p.cfg.PingInterval, func() {
-			for _, n := range p.nodes {
-				if n.Down() {
-					continue // a down node sends no health pings
+		if sh, ok := p.clk.(clock.Sharder); ok && sh.Lanes() > 1 {
+			p.armPingLanes(sh)
+		} else {
+			p.pingTickers = append(p.pingTickers, clock.Every(p.clk, p.cfg.PingInterval, func() {
+				for _, n := range p.nodes {
+					if n.Down() {
+						continue // a down node sends no health pings
+					}
+					st := p.pings[n.ID()]
+					st.cpu = n.CPUPool.AppendEntries(st.cpu[:0])
+					st.mem = n.MemPool.AppendEntries(st.mem[:0])
+					if p.covIndex != nil {
+						p.covIndex.UpdateSnapshot(n.ID(), st.cpu, st.mem)
+					}
 				}
-				st := p.pings[n.ID()]
-				st.cpu = n.CPUPool.AppendEntries(st.cpu[:0])
-				st.mem = n.MemPool.AppendEntries(st.mem[:0])
-				if p.covIndex != nil {
-					p.covIndex.UpdateSnapshot(n.ID(), st.cpu, st.mem)
-				}
-			}
-		})
+			}))
+		}
 	}
 	if p.cfg.TrackBacklog {
 		p.backlogTicker = clock.Every(p.clk, p.cfg.SampleInterval, func() {
@@ -642,6 +656,60 @@ func (p *Platform) arm() {
 		})
 	}
 	p.armScaler()
+}
+
+// armPingLanes splits the per-node health-ping scan across a sharded
+// clock's parallel lanes. The scan is the one piece of periodic work
+// that is embarrassingly node-parallel — each node's ping only copies
+// that node's pool entries — while everything that couples nodes (loan
+// grants, the safeguard, completions, placement) stays on the global
+// lane and serializes exactly as on a serial clock.
+//
+// Each lane pings a contiguous block of the fleet, recomputed every
+// fire so nodes added by a scale-up join a block immediately. The pool
+// copies run concurrently across lanes; the coverage-index updates —
+// whose candidate list is append-ordered and feeds placement — are
+// deferred to the merge barrier via Lane.Emit, where the lanes' slot
+// order replays them in ascending node order: byte-identical to the
+// serial scan's inline updates.
+func (p *Platform) armPingLanes(sh clock.Sharder) {
+	lanes := sh.Lanes()
+	if n := len(p.nodes); lanes > n {
+		lanes = n
+	}
+	block := func(k int) (int, int) {
+		n := len(p.nodes)
+		return k * n / lanes, (k + 1) * n / lanes
+	}
+	p.pingEmit = make([]func(), lanes)
+	for k := 0; k < lanes; k++ {
+		k := k
+		lane := sh.Lane(k)
+		p.pingEmit[k] = func() {
+			lo, hi := block(k)
+			for _, n := range p.nodes[lo:hi] {
+				if st := p.pings[n.ID()]; st.fresh {
+					p.covIndex.UpdateSnapshot(n.ID(), st.cpu, st.mem)
+				}
+			}
+		}
+		p.pingTickers = append(p.pingTickers, clock.Every(lane, p.cfg.PingInterval, func() {
+			lo, hi := block(k)
+			for _, n := range p.nodes[lo:hi] {
+				st := p.pings[n.ID()]
+				if n.Down() {
+					st.fresh = false // a down node sends no health pings
+					continue
+				}
+				st.fresh = true
+				st.cpu = n.CPUPool.AppendEntries(st.cpu[:0])
+				st.mem = n.MemPool.AppendEntries(st.mem[:0])
+			}
+			if p.covIndex != nil {
+				lane.Emit(p.pingEmit[k])
+			}
+		}))
+	}
 }
 
 // collect is the shared run epilogue: fold the trackers and per-node
@@ -1215,11 +1283,12 @@ func (p *Platform) finish() {
 	}
 }
 
-// stopPing halts the health-ping ticker so the event queue can drain.
+// stopPing halts the health-ping tickers so the event queue can drain.
 func (p *Platform) stopPing() {
-	if p.pingTicker != nil {
-		p.pingTicker.Stop()
+	for _, tk := range p.pingTickers {
+		tk.Stop()
 	}
+	p.pingTickers = p.pingTickers[:0]
 }
 
 // newQueued returns a fresh or recycled scheduling record.

@@ -294,7 +294,11 @@ func TestServeElasticScalesUnderLoad(t *testing.T) {
 	if st.ScaleUps == 0 {
 		t.Fatalf("live overload never scaled up: %+v", st)
 	}
-	if st.Nodes <= 2 || st.PeakNodes <= 2 {
+	// Assert on the peak gauge, not the live one: once the load
+	// generator reports done the driver keeps draining the tail, so the
+	// controller may legitimately scale back to base before Snapshot
+	// lands — racing that transition made this test flaky.
+	if st.PeakNodes <= 2 {
 		t.Fatalf("membership gauges flat: nodes=%d peak=%d", st.Nodes, st.PeakNodes)
 	}
 	res, rep, err := srv.Stop(context.Background())

@@ -37,6 +37,7 @@ type Event struct {
 	at       float64
 	seq      uint64
 	gen      uint32
+	lane     int32 // owning lane in the sharded engine; always 0 here
 	fn       func()
 	canceled bool
 	index    int // heap index, -1 once popped

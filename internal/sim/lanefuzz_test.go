@@ -1,0 +1,276 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"libra/internal/clock"
+)
+
+// FuzzLaneMergeOrder feeds adversarial schedules — same-instant ties
+// across lanes, cancels landing mid-batch, cross-lane (lane → global)
+// reschedules — through the serial engine and the sharded engine and
+// asserts the merged execution streams are identical: no lost,
+// duplicated or reordered events, byte-equal emission logs, equal
+// fired counts and final clocks.
+//
+// The fuzz input decodes into a *static* program (specs wired into a
+// bounded DAG with per-action replay budgets), so execution order can
+// never feed back into decoding and every program terminates. The
+// decoder enforces the engine's single-owner contract — a spec is
+// scheduled and cancelled only from its owner lane's callbacks or from
+// global context — which is exactly the discipline the platform's lane
+// classification guarantees; everything else is adversarial.
+
+const (
+	fuzzSchedule byte = iota
+	fuzzCancel
+	fuzzEmit
+	fuzzCancelResched
+)
+
+type fuzzAction struct {
+	kind   byte
+	target int
+	delay  float64
+}
+
+type fuzzSpec struct {
+	lane    int     // execution lane: 0 = global, 1..L
+	owner   int     // lane whose callbacks schedule/cancel it (0 = global)
+	rootAt  float64 // scheduled from setup at this time; -1 if wired
+	actions []fuzzAction
+}
+
+type fuzzProgram struct {
+	lanes int
+	specs []fuzzSpec
+}
+
+type fuzzCursor struct {
+	data []byte
+	i    int
+}
+
+func (c *fuzzCursor) next() byte {
+	if c.i >= len(c.data) {
+		return 0
+	}
+	b := c.data[c.i]
+	c.i++
+	return b
+}
+
+var fuzzDelays = []float64{0, 0, 0.5, 1, 2}
+
+func decodeLaneProgram(data []byte) fuzzProgram {
+	c := &fuzzCursor{data: data}
+	lanes := 1 + int(c.next())%3
+	n := 6 + int(c.next())%18
+	p := fuzzProgram{lanes: lanes, specs: make([]fuzzSpec, n)}
+	raw := make([]int, n)
+	for i := range raw {
+		raw[i] = int(c.next()) % (lanes + 1)
+	}
+	wired := make([]bool, n)
+	for i := 0; i < n; i++ {
+		sp := &p.specs[i]
+		if !wired[i] {
+			// Nobody wired spec i: it is a root, scheduled from global
+			// context before the run starts.
+			sp.owner, sp.lane, sp.rootAt = 0, raw[i], fuzzDelays[int(c.next())%len(fuzzDelays)]
+		}
+		na := int(c.next()) % 4
+		for a := 0; a < na; a++ {
+			k := c.next() % 8
+			switch {
+			case k < 3: // schedule the next unwired later spec
+				j := -1
+				for t := i + 1; t < n; t++ {
+					if !wired[t] {
+						j = t
+						break
+					}
+				}
+				if j < 0 {
+					continue
+				}
+				wired[j] = true
+				tgt := &p.specs[j]
+				tgt.owner, tgt.rootAt = sp.lane, -1
+				switch {
+				case sp.lane == 0:
+					tgt.lane = raw[j] // global context schedules onto any lane
+				case c.next()%4 == 0:
+					tgt.lane = 0 // cross-lane: lane callback → global via Lane.Global
+				default:
+					tgt.lane = sp.lane
+				}
+				sp.actions = append(sp.actions, fuzzAction{
+					kind: fuzzSchedule, target: j,
+					delay: fuzzDelays[int(c.next())%len(fuzzDelays)],
+				})
+			case k < 5: // cancel an earlier spec this context may touch
+				j := int(c.next()) % (i + 1)
+				if sp.lane != 0 && p.specs[j].owner != sp.lane {
+					continue
+				}
+				sp.actions = append(sp.actions, fuzzAction{kind: fuzzCancel, target: j})
+			case k < 6: // cancel + reschedule (the completion re-rating pattern)
+				j := int(c.next()) % (i + 1)
+				if j == i || p.specs[j].owner != sp.lane {
+					continue
+				}
+				sp.actions = append(sp.actions, fuzzAction{
+					kind: fuzzCancelResched, target: j,
+					delay: fuzzDelays[int(c.next())%len(fuzzDelays)],
+				})
+			default:
+				sp.actions = append(sp.actions, fuzzAction{kind: fuzzEmit})
+			}
+		}
+	}
+	return p
+}
+
+// laneOps abstracts the two engines behind the program interpreter:
+// which clock schedules from a given context onto a given lane, how a
+// context cancels, and how it emits into the ordered log.
+type laneOps struct {
+	clockFor  func(ctxLane, targetLane int) clock.Clock
+	cancelVia func(ctxLane int, h clock.Handle)
+	emit      func(ctxLane int, fn func())
+	run       func()
+	now       func() float64
+	fired     func() uint64
+}
+
+func serialOps(e *Engine) laneOps {
+	return laneOps{
+		clockFor:  func(int, int) clock.Clock { return e },
+		cancelVia: func(_ int, h clock.Handle) { e.Cancel(h) },
+		emit:      func(_ int, fn func()) { fn() },
+		run:       e.Run,
+		now:       e.Now,
+		fired:     e.Fired,
+	}
+}
+
+func shardedOps(s *Sharded) laneOps {
+	return laneOps{
+		clockFor: func(ctxLane, targetLane int) clock.Clock {
+			if ctxLane == 0 {
+				if targetLane == 0 {
+					return s
+				}
+				return s.Lane(targetLane - 1)
+			}
+			if targetLane == 0 {
+				return s.Lane(ctxLane - 1).Global()
+			}
+			return s.Lane(targetLane - 1)
+		},
+		cancelVia: func(ctxLane int, h clock.Handle) {
+			if ctxLane == 0 {
+				s.Cancel(h)
+				return
+			}
+			s.Lane(ctxLane - 1).Cancel(h)
+		},
+		emit: func(ctxLane int, fn func()) {
+			if ctxLane == 0 {
+				fn()
+				return
+			}
+			s.Lane(ctxLane - 1).Emit(fn)
+		},
+		run:   s.Run,
+		now:   s.Now,
+		fired: s.Fired,
+	}
+}
+
+// runLaneProgram interprets the program on one engine and returns its
+// ordered execution log. Per-action replay budgets bound reschedule
+// cycles; they are touched only from the owning spec's callbacks, so
+// the interpreter itself honors the batch-purity contract.
+func runLaneProgram(p fuzzProgram, ops laneOps) []string {
+	var log []string
+	handles := make([]clock.Handle, len(p.specs))
+	budgets := make([][]int, len(p.specs))
+	for i := range budgets {
+		budgets[i] = make([]int, len(p.specs[i].actions))
+		for a := range budgets[i] {
+			budgets[i][a] = 3
+		}
+	}
+	var fire func(i int) func()
+	schedule := func(ctxLane, j int, delay float64) {
+		sp := &p.specs[j]
+		handles[j] = ops.clockFor(ctxLane, sp.lane).Schedule(delay, fire(j))
+	}
+	fire = func(i int) func() {
+		return func() {
+			sp := &p.specs[i]
+			now := ops.now()
+			ops.emit(sp.lane, func() { log = append(log, fmt.Sprintf("fire %d @%g", i, now)) })
+			for a := range sp.actions {
+				if budgets[i][a] == 0 {
+					continue
+				}
+				budgets[i][a]--
+				act := sp.actions[a]
+				switch act.kind {
+				case fuzzSchedule:
+					schedule(sp.lane, act.target, act.delay)
+				case fuzzCancel:
+					ops.cancelVia(sp.lane, handles[act.target])
+				case fuzzEmit:
+					a := a
+					ops.emit(sp.lane, func() { log = append(log, fmt.Sprintf("emit %d:%d @%g", i, a, now)) })
+				case fuzzCancelResched:
+					ops.cancelVia(sp.lane, handles[act.target])
+					schedule(sp.lane, act.target, act.delay)
+				}
+			}
+		}
+	}
+	for i := range p.specs {
+		if p.specs[i].rootAt >= 0 {
+			schedule(0, i, p.specs[i].rootAt)
+		}
+	}
+	ops.run()
+	log = append(log, fmt.Sprintf("end @%g fired=%d", ops.now(), ops.fired()))
+	return log
+}
+
+func FuzzLaneMergeOrder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 9, 1, 2, 0, 1, 2, 2, 1, 0, 3, 0, 1, 2, 3, 4, 5, 6, 7, 0, 1, 2})
+	f.Add([]byte{2, 17, 3, 3, 2, 1, 0, 2, 1, 3, 2, 0, 1, 2, 3, 4, 4, 4, 5, 5, 5, 0, 0, 0, 255, 128, 64, 32, 16, 8, 4, 2, 1})
+	// Tie-heavy: every delay code 0 or 1 lands on delay 0.
+	f.Add([]byte{2, 20, 1, 2, 1, 2, 1, 2, 1, 2, 3, 1, 0, 3, 1, 0, 3, 1, 0, 3, 1, 0, 3, 1, 0, 3, 1, 0, 3, 1, 0})
+	// Cancel-heavy: action kinds biased into the 3..5 range.
+	f.Add([]byte{1, 12, 1, 1, 1, 0, 1, 1, 3, 4, 3, 4, 3, 5, 4, 3, 4, 5, 3, 4, 3, 4, 5, 3, 4, 3, 4, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			t.Skip("oversized input adds no new schedule shapes")
+		}
+		p := decodeLaneProgram(data)
+		ref := runLaneProgram(p, serialOps(NewEngine()))
+		for _, lanes := range []int{p.lanes, p.lanes + 5} {
+			got := runLaneProgram(p, shardedOps(NewSharded(lanes)))
+			if len(got) != len(ref) {
+				t.Fatalf("lanes=%d: %d log entries, serial %d\nserial: %v\nsharded: %v",
+					lanes, len(got), len(ref), ref, got)
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("lanes=%d: first divergence at log[%d]:\n serial:  %s\n sharded: %s",
+						lanes, i, ref[i], got[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,370 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"libra/internal/clock"
+)
+
+// The baseline equivalence: the same schedule of global and lane events
+// fires in the same total (at, seq) order on the sharded engine as on
+// the serial engine, for every lane count.
+func TestShardedMatchesEngineOrder(t *testing.T) {
+	const n = 500
+	rng := rand.New(rand.NewSource(7))
+	type evSpec struct {
+		at   float64
+		lane int // 0 = global
+	}
+	specs := make([]evSpec, n)
+	for i := range specs {
+		// Coarse instants so same-instant ties are common.
+		specs[i] = evSpec{at: float64(rng.Intn(40)), lane: rng.Intn(4)}
+	}
+
+	runOn := func(mk func() clock.Runner, lane func(clock.Runner, int) clock.Clock, emit func(clock.Runner, int, func())) []string {
+		var log []string
+		r := mk()
+		for i, sp := range specs {
+			i, sp := i, sp
+			lane(r, sp.lane).At(sp.at, func() {
+				at := sp.at
+				emit(r, sp.lane, func() { log = append(log, fmt.Sprintf("%d@%g", i, at)) })
+			})
+		}
+		r.Run()
+		return log
+	}
+
+	serial := runOn(
+		func() clock.Runner { return NewEngine() },
+		func(r clock.Runner, l int) clock.Clock { return r.(*Engine) },
+		func(r clock.Runner, l int, fn func()) { fn() },
+	)
+	for _, lanes := range []int{1, 2, 3, 8} {
+		sharded := runOn(
+			func() clock.Runner { return NewSharded(lanes) },
+			func(r clock.Runner, l int) clock.Clock {
+				if l == 0 {
+					return r.(*Sharded)
+				}
+				return r.(*Sharded).Lane((l - 1) % lanes)
+			},
+			func(r clock.Runner, l int, fn func()) {
+				if l == 0 {
+					fn()
+					return
+				}
+				r.(*Sharded).Lane((l - 1) % lanes).Emit(fn)
+			},
+		)
+		if len(serial) != len(sharded) {
+			t.Fatalf("lanes=%d: fired %d events, serial fired %d", lanes, len(sharded), len(serial))
+		}
+		for i := range serial {
+			if serial[i] != sharded[i] {
+				t.Fatalf("lanes=%d: divergence at position %d: serial %q, sharded %q",
+					lanes, i, serial[i], sharded[i])
+			}
+		}
+	}
+}
+
+// Schedules issued inside a parallel batch are sequenced at the merge
+// barrier in slot order, so same-instant follow-ups fire in the order a
+// serial engine would have assigned them.
+func TestShardedBatchScheduleOrder(t *testing.T) {
+	s := NewSharded(2)
+	var log []string
+	for i := 0; i < 2; i++ {
+		i := i
+		v := s.Lane(i)
+		v.At(1, func() {
+			// Two zero-delay follow-ups per batch event: slot order must
+			// win over lane or completion order.
+			for k := 0; k < 2; k++ {
+				k := k
+				v.Schedule(0, func() {
+					v.Emit(func() { log = append(log, fmt.Sprintf("lane%d.child%d", i, k)) })
+				})
+			}
+		})
+	}
+	s.Run()
+	want := "lane0.child0 lane0.child1 lane1.child0 lane1.child1"
+	if got := strings.Join(log, " "); got != want {
+		t.Fatalf("barrier sequencing order:\n got %q\nwant %q", got, want)
+	}
+	if s.Now() != 1 {
+		t.Fatalf("Now() = %g after zero-delay children, want 1", s.Now())
+	}
+}
+
+// A batch event cancelling a later same-lane event due at the same
+// instant must suppress it — the sharded analogue of the serial
+// engine's collect-on-pop of a lazily cancelled head.
+func TestShardedCancelWithinBatch(t *testing.T) {
+	s := NewSharded(2)
+	v0, v1 := s.Lane(0), s.Lane(1)
+	// Distinct flags per event: concurrent lanes may not share a map
+	// (the batch-purity contract this engine is built around).
+	var victim1, killer1, bystander, victim2fired, killer2 bool
+	var victim Handle
+	victim = v0.At(5, func() { victim1 = true })
+	v0.At(5, func() { killer1 = true; v0.Cancel(victim) })
+	v1.At(5, func() { bystander = true })
+	// The killer was scheduled after the victim, so the victim's slot
+	// comes first and must fire; schedule a second round the other way.
+	var victim2 Handle
+	v0.At(6, func() { killer2 = true; v0.Cancel(victim2) })
+	victim2 = v0.At(6, func() { victim2fired = true })
+	s.Run()
+	if !victim1 || !killer1 || !bystander {
+		t.Fatalf("round 1: victim (earlier slot) must fire before its canceller runs: victim=%v killer=%v bystander=%v",
+			victim1, killer1, bystander)
+	}
+	if victim2fired {
+		t.Fatal("round 2: event cancelled by an earlier same-lane batch slot still fired")
+	}
+	if !killer2 {
+		t.Fatal("round 2: canceller did not fire")
+	}
+}
+
+// Lane.Global routes global-lane scheduling (and cancellation of the
+// resulting events) through the merge buffer: the completion-re-rating
+// pattern — schedule a global event, cancel it, schedule a replacement —
+// works from inside a lane callback.
+func TestShardedGlobalViaLane(t *testing.T) {
+	s := NewSharded(2)
+	v := s.Lane(0)
+	var order []string
+	v.At(1, func() {
+		g := v.Global()
+		h := g.Schedule(1, func() { order = append(order, "stale") })
+		g.Cancel(h)
+		g.Schedule(2, func() { order = append(order, "rerated") })
+	})
+	s.Lane(1).At(1, func() {
+		s.Lane(1).Emit(func() { order = append(order, "lane1") })
+	})
+	s.Run()
+	want := "lane1 rerated"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now() = %g, want 3", s.Now())
+	}
+}
+
+// Emissions from concurrent lanes apply at the barrier in slot order —
+// the order a serial engine would have run the emitting callbacks — not
+// in lane completion order.
+func TestShardedEmitSlotOrder(t *testing.T) {
+	const lanes = 4
+	s := NewSharded(lanes)
+	var log []int
+	// Interleave scheduling across lanes so slot order ≠ lane order.
+	for round := 0; round < 3; round++ {
+		for l := lanes - 1; l >= 0; l-- {
+			id := round*lanes + l
+			v := s.Lane(l)
+			v.At(2, func() { v.Emit(func() { log = append(log, id) }) })
+		}
+	}
+	s.Run()
+	if len(log) != 3*lanes {
+		t.Fatalf("got %d emissions, want %d", len(log), 3*lanes)
+	}
+	for i := 1; i < len(log); i++ {
+		// Scheduling order within the instant is descending lane within
+		// each round; slot order must reproduce it exactly.
+		want := (i/lanes)*lanes + (lanes - 1 - i%lanes)
+		if log[i] != want {
+			t.Fatalf("emission %d = id %d, want %d (full log %v)", i, log[i], want, log)
+		}
+	}
+}
+
+// Using the sharded clock itself from inside a lane callback is a
+// contract violation and must panic rather than race.
+func TestShardedGlobalClockInLaneCallbackPanics(t *testing.T) {
+	s := NewSharded(1)
+	s.Lane(0).At(1, func() { s.Schedule(1, func() {}) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("direct Schedule on the sharded clock inside a lane callback did not panic")
+		}
+	}()
+	s.Run()
+}
+
+// Using one lane's view from another lane's callback must panic on the
+// detectable path (no slot is running for the foreign lane).
+func TestShardedForeignLaneViewPanics(t *testing.T) {
+	s := NewSharded(2)
+	v0, v1 := s.Lane(0), s.Lane(1)
+	s.At(0.5, func() {}) // keep lane 1 idle at t=1 so the batch is lane-0 only
+	v0.At(1, func() { v1.Schedule(1, func() {}) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("using a foreign lane view inside a lane callback did not panic")
+		}
+	}()
+	s.Run()
+}
+
+// Generation checks survive the barrier allocation path: a handle from
+// an in-batch schedule goes stale once the event fires, and cancelling
+// through it cannot touch the record's next occupant.
+func TestShardedStaleHandleAcrossBatchRecycling(t *testing.T) {
+	s := NewSharded(1)
+	v := s.Lane(0)
+	var stale Handle
+	fired := 0
+	v.At(1, func() { stale = v.Schedule(1, func() { fired++ }) })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("in-batch scheduled event fired %d times, want 1", fired)
+	}
+	if stale.Live() {
+		t.Fatal("handle still live after its event fired")
+	}
+	// The record is back on the free list; the next occupant must be
+	// immune to the stale handle.
+	v.At(s.Now()+1, func() { fired++ })
+	v.Cancel(stale)
+	s.Run()
+	if fired != 2 {
+		t.Fatal("stale handle cancelled the record's next occupant")
+	}
+}
+
+// Per-lane lazy cancellation and compaction: parking hundreds of
+// cancelled events on one lane must not disturb the live order on any
+// lane, and the queue must fully drain.
+func TestShardedCancelCompactionPerLane(t *testing.T) {
+	s := NewSharded(2)
+	v0, v1 := s.Lane(0), s.Lane(1)
+	var handles []Handle
+	for i := 0; i < 200; i++ {
+		i := i
+		handles = append(handles, v0.At(float64(i+1), func() { t.Fatalf("cancelled event %d fired", i) }))
+	}
+	var order []float64
+	for i := 0; i < 5; i++ {
+		at := float64(i*40 + 3)
+		v1.At(at, func() { order = append(order, at) })
+	}
+	for _, h := range handles {
+		v0.Cancel(h) // direct path: triggers per-lane compaction
+	}
+	if got := s.Pending(); got != 5 {
+		t.Fatalf("Pending() = %d after mass cancel, want 5", got)
+	}
+	s.Run()
+	if len(order) != 5 {
+		t.Fatalf("fired %d live events, want 5", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("live events fired out of order: %v", order)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", s.Pending())
+	}
+}
+
+// clock.Every on a lane view: periodic per-lane work re-arms through
+// the merge buffer and Stop (from global context) leaves nothing queued.
+func TestShardedTickerOnLaneView(t *testing.T) {
+	s := NewSharded(2)
+	var ticks int
+	var tk *clock.Ticker
+	tk = clock.Every(s.Lane(1), 1, func() {
+		ticks++
+		if ticks == 5 {
+			tk.Stop() // in-callback Stop cancels through the lane view
+		}
+	})
+	s.Run()
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after Stop, want 0", got)
+	}
+}
+
+// The serial engine's scheduling guards hold on lane views too.
+func TestShardedLanePastAndNaNPanics(t *testing.T) {
+	s := NewSharded(1)
+	s.At(4, func() {})
+	s.Run() // now = 4
+	for name, call := range map[string]func(){
+		"past": func() { s.Lane(0).At(1, func() {}) },
+		"nan":  func() { s.Lane(0).At(math.NaN(), func() {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s scheduling on a lane view did not panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+// Fired and Pending agree with the serial engine across a mixed run.
+func TestShardedCounters(t *testing.T) {
+	build := func(r clock.Runner, lane func(int) clock.Clock) {
+		for i := 0; i < 30; i++ {
+			lane(i%3).At(float64(i%7), func() {})
+		}
+	}
+	e := NewEngine()
+	build(e, func(int) clock.Clock { return e })
+	e.Run()
+
+	s := NewSharded(2)
+	build(s, func(l int) clock.Clock {
+		if l == 0 {
+			return s
+		}
+		return s.Lane(l - 1)
+	})
+	s.Run()
+	if s.Fired() != e.Fired() {
+		t.Fatalf("Fired() = %d, serial %d", s.Fired(), e.Fired())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain", s.Pending())
+	}
+}
+
+func BenchmarkShardedScheduleRun(b *testing.B) {
+	for _, lanes := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			s := NewSharded(lanes)
+			views := make([]clock.Lane, lanes)
+			for i := range views {
+				views[i] = s.Lane(i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				views[i%lanes].At(s.Now()+float64(i%10), func() {})
+				if i%1024 == 1023 {
+					s.Run()
+				}
+			}
+			s.Run()
+		})
+	}
+}
