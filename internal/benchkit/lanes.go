@@ -15,7 +15,9 @@ import (
 	"runtime"
 	"time"
 
+	"libra/internal/clock"
 	"libra/internal/core"
+	"libra/internal/sim"
 	"libra/internal/trace"
 )
 
@@ -23,12 +25,26 @@ import (
 const LaneSchema = "libra-lanes-bench/v1"
 
 // LanePoint is one run of the scaling scenario: lane count 0 is the
-// serial engine, n ≥ 1 the sharded engine with n lanes.
+// serial engine, n ≥ 1 the sharded engine with n lanes. The sharded
+// points carry the engine's merge-barrier diagnostics, which make the
+// curve interpretable even where the host cannot show a speedup: mean
+// batch width says how much of the event stream actually landed on
+// lanes, the single-lane fraction says how often the engine skipped the
+// goroutine handoff entirely, and the lane-work / barrier-wait / merge
+// split says where the wall time went.
 type LanePoint struct {
 	Lanes           int     `json:"lanes"`
 	WallSeconds     float64 `json:"wall_seconds"`
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
 	IdenticalReport bool    `json:"identical_report"`
+
+	Batches            uint64  `json:"batches,omitempty"`
+	MeanBatchSlots     float64 `json:"mean_batch_slots,omitempty"`
+	MeanBatchWidth     float64 `json:"mean_batch_width_lanes,omitempty"`
+	SingleLaneFrac     float64 `json:"single_lane_batch_frac,omitempty"`
+	LaneWorkSeconds    float64 `json:"lane_work_seconds,omitempty"`
+	BarrierWaitSeconds float64 `json:"barrier_wait_seconds,omitempty"`
+	MergeSeconds       float64 `json:"merge_seconds,omitempty"`
 }
 
 // LaneReport is the full scaling record for one host and one workload.
@@ -48,9 +64,10 @@ type LaneReport struct {
 }
 
 // LaneScale is the default -lanescale scenario: the figs2m operating
-// point (50-node Jetstream slice, Libra preset — the ping scan over 50
-// nodes is the lane-parallel surface) at a length that keeps the full
-// curve under a minute on one core.
+// point (50-node Jetstream slice, Libra preset — every node's event
+// stream is lane-pinned, so the execution hot path plus the ping scan
+// is the lane-parallel surface) at a length that keeps the full curve
+// under a minute on one core.
 var LaneScale = struct {
 	Nodes, Schedulers, Invocations int
 	RPM                            float64
@@ -63,15 +80,29 @@ var LaneScale = struct {
 func MeasureLanes(log io.Writer) (*LaneReport, error) {
 	sc := LaneScale
 	set := trace.JetstreamSet(sc.Invocations, sc.RPM, 42)
-	run := func(lanes int) (*core.Report, float64, error) {
+	run := func(lanes int) (*core.Report, float64, sim.BatchStats, error) {
 		cfg := core.Config{
 			Variant: core.VariantLibra, Testbed: core.TestbedJetstream,
 			Nodes: sc.Nodes, Schedulers: sc.Schedulers, Seed: 42,
-			EngineLanes: lanes,
+		}
+		// Build the engine here rather than through Config.EngineLanes so
+		// the sharded runs can be asked for their barrier diagnostics.
+		var clk clock.Clock
+		var shard *sim.Sharded
+		if lanes == 0 {
+			clk = sim.NewEngine()
+		} else {
+			shard = sim.NewSharded(lanes)
+			clk = shard
 		}
 		start := time.Now()
-		rep, err := core.Run(cfg, set)
-		return rep, time.Since(start).Seconds(), err
+		rep, err := core.RunOn(clk, cfg, set)
+		wall := time.Since(start).Seconds()
+		var bs sim.BatchStats
+		if shard != nil {
+			bs = shard.BatchStats()
+		}
+		return rep, wall, bs, err
 	}
 
 	counts := []int{0, 1, 2, 4, 8}
@@ -95,15 +126,15 @@ func MeasureLanes(log io.Writer) (*LaneReport, error) {
 		Invocations: sc.Invocations, RPM: sc.RPM,
 	}
 	if rep.NumCPU < 2 {
-		rep.Note = "single-CPU host: the lane workers cannot run in parallel, so the curve measures merge-barrier overhead, not speedup; rerun on a multi-core host for the scaling target"
+		rep.Note = "single-CPU host: the lane workers cannot run in parallel, so the curve measures merge-barrier overhead, not speedup; the batch diagnostics still show how much of the event stream landed on lanes — rerun on a multi-core host for the scaling target"
 	} else {
-		rep.Note = "speedup is bounded by the lane-parallel share of the event stream (the per-node ping scan), not by lane count alone"
+		rep.Note = "speedup is bounded by the lane-parallel share of the event stream (per-node execution events, pool bookkeeping, sampling, pings), not by lane count alone"
 	}
 
 	var serial *core.Report
 	var serialWall float64
 	for _, lanes := range counts {
-		r, wall, err := run(lanes)
+		r, wall, bs, err := run(lanes)
 		if err != nil {
 			return nil, err
 		}
@@ -115,9 +146,25 @@ func MeasureLanes(log io.Writer) (*LaneReport, error) {
 		} else {
 			pt.SpeedupVsSerial = serialWall / wall
 			pt.IdenticalReport = reflect.DeepEqual(serial, r)
+			pt.Batches = bs.Batches
+			if bs.Batches > 0 {
+				pt.MeanBatchSlots = float64(bs.Slots) / float64(bs.Batches)
+				pt.MeanBatchWidth = float64(bs.LaneSum) / float64(bs.Batches)
+				pt.SingleLaneFrac = float64(bs.SingleLane) / float64(bs.Batches)
+			}
+			pt.LaneWorkSeconds = bs.LaneWork.Seconds()
+			pt.BarrierWaitSeconds = bs.BarrierWait.Seconds()
+			pt.MergeSeconds = bs.Merge.Seconds()
 		}
-		fmt.Fprintf(log, "lanes=%d wall=%.2fs speedup=%.2fx identical=%v\n",
-			pt.Lanes, pt.WallSeconds, pt.SpeedupVsSerial, pt.IdenticalReport)
+		if lanes == 0 {
+			fmt.Fprintf(log, "lanes=%d wall=%.2fs speedup=%.2fx identical=%v\n",
+				pt.Lanes, pt.WallSeconds, pt.SpeedupVsSerial, pt.IdenticalReport)
+		} else {
+			fmt.Fprintf(log, "lanes=%d wall=%.2fs speedup=%.2fx identical=%v batches=%d width=%.2f single=%.2f lane-work=%.2fs barrier=%.2fs merge=%.2fs\n",
+				pt.Lanes, pt.WallSeconds, pt.SpeedupVsSerial, pt.IdenticalReport,
+				pt.Batches, pt.MeanBatchWidth, pt.SingleLaneFrac,
+				pt.LaneWorkSeconds, pt.BarrierWaitSeconds, pt.MergeSeconds)
+		}
 		rep.Curve = append(rep.Curve, pt)
 	}
 	return rep, nil

@@ -174,6 +174,7 @@ type Ticker struct {
 	period  float64
 	next    float64
 	fn      func()
+	fire    func()
 	ev      Handle
 	stopped bool
 }
@@ -186,12 +187,10 @@ func Every(c Clock, period float64, fn func()) *Ticker {
 		panic("clock: Every period must be positive")
 	}
 	t := &Ticker{c: c, period: period, next: c.Now() + period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.c.At(t.next, func() {
+	// Bind the re-arming callback once: a ticker fires forever, and
+	// allocating a fresh closure per fire shows up as steady-state churn
+	// on every periodic path (sampling, pings, load generation).
+	t.fire = func() {
 		if t.stopped {
 			return
 		}
@@ -200,7 +199,13 @@ func (t *Ticker) arm() {
 			t.next += t.period
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.c.At(t.next, t.fire)
 }
 
 // Stop halts the ticker and cancels its pending fire, so a stopped

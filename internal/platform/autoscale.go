@@ -357,23 +357,13 @@ func (p *Platform) addNode() *cluster.Node {
 	if n == nil {
 		id := len(p.nodes)
 		n = cluster.NewNode(p.clk, id, p.scale.groupCap)
-		n.OnComplete = p.onComplete
-		n.OnFailure = p.onFailure
-		n.CPUPool.Order = p.cfg.PoolLendOrder
-		n.MemPool.Order = p.cfg.PoolLendOrder
-		if p.cfg.Tracer != nil {
-			n.Tracer = p.cfg.Tracer
-			n.CPUPool.SetTracer(p.cfg.Tracer, id, "cpu")
-			n.MemPool.SetTracer(p.cfg.Tracer, id, "mem")
-		}
+		// wireNode mirrors New's hook-up exactly, including the lane
+		// pinning on a sharded clock: the fresh node's id decides its
+		// lane, so the fleet size at join time is irrelevant.
+		p.wireNode(n)
 		p.nodes = append(p.nodes, n)
 		if p.pings != nil {
 			p.pings[id] = &poolStatus{}
-		}
-		if p.covIndex != nil && p.pings == nil {
-			// Live-pool mode: mirror New's dirty-marking hooks.
-			n.CPUPool.SetIndexHook(func() { p.covIndex.MarkDirty(id) })
-			n.MemPool.SetIndexHook(func() { p.covIndex.MarkDirty(id) })
 		}
 		if p.covIndex != nil {
 			// Size the index now (empty pools: off the candidate list).

@@ -339,6 +339,12 @@ type Platform struct {
 	shards []*scheduler.Shard
 	est    profiler.Estimator
 
+	// sharder is the clock's lane interface when it has one (the sharded
+	// sim engine), nil otherwise. When set, every node's event stream is
+	// pinned to lane nodeID % Lanes() and the per-node hot path runs on
+	// lane goroutines (DESIGN.md §11d).
+	sharder clock.Sharder
+
 	ready    readyQueue
 	inflight map[harvest.ID]*queued
 	freeQ    []*queued
@@ -483,6 +489,9 @@ func New(clk clock.Clock, cfg Config) (*Platform, error) {
 		sgCounts:  make(map[string]int),
 		baseNodes: cfg.Nodes,
 	}
+	if sh, ok := clk.(clock.Sharder); ok {
+		p.sharder = sh
+	}
 	total := cfg.Nodes
 	if cfg.Autoscale.Enabled() {
 		// Group members are extra nodes above the base fleet; the boot
@@ -500,17 +509,7 @@ func New(clk clock.Clock, cfg Config) (*Platform, error) {
 		if i >= cfg.Nodes {
 			nodeCap = p.scale.groupCap
 		}
-		n := cluster.NewNode(p.clk, i, nodeCap)
-		n.OnComplete = p.onComplete
-		n.OnFailure = p.onFailure
-		n.CPUPool.Order = cfg.PoolLendOrder
-		n.MemPool.Order = cfg.PoolLendOrder
-		if cfg.Tracer != nil {
-			n.Tracer = cfg.Tracer
-			n.CPUPool.SetTracer(cfg.Tracer, i, "cpu")
-			n.MemPool.SetTracer(cfg.Tracer, i, "mem")
-		}
-		p.nodes = append(p.nodes, n)
+		p.nodes = append(p.nodes, cluster.NewNode(p.clk, i, nodeCap))
 	}
 	if cfg.PingInterval > 0 {
 		p.pings = make(map[int]*poolStatus, cfg.Nodes)
@@ -547,14 +546,11 @@ func New(clk clock.Clock, cfg Config) (*Platform, error) {
 		}
 		p.placeBound[i] = bounds
 	}
-	if p.covIndex != nil && p.pings == nil {
-		// Live-pool mode (negative PingInterval): decisions read pool state
-		// directly, so the pools dirty-mark the index on every mutation.
-		for _, n := range p.nodes {
-			id := n.ID()
-			n.CPUPool.SetIndexHook(func() { p.covIndex.MarkDirty(id) })
-			n.MemPool.SetIndexHook(func() { p.covIndex.MarkDirty(id) })
-		}
+	// Node wiring happens after shard construction so the coverage index
+	// (built by the scheduler factory above) exists for the live-pool
+	// dirty-mark hooks.
+	for _, n := range p.nodes {
+		p.wireNode(n)
 	}
 	if cfg.Tracer != nil {
 		for _, s := range p.shards {
@@ -573,6 +569,54 @@ func New(clk clock.Clock, cfg Config) (*Platform, error) {
 	}
 	p.publishScaleGauges()
 	return p, nil
+}
+
+// wireNode attaches the platform-side hooks a worker node needs —
+// completion/failure callbacks, pool lend order, tracing, live-mode
+// index dirty-marking — and, on a sharded clock, pins the node's event
+// stream to its lane. New wires the boot fleet through it and addNode
+// every elastic join, so both paths produce identically-wired nodes.
+func (p *Platform) wireNode(n *cluster.Node) {
+	n.OnComplete = p.onComplete
+	n.OnFailure = p.onFailure
+	n.CPUPool.Order = p.cfg.PoolLendOrder
+	n.MemPool.Order = p.cfg.PoolLendOrder
+	id := n.ID()
+	tr := p.cfg.Tracer
+	var lane clock.Lane
+	if p.sharder != nil {
+		// Ownership rule: node id pins to lane id % Lanes(). The mapping
+		// depends on nothing but the id, so it survives every membership
+		// change — a node that retires and later revives, even onto a
+		// different fleet size, lands back on the same lane.
+		lane = p.sharder.Lane(id % p.sharder.Lanes())
+		n.SetLane(lane)
+		if tr != nil {
+			// Lane callbacks cannot write the shared tracer directly; the
+			// buffer replays their events at the merge barrier in the
+			// exact order a serial engine would have recorded them.
+			tr = obs.NewLaneBuffer(tr, lane.Emit)
+		}
+	}
+	if tr != nil {
+		n.Tracer = tr
+		n.CPUPool.SetTracer(tr, id, "cpu")
+		n.MemPool.SetTracer(tr, id, "mem")
+	}
+	if p.covIndex != nil && p.pings == nil {
+		// Live-pool mode (negative PingInterval): decisions read pool state
+		// directly, so the pools dirty-mark the index on every mutation.
+		// On a lane the mark defers to the merge barrier: MarkDirty is
+		// idempotent and only read by global-lane placement code, which
+		// never overlaps a batch, so deferral is unobservable.
+		mark := func() { p.covIndex.MarkDirty(id) }
+		hook := mark
+		if lane != nil {
+			hook = func() { lane.Emit(mark) }
+		}
+		n.CPUPool.SetIndexHook(hook)
+		n.MemPool.SetIndexHook(hook)
+	}
 }
 
 // Clock exposes the clock the platform runs on.
@@ -622,8 +666,8 @@ func (p *Platform) Run(set trace.Set) *Result {
 // the backlog sampler, and the fault injector.
 func (p *Platform) arm() {
 	if p.pings != nil {
-		if sh, ok := p.clk.(clock.Sharder); ok && sh.Lanes() > 1 {
-			p.armPingLanes(sh)
+		if p.sharder != nil {
+			p.armPingLanes(p.sharder)
 		} else {
 			p.pingTickers = append(p.pingTickers, clock.Every(p.clk, p.cfg.PingInterval, func() {
 				for _, n := range p.nodes {
@@ -659,43 +703,41 @@ func (p *Platform) arm() {
 }
 
 // armPingLanes splits the per-node health-ping scan across a sharded
-// clock's parallel lanes. The scan is the one piece of periodic work
-// that is embarrassingly node-parallel — each node's ping only copies
-// that node's pool entries — while everything that couples nodes (loan
-// grants, the safeguard, completions, placement) stays on the global
-// lane and serializes exactly as on a serial clock.
+// clock's parallel lanes, one ticker per lane, each scanning exactly
+// the nodes its lane owns (id % Lanes() == k). The scan shares the
+// node-event ownership rule because it reads pool state the owning
+// lane's execution events may be mutating in the same batch — any
+// other partition would be a cross-lane race.
 //
-// Each lane pings a contiguous block of the fleet, recomputed every
-// fire so nodes added by a scale-up join a block immediately. The pool
-// copies run concurrently across lanes; the coverage-index updates —
-// whose candidate list is append-ordered and feeds placement — are
-// deferred to the merge barrier via Lane.Emit, where the lanes' slot
-// order replays them in ascending node order: byte-identical to the
-// serial scan's inline updates.
+// The pool copies run concurrently across lanes; the coverage-index
+// updates — shared scheduler state feeding placement — defer to the
+// merge barrier via Lane.Emit, replaying in lane-major node order
+// (lane 0's stripe, then lane 1's, …). That differs from the serial
+// scan's ascending-id order, which is fine: UpdateSnapshot touches only
+// node-local index state and the candidate list is order-free
+// (selection tie-breaks on node id), so replays stay byte-identical —
+// pinned by the lane-invariance sweep and the simtest matrix.
+//
+// Every closure here is bound once at arm time and the entry buffers
+// are reused fire over fire, so the steady-state ping path allocates
+// nothing (TestPingLaneScanSteadyStateZeroAllocs pins this).
 func (p *Platform) armPingLanes(sh clock.Sharder) {
 	lanes := sh.Lanes()
-	if n := len(p.nodes); lanes > n {
-		lanes = n
-	}
-	block := func(k int) (int, int) {
-		n := len(p.nodes)
-		return k * n / lanes, (k + 1) * n / lanes
-	}
 	p.pingEmit = make([]func(), lanes)
 	for k := 0; k < lanes; k++ {
 		k := k
 		lane := sh.Lane(k)
 		p.pingEmit[k] = func() {
-			lo, hi := block(k)
-			for _, n := range p.nodes[lo:hi] {
+			for i := k; i < len(p.nodes); i += lanes {
+				n := p.nodes[i]
 				if st := p.pings[n.ID()]; st.fresh {
 					p.covIndex.UpdateSnapshot(n.ID(), st.cpu, st.mem)
 				}
 			}
 		}
 		p.pingTickers = append(p.pingTickers, clock.Every(lane, p.cfg.PingInterval, func() {
-			lo, hi := block(k)
-			for _, n := range p.nodes[lo:hi] {
+			for i := k; i < len(p.nodes); i += lanes {
+				n := p.nodes[i]
 				st := p.pings[n.ID()]
 				if n.Down() {
 					st.fresh = false // a down node sends no health pings

@@ -21,18 +21,33 @@ import (
 // scheduled and cancelled only from its owner lane's callbacks or from
 // global context — which is exactly the discipline the platform's lane
 // classification guarantees; everything else is adversarial.
+//
+// Beyond the engine primitives, the alphabet carries the harvest-shaped
+// ops the lane-pinned hot path actually performs: loan-grant, reharvest
+// and revoke mutate a lane-owned pool counter and publish the captured
+// value through the merge barrier (the LaneBuffer pattern — the value
+// is bound at mutation time, emitted in slot order), and exec-complete
+// mutates the pool then schedules a zero-delay *global* tail that reads
+// the pool live (the complete → doneTail pattern). Any divergence in a
+// logged pool value means the sharded engine replayed the lane-owned
+// state mutations in a different order than the serial engine.
 
 const (
 	fuzzSchedule byte = iota
 	fuzzCancel
 	fuzzEmit
 	fuzzCancelResched
+	fuzzLoanGrant
+	fuzzReharvest
+	fuzzRevoke
+	fuzzExecComplete
 )
 
 type fuzzAction struct {
 	kind   byte
 	target int
 	delay  float64
+	amount int
 }
 
 type fuzzSpec struct {
@@ -82,7 +97,7 @@ func decodeLaneProgram(data []byte) fuzzProgram {
 		}
 		na := int(c.next()) % 4
 		for a := 0; a < na; a++ {
-			k := c.next() % 8
+			k := c.next() % 12
 			switch {
 			case k < 3: // schedule the next unwired later spec
 				j := -1
@@ -125,8 +140,30 @@ func decodeLaneProgram(data []byte) fuzzProgram {
 					kind: fuzzCancelResched, target: j,
 					delay: fuzzDelays[int(c.next())%len(fuzzDelays)],
 				})
-			default:
+			case k < 7:
 				sp.actions = append(sp.actions, fuzzAction{kind: fuzzEmit})
+			case k < 8: // lend out of the lane-owned pool
+				sp.actions = append(sp.actions, fuzzAction{
+					kind: fuzzLoanGrant, amount: 1 + int(c.next())%5,
+				})
+			case k < 9: // reharvest: reclaim + re-rate an owned spec's deadline
+				j := int(c.next()) % (i + 1)
+				if j == i || p.specs[j].owner != sp.lane {
+					continue
+				}
+				sp.actions = append(sp.actions, fuzzAction{
+					kind: fuzzReharvest, target: j,
+					delay:  fuzzDelays[int(c.next())%len(fuzzDelays)],
+					amount: 1 + int(c.next())%5,
+				})
+			case k < 10: // revoke a loan back into the pool
+				sp.actions = append(sp.actions, fuzzAction{
+					kind: fuzzRevoke, amount: 1 + int(c.next())%5,
+				})
+			default: // exec-complete: release + zero-delay global tail
+				sp.actions = append(sp.actions, fuzzAction{
+					kind: fuzzExecComplete, amount: 1 + int(c.next())%5,
+				})
 			}
 		}
 	}
@@ -197,6 +234,10 @@ func shardedOps(s *Sharded) laneOps {
 func runLaneProgram(p fuzzProgram, ops laneOps) []string {
 	var log []string
 	handles := make([]clock.Handle, len(p.specs))
+	// pools[l] is lane l's harvest-pool stand-in: mutated only from lane
+	// l's callbacks (distinct elements, so lanes never race), read live
+	// from zero-delay global tails, published via value-capturing emits.
+	pools := make([]int, p.lanes+1)
 	budgets := make([][]int, len(p.specs))
 	for i := range budgets {
 		budgets[i] = make([]int, len(p.specs[i].actions))
@@ -231,6 +272,29 @@ func runLaneProgram(p fuzzProgram, ops laneOps) []string {
 				case fuzzCancelResched:
 					ops.cancelVia(sp.lane, handles[act.target])
 					schedule(sp.lane, act.target, act.delay)
+				case fuzzLoanGrant:
+					pools[sp.lane] -= act.amount
+					a, v := a, pools[sp.lane]
+					ops.emit(sp.lane, func() { log = append(log, fmt.Sprintf("grant %d:%d pool[%d]=%d @%g", i, a, sp.lane, v, now)) })
+				case fuzzReharvest:
+					pools[sp.lane] += act.amount
+					ops.cancelVia(sp.lane, handles[act.target])
+					schedule(sp.lane, act.target, act.delay)
+					a, v := a, pools[sp.lane]
+					ops.emit(sp.lane, func() { log = append(log, fmt.Sprintf("reharvest %d:%d pool[%d]=%d @%g", i, a, sp.lane, v, now)) })
+				case fuzzRevoke:
+					pools[sp.lane] += act.amount
+					a, v := a, pools[sp.lane]
+					ops.emit(sp.lane, func() { log = append(log, fmt.Sprintf("revoke %d:%d pool[%d]=%d @%g", i, a, sp.lane, v, now)) })
+				case fuzzExecComplete:
+					pools[sp.lane] += act.amount
+					// The complete → doneTail pattern: the tail lands on the
+					// global heap at delay 0 and reads the pool *live*, after
+					// every lane mutation of this instant has merged.
+					a, lane := a, sp.lane
+					ops.clockFor(sp.lane, 0).Schedule(0, func() {
+						log = append(log, fmt.Sprintf("tail %d:%d pool[%d]=%d @%g", i, a, lane, pools[lane], ops.now()))
+					})
 				}
 			}
 		}
@@ -253,6 +317,9 @@ func FuzzLaneMergeOrder(f *testing.F) {
 	f.Add([]byte{2, 20, 1, 2, 1, 2, 1, 2, 1, 2, 3, 1, 0, 3, 1, 0, 3, 1, 0, 3, 1, 0, 3, 1, 0, 3, 1, 0, 3, 1, 0})
 	// Cancel-heavy: action kinds biased into the 3..5 range.
 	f.Add([]byte{1, 12, 1, 1, 1, 0, 1, 1, 3, 4, 3, 4, 3, 5, 4, 3, 4, 5, 3, 4, 3, 4, 5, 3, 4, 3, 4, 3})
+	// Harvest-heavy: action kinds biased into the 7..11 range, so loan
+	// grants, reharvests, revokes and exec-complete tails dominate.
+	f.Add([]byte{2, 14, 1, 2, 1, 2, 0, 1, 2, 3, 7, 2, 8, 0, 1, 3, 9, 4, 10, 1, 11, 2, 3, 7, 3, 11, 1, 8, 0, 2, 9, 5, 10, 4, 11, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 512 {
 			t.Skip("oversized input adds no new schedule shapes")

@@ -42,6 +42,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"libra/internal/clock"
 )
@@ -108,6 +110,61 @@ type Sharded struct {
 	wg       sync.WaitGroup
 	panicMu  sync.Mutex
 	panicked any
+
+	// Barrier diagnostics (BatchStats): pure observability counters —
+	// they never influence event order, so they cannot perturb replay
+	// determinism. laneWorkNanos is atomic because workers add to it.
+	batches           uint64
+	batchSlots        uint64
+	batchLaneSum      uint64
+	singleLaneBatches uint64
+	laneWorkNanos     int64
+	barrierWaitNanos  int64
+	mergeNanos        int64
+}
+
+// BatchStats is a snapshot of the engine's merge-barrier diagnostics,
+// the numbers that make a lane-scaling curve interpretable: how many
+// batches formed, how wide they were (lanes actually running
+// concurrently), how often a batch collapsed to the single-lane inline
+// fast path, and where the wall time went — executing lane callbacks
+// versus the engine goroutine blocking at the barrier versus draining
+// the merge buffers.
+type BatchStats struct {
+	// Batches is the number of lane batches executed.
+	Batches uint64
+	// Slots is the total number of lane events executed across batches.
+	Slots uint64
+	// LaneSum is Σ over batches of the number of distinct lanes with at
+	// least one slot; LaneSum/Batches is the mean batch width.
+	LaneSum uint64
+	// SingleLane counts batches that ran on the inline fast path because
+	// exactly one lane had work (or the engine has one lane).
+	SingleLane uint64
+	// LaneWork is wall time spent executing lane callbacks (summed
+	// across workers, so it can exceed elapsed time on multi-CPU hosts).
+	LaneWork time.Duration
+	// BarrierWait is wall time the engine goroutine spent blocked
+	// between dispatching a parallel batch and the last worker finishing.
+	BarrierWait time.Duration
+	// Merge is wall time spent draining the buffered slot-ops at the
+	// barrier (sequence assignment, cancel bookkeeping, emissions).
+	Merge time.Duration
+}
+
+// BatchStats returns the accumulated merge-barrier diagnostics. Safe to
+// call between runs; calling it while Run executes on another goroutine
+// would race with the counters.
+func (s *Sharded) BatchStats() BatchStats {
+	return BatchStats{
+		Batches:     s.batches,
+		Slots:       s.batchSlots,
+		LaneSum:     s.batchLaneSum,
+		SingleLane:  s.singleLaneBatches,
+		LaneWork:    time.Duration(atomic.LoadInt64(&s.laneWorkNanos)),
+		BarrierWait: time.Duration(s.barrierWaitNanos),
+		Merge:       time.Duration(s.mergeNanos),
+	}
 }
 
 var (
@@ -365,21 +422,30 @@ func (s *Sharded) runBatch(first *Event) {
 		s.perLane[li] = append(s.perLane[li], sl)
 	}
 
+	s.batches++
+	s.batchSlots += uint64(len(slots))
+	s.batchLaneSum += uint64(active)
+
 	s.batchActive = true
 	if active == 1 || len(s.views) == 1 {
 		// One lane has work (or the engine is single-lane): skip the
 		// goroutine handoff and run the slots on the engine goroutine.
+		s.singleLaneBatches++
+		t0 := time.Now()
 		for _, sl := range slots {
 			s.runSlot(sl)
 		}
+		s.laneWorkNanos += int64(time.Since(t0))
 	} else {
 		s.wg.Add(active)
+		t0 := time.Now()
 		for li := 1; li < len(s.heaps); li++ {
 			if len(s.perLane[li]) > 0 {
 				s.workers[li-1] <- s.perLane[li]
 			}
 		}
 		s.wg.Wait()
+		s.barrierWaitNanos += int64(time.Since(t0))
 		if s.panicked != nil {
 			p := s.panicked
 			s.panicked = nil
@@ -387,7 +453,9 @@ func (s *Sharded) runBatch(first *Event) {
 		}
 	}
 	s.batchActive = false
+	t0 := time.Now()
 	s.drainBatch(slots)
+	s.mergeNanos += int64(time.Since(t0))
 }
 
 func (s *Sharded) addSlot(ev *Event) {
@@ -477,8 +545,10 @@ func (s *Sharded) startWorkers() {
 // is captured and re-thrown on the engine goroutine after the barrier,
 // so contract-violation panics surface with deterministic timing.
 func (s *Sharded) runLaneSlots(slots []*batchSlot) {
+	t0 := time.Now()
 	defer s.wg.Done()
 	defer func() {
+		atomic.AddInt64(&s.laneWorkNanos, int64(time.Since(t0)))
 		if r := recover(); r != nil {
 			s.panicMu.Lock()
 			if s.panicked == nil {
